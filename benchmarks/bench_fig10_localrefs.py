@@ -1,0 +1,53 @@
+"""E5 — Figure 10: live local references over time, Subversion Outputer.
+
+Regenerates Figure 10's two time series: the original program overflows
+the 16-local-reference guarantee without requesting more capacity; the
+fixed program (DeleteLocalRef after each use) never exceeds 8 live
+references, matching the paper's observation.
+"""
+
+from benchmarks.conftest import print_table
+from repro.workloads.casestudies import local_ref_time_series, make_subversion_outputer
+from repro.workloads.outcomes import run_scenario
+
+
+def test_figure10_series(benchmark):
+    original, fixed = benchmark.pedantic(
+        lambda: (
+            local_ref_time_series(fixed=False),
+            local_ref_time_series(fixed=True),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert max(original) > 16, "original must overflow the 16-slot guarantee"
+    assert max(fixed) <= 8, "paper: the fix never exceeds 8 live references"
+    assert original[-1] == 0 and fixed[-1] == 0
+
+    sample = max(len(original) // 12, 1)
+    rows = [
+        (i, original[i] if i < len(original) else "", fixed[i] if i < len(fixed) else "")
+        for i in range(0, max(len(original), len(fixed)), sample)
+    ]
+    print_table(
+        "Figure 10 — live local references over time (sampled)",
+        ("event#", "original", "fixed"),
+        rows,
+    )
+    print("original peak: {}   fixed peak: {}".format(max(original), max(fixed)))
+
+
+def test_overflow_detected_then_fix_accepted(benchmark):
+    def run_pair():
+        buggy = run_scenario(make_subversion_outputer(), checker="jinn")
+        fixed = run_scenario(make_subversion_outputer(fixed=True), checker="jinn")
+        return buggy, fixed
+
+    buggy, fixed = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert buggy.outcome == "exception"
+    assert "overflow" in buggy.violations[0]
+    # "After re-compiling, the program passes the regression test even
+    # under Jinn."
+    assert fixed.outcome == "running"
+    assert fixed.violations == []

@@ -1,0 +1,62 @@
+"""E4 — Figure 9: error messages for the ExceptionState microbenchmark.
+
+Regenerates the three diagnostics of Figure 9: (a) HotSpot's warnings
+that never identify the offending JNI calls, (b) J9's abort after the
+first bad call, and (c) Jinn's exception with both illegal calls, the
+calling context, and the original Java exception chained as the cause.
+"""
+
+from benchmarks.conftest import print_table
+from repro.workloads.microbench import exception_state
+from repro.workloads.outcomes import run_scenario
+from repro.jvm import HOTSPOT, J9
+
+
+def _collect_reports():
+    hotspot = run_scenario(exception_state, vendor=HOTSPOT, checker="xcheck")
+    j9 = run_scenario(exception_state, vendor=J9, checker="xcheck")
+    jinn = run_scenario(exception_state, checker="jinn")
+    return hotspot, j9, jinn
+
+
+def test_figure9_messages(benchmark):
+    hotspot, j9, jinn = benchmark.pedantic(_collect_reports, rounds=1, iterations=1)
+
+    print("\n== Figure 9(a) — HotSpot ==")
+    print("\n".join(d for d in hotspot.diagnostics))
+    print("\n== Figure 9(b) — J9 ==")
+    print("\n".join(d for d in j9.diagnostics))
+    print("\n== Figure 9(c) — Jinn ==")
+    print("\n".join(d for d in jinn.diagnostics))
+
+    # (a) HotSpot: warnings, twice, with no function name.
+    hotspot_warnings = [
+        d for d in hotspot.diagnostics if d.startswith("WARNING")
+    ]
+    assert len(hotspot_warnings) == 2
+    assert all("exception pending" in w for w in hotspot_warnings)
+    assert not any("GetStaticMethodID" in w for w in hotspot_warnings)
+
+    # (b) J9: identifies the first function, then aborts (context lost).
+    assert j9.outcome == "error"
+    j9_text = "\n".join(j9.diagnostics)
+    assert "JVMJNCK028E JNI error in GetStaticMethodID" in j9_text
+    assert "Aborting" in j9_text
+
+    # (c) Jinn: both illegal calls reported, exception thrown, original
+    # Java exception preserved as the root cause.
+    assert jinn.outcome == "exception"
+    assert len(jinn.violations) == 2
+    assert "GetStaticMethodID" in jinn.violations[0]
+    assert "CallStaticVoidMethodA" in jinn.violations[1]
+    assert "checked by native code" in (jinn.exception_text or "")
+
+    print_table(
+        "Figure 9 summary",
+        ("configuration", "outcome", "bad calls identified"),
+        [
+            ("HotSpot -Xcheck:jni", hotspot.outcome, 0),
+            ("J9 -Xcheck:jni", j9.outcome, 1),
+            ("Jinn", jinn.outcome, 2),
+        ],
+    )

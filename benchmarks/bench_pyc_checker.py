@@ -1,0 +1,94 @@
+"""E9 — §7 / Figure 11: the synthesized Python/C checker.
+
+Regenerates the dangling-borrowed-reference demonstration: unchecked
+runs are interpreter-dependent (stale value or garbage), while the
+synthesized checker deterministically stops the program at the faulting
+API call.  Also measures the checker's overhead on a reference-count
+heavy extension workload.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.fsm.errors import FFIViolation
+from repro.pyc import GARBAGE, PyCChecker, PythonInterpreter
+
+
+def _dangle_bug(api, self_obj, args):
+    """Figure 11."""
+    pythons = api.Py_BuildValue(
+        "[ssssss]", "Eric", "Graham", "John", "Michael", "Terry", "Terry"
+    )
+    first = api.PyList_GetItem(pythons, 0)
+    reads = [api.PyString_AsString(first)]
+    api.Py_DecRef(pythons)
+    reads.append(api.PyString_AsString(first))  # dangling borrow
+    _dangle_bug.reads = reads
+    return api.Py_RETURN_NONE()
+
+
+def _run_figure11(reuse_memory, checked):
+    agents = [PyCChecker()] if checked else []
+    interp = PythonInterpreter(reuse_memory=reuse_memory, agents=agents)
+    interp.register_extension("dangle_bug", _dangle_bug)
+    try:
+        interp.call_extension("dangle_bug")
+        return "completed", _dangle_bug.reads
+    except FFIViolation as violation:
+        return "checker: " + violation.error_state, None
+
+
+def test_figure11_matrix(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            "no-reuse": _run_figure11(False, False),
+            "reuse": _run_figure11(True, False),
+            "checked": _run_figure11(False, True),
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    outcome, reads = results["no-reuse"]
+    assert outcome == "completed"
+    assert reads == ["Eric", "Eric"]  # bug appears benign
+
+    outcome, reads = results["reuse"]
+    assert outcome == "completed"
+    assert reads[0] == "Eric" and reads[1] == GARBAGE  # corrupted read
+
+    outcome, reads = results["checked"]
+    assert "dangling" in outcome
+
+    print_table(
+        "Figure 11 — the dangling borrowed reference under three configs",
+        ("configuration", "second read of `first`"),
+        [
+            ("unchecked, allocator keeps memory", "stale 'Eric' (benign-looking)"),
+            ("unchecked, allocator reuses memory", "garbage"),
+            ("synthesized checker", "stopped at PyString_AsString"),
+        ],
+    )
+
+
+def _refcount_workload(api, self_obj, args):
+    acc = 0
+    for i in range(200):
+        lst = api.Py_BuildValue("[ss]", "a", "b")
+        item = api.PyList_GetItem(lst, 0)
+        acc += api.PyString_Size(item)
+        api.Py_DecRef(lst)
+    return api.PyLong_FromLong(acc)
+
+
+@pytest.mark.parametrize("checked", [False, True], ids=["raw", "checked"])
+def test_pyc_checker_overhead(benchmark, checked):
+    agents = [PyCChecker()] if checked else []
+    interp = PythonInterpreter(agents=agents)
+    interp.register_extension("work", _refcount_workload)
+
+    def run():
+        result = interp.call_extension("work")
+        result.decref()
+
+    benchmark(run)

@@ -1,0 +1,46 @@
+"""E9b — Python/C checker coverage over the §7 microbenchmark suite.
+
+The Python/C analogue of the §6.3 coverage experiment: six
+microbenchmarks, one per error state of the five Python/C machines, run
+unchecked and under the synthesized checker.
+"""
+
+from benchmarks.conftest import print_table
+from repro.workloads.pyc_micro import PYC_MICROBENCHMARKS, run_pyc_scenario
+
+
+def _matrix():
+    return {
+        sc.name: (
+            run_pyc_scenario(sc, checked=False),
+            run_pyc_scenario(sc, checked=True),
+        )
+        for sc in PYC_MICROBENCHMARKS
+    }
+
+
+def test_pyc_coverage(benchmark):
+    matrix = benchmark.pedantic(_matrix, rounds=1, iterations=1)
+    rows = []
+    caught = 0
+    for scenario in PYC_MICROBENCHMARKS:
+        unchecked, checked = matrix[scenario.name]
+        ok = (
+            checked["outcome"] == "violation"
+            and checked["machine"] == scenario.machine
+        )
+        caught += ok
+        rows.append(
+            (
+                scenario.name,
+                scenario.machine,
+                unchecked["outcome"],
+                "{} ({})".format(checked["outcome"], checked["machine"]),
+            )
+        )
+    print_table(
+        "§7 Python/C microbenchmark coverage",
+        ("scenario", "machine", "unchecked", "checked"),
+        rows,
+    )
+    assert caught == len(PYC_MICROBENCHMARKS)  # 100%, like Jinn on JNI

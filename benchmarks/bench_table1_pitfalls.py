@@ -1,0 +1,60 @@
+"""E1 — Table 1: JNI pitfalls x configurations outcome matrix.
+
+Regenerates the paper's Table 1: for each pitfall row, the observable
+behaviour under production HotSpot, production J9, both ``-Xcheck:jni``
+implementations, and Jinn.  The matrix is asserted cell-by-cell against
+the paper.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.workloads.microbench import TABLE1_ROWS, scenario_by_name
+from repro.workloads.outcomes import run_all_configurations, run_scenario
+
+#: Paper Table 1 (rows keyed by pitfall number).
+PAPER_TABLE1 = {
+    1: ("running", "crash", "warning", "error", "exception"),
+    2: ("running", "crash", "running", "crash", "exception"),
+    3: ("crash", "crash", "error", "error", "exception"),
+    6: ("crash", "crash", "error", "error", "exception"),
+    8: ("running", "NPE", "running", "NPE", "running/NPE"),
+    9: ("NPE", "NPE", "NPE", "NPE", "exception"),
+    11: ("leak", "leak", "running", "warning", "exception"),
+    12: ("leak", "leak", "running", "warning", "exception"),
+    13: ("crash", "crash", "error", "error", "exception"),
+    14: ("running", "crash", "error", "crash", "exception"),
+    16: ("deadlock", "deadlock", "warning", "error", "exception"),
+}
+
+COLUMNS = ("HotSpot", "J9", "HotSpot-xcheck", "J9-xcheck", "Jinn")
+
+
+def _full_matrix():
+    rows = []
+    for pitfall, description, scenario_name in TABLE1_ROWS:
+        scenario = scenario_by_name(scenario_name)
+        observed = run_all_configurations(scenario.run)
+        rows.append((pitfall, description, observed))
+    return rows
+
+
+def test_table1_matrix(benchmark):
+    rows = benchmark.pedantic(_full_matrix, rounds=1, iterations=1)
+    printable = []
+    for pitfall, description, observed in rows:
+        cells = tuple(observed[c] for c in COLUMNS)
+        assert cells == PAPER_TABLE1[pitfall], description
+        printable.append((pitfall, description) + cells)
+    print_table(
+        "Table 1 — JNI pitfalls (reproduced; matches paper exactly)",
+        ("#", "Pitfall") + COLUMNS,
+        printable,
+    )
+
+
+@pytest.mark.parametrize("config", ["none", "xcheck", "jinn"])
+def test_single_pitfall_run_cost(benchmark, config):
+    """Cost of one microbenchmark run per configuration."""
+    scenario = scenario_by_name("ExceptionState")
+    benchmark(lambda: run_scenario(scenario.run, checker=config))

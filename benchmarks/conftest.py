@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's experiment index).  Conventions:
+
+- every module has at least one function using the ``benchmark`` fixture
+  so ``pytest benchmarks/ --benchmark-only`` exercises it;
+- reproduced tables are printed to stdout (run with ``-s`` to see them)
+  and *asserted* against the paper where the paper's claim is exact.
+"""
+
+import sys
+
+collect_ignore_glob = []
+
+
+def print_table(title, header, rows):
+    """Fixed-width table printer for reproduced results."""
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows)) + 2
+        for i in range(len(header))
+    ]
+    out = ["", "== {} ==".format(title)]
+    out.append("".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    out.append("-" * sum(widths))
+    for row in rows:
+        out.append("".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    print("\n".join(out), file=sys.stderr)

@@ -1,0 +1,37 @@
+"""Debugging a JNI failure with full program state (paper §2.3, §6.2).
+
+Jinn's exceptions are designed to compose with debuggers: "the programmer
+can inspect the call chain, program state, and other potential causes of
+the failure" — and with a mixed-environment debugger like Blink, "the
+entire program state, including the full calling context consisting of
+both Java and C frames".
+
+:class:`repro.jinn.DebuggerAgent` is that workflow: Jinn detection plus a
+state snapshot at every violation.  This example reruns GNOME bug 576111
+under the debugger and prints the captured post-mortem.
+
+Run:  python examples/debugger_session.py
+"""
+
+from repro import JavaException, JavaVM
+from repro.jinn import DebuggerAgent
+from repro.workloads.casestudies import javagnome_576111
+
+
+def main():
+    agent = DebuggerAgent()
+    vm = JavaVM(agents=[agent])
+    print("running the Java-gnome callback scenario under jinn+debugger...")
+    try:
+        javagnome_576111(vm)
+        print("no failure?!")
+    except JavaException as failure:
+        print("caught: {}\n".format(failure.throwable.describe()))
+    for snapshot in agent.snapshots:
+        print(snapshot.render())
+        print()
+    vm.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Python/C reference-count checking (paper §7, Figure 11).
+
+The ``dangle_bug`` extension builds a list of strings, *borrows* a
+reference to the first element, drops its own reference to the list, and
+then uses the borrowed reference.  The outcome without checking depends
+on whether the interpreter reuses the freed memory; the synthesized
+checker reports the dangling borrow deterministically at the faulting
+API call.
+
+Run:  python examples/python_refcount.py
+"""
+
+from repro.fsm.errors import FFIViolation
+from repro.pyc import InterpreterCrash, PyCChecker, PythonInterpreter
+
+
+def dangle_bug(api, self_obj, args):
+    """Figure 11, line for line."""
+    # Create and delete a list with string elements.
+    pythons = api.Py_BuildValue(
+        "[ssssss]", "Eric", "Graham", "John", "Michael", "Terry", "Terry"
+    )
+    first = api.PyList_GetItem(pythons, 0)  # borrowed from `pythons`
+    print("1. first = {}.".format(api.PyString_AsString(first)))
+    api.Py_DecRef(pythons)
+    # Use dangling reference.
+    print("2. first = {}.".format(api.PyString_AsString(first)))
+    # Return ownership of the Python None object.
+    return api.Py_RETURN_NONE()
+
+
+def run(label: str, *, reuse_memory: bool = False, checked: bool = False):
+    print("== {} ==".format(label))
+    agents = [PyCChecker()] if checked else []
+    interp = PythonInterpreter(reuse_memory=reuse_memory, agents=agents)
+    interp.register_extension("dangle_bug", dangle_bug)
+    try:
+        interp.call_extension("dangle_bug")
+        print("extension returned normally")
+    except InterpreterCrash as crash:
+        print("INTERPRETER CRASH:", crash)
+    except FFIViolation as violation:
+        print("CHECKER:", violation.report())
+    print()
+
+
+def leak_bug(api, self_obj, args):
+    """A co-owned reference that C never releases (leak at exit)."""
+    api.PyString_FromString("kept forever")
+    return api.Py_RETURN_NONE()
+
+
+def show_leak_report():
+    print("== leak detection at interpreter exit ==")
+    checker = PyCChecker()
+    interp = PythonInterpreter(agents=[checker])
+    interp.register_extension("leak_bug", leak_bug)
+    interp.call_extension("leak_bug")
+    for violation in checker.termination_report():
+        print("CHECKER:", violation.report())
+
+
+def main():
+    run("unchecked, allocator does NOT reuse memory (bug appears benign)")
+    run(
+        "unchecked, allocator reuses memory (stale read returns garbage)",
+        reuse_memory=True,
+    )
+    run("with the synthesized Python/C checker", checked=True)
+    show_leak_report()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Quickstart: load Jinn into a JVM and catch your first JNI bug.
+
+A tiny multilingual app: Java calls a native method, and the native code
+forgets that a Java exception is pending before calling back into the
+JVM — pitfall 1 of the JNI manual.  Without Jinn the outcome depends on
+your JVM vendor; with Jinn you get a precise ``JNIAssertionFailure`` at
+the faulting call.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HOTSPOT, J9, JavaException, JavaVM, JinnAgent, render_uncaught
+from repro.jvm import SimulatedCrash
+
+
+def define_app(vm: JavaVM) -> None:
+    """A Java class `App` with a buggy native method."""
+    vm.define_class("App")
+
+    def java_validate(vmach, thread, cls, jstr):
+        # Java-side validation throws on bad input.
+        if len(jstr.value) > 5:
+            vmach.throw_new(
+                thread, "java/lang/IllegalArgumentException", "name too long"
+            )
+        return None
+
+    vm.add_method(
+        "App", "validate", "(Ljava/lang/String;)V", is_static=True, body=java_validate
+    )
+    vm.add_method(
+        "App", "greet", "(Ljava/lang/String;)Ljava/lang/String;",
+        is_static=True, is_native=True,
+    )
+
+    def native_greet(env, clazz, jname):
+        cls = env.FindClass("App")
+        mid = env.GetStaticMethodID(cls, "validate", "(Ljava/lang/String;)V")
+        env.CallStaticVoidMethodA(cls, mid, [jname])  # may throw in Java!
+        # BUG: no ExceptionCheck here.  If validate threw, every JNI call
+        # below runs with an exception pending — undefined behaviour.
+        return env.NewStringUTF("hello")
+
+    vm.register_native(
+        "App", "greet", "(Ljava/lang/String;)Ljava/lang/String;", native_greet
+    )
+
+
+def run(vendor, agents, label):
+    vm = JavaVM(vendor=vendor, agents=list(agents))
+    define_app(vm)
+    print("== {} ==".format(label))
+    try:
+        result = vm.call_static(
+            "App",
+            "greet",
+            "(Ljava/lang/String;)Ljava/lang/String;",
+            vm.new_string("extremely-long-name"),
+        )
+        print("completed silently (undefined state!), result:", result)
+    except SimulatedCrash as crash:
+        print("CRASH:", crash)
+    except JavaException as je:
+        print(render_uncaught(je.throwable))
+    vm.shutdown()
+    print()
+
+
+def main():
+    run(HOTSPOT, [], "production HotSpot (keeps running on corrupt state)")
+    run(J9, [], "production J9 (segfaults without diagnosis)")
+    run(HOTSPOT, [JinnAgent()], "HotSpot + Jinn (-agentlib:jinn)")
+
+
+if __name__ == "__main__":
+    main()

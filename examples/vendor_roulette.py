@@ -1,0 +1,53 @@
+"""Vendor roulette: the same bug, five behaviours (paper Table 1).
+
+Runs every pitfall scenario under all Table 1 configurations and prints
+the outcome matrix — the motivation for Jinn: production JVMs and even
+their built-in ``-Xcheck:jni`` checkers disagree on more than half the
+microbenchmarks, while Jinn reports every one as an exception.
+
+Run:  python examples/vendor_roulette.py
+"""
+
+from repro.workloads.microbench import MICROBENCHMARKS, TABLE1_ROWS, scenario_by_name
+from repro.workloads.outcomes import VALID_REPORTS, run_all_configurations
+
+COLUMNS = ("HotSpot", "J9", "HotSpot-xcheck", "J9-xcheck", "Jinn")
+
+
+def main():
+    header = "{:<4s}{:<38s}".format("#", "JNI pitfall") + "".join(
+        "{:<13s}".format(c) for c in COLUMNS
+    )
+    print(header)
+    print("-" * len(header))
+    for pitfall, description, scenario_name in TABLE1_ROWS:
+        scenario = scenario_by_name(scenario_name)
+        row = run_all_configurations(scenario.run)
+        print(
+            "{:<4d}{:<38s}".format(pitfall, description)
+            + "".join("{:<13s}".format(row[c]) for c in COLUMNS)
+        )
+    print()
+
+    jinn = hotspot = j9 = inconsistent = 0
+    for scenario in MICROBENCHMARKS:
+        row = run_all_configurations(scenario.run)
+        jinn += row["Jinn"] in VALID_REPORTS
+        hotspot += row["HotSpot-xcheck"] in VALID_REPORTS
+        j9 += row["J9-xcheck"] in VALID_REPORTS
+        inconsistent += row["HotSpot-xcheck"] != row["J9-xcheck"]
+    total = len(MICROBENCHMARKS)
+    print(
+        "coverage over the {} microbenchmarks: Jinn {:.0%}, "
+        "HotSpot -Xcheck:jni {:.0%}, J9 -Xcheck:jni {:.0%}".format(
+            total, jinn / total, hotspot / total, j9 / total
+        )
+    )
+    print(
+        "the two -Xcheck:jni implementations behave inconsistently on "
+        "{} of {} microbenchmarks".format(inconsistent, total)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Reproduction of *Jinn: Synthesizing Dynamic Bug Detectors for Foreign
+Language Interfaces* (Lee, Wiedermann, Hirzel, Grimm, McKinley — PLDI
+2010).
+
+Quick tour of the public API::
+
+    from repro import JavaVM, JinnAgent, JavaException
+
+    vm = JavaVM(agents=[JinnAgent()])          # -agentlib:jinn
+    vm.define_class("App")
+    vm.add_method("App", "work", "()V", is_static=True, is_native=True)
+    vm.register_native("App", "work", "()V", my_native_function)
+    try:
+        vm.call_static("App", "work", "()V")
+    except JavaException as je:                # jinn/JNIAssertionFailure
+        print(je.throwable.render_stack_trace())
+
+Packages:
+
+- :mod:`repro.fsm` — the state machine specification framework;
+- :mod:`repro.jvm` — the simulated JVM (heap, GC, threads, vendors, JVMTI);
+- :mod:`repro.jni` — the 229-function JNI layer and ``-Xcheck:jni`` baselines;
+- :mod:`repro.jinn` — the eleven machines, the synthesizer, and the agent;
+- :mod:`repro.pyc` — the Python/C substrate and synthesized checker;
+- :mod:`repro.workloads` — microbenchmarks, case studies, Table 3 workloads.
+"""
+
+from repro.fsm import FFIViolation
+from repro.jinn import JinnAgent, Synthesizer, build_registry, render_uncaught
+from repro.jni import JNIEnv, XCheckAgent
+from repro.jvm import (
+    HOTSPOT,
+    J9,
+    DeadlockError,
+    FatalJNIError,
+    JavaException,
+    JavaVM,
+    SimulatedCrash,
+)
+from repro.pyc import PyCChecker, PythonInterpreter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeadlockError",
+    "FFIViolation",
+    "FatalJNIError",
+    "HOTSPOT",
+    "J9",
+    "JNIEnv",
+    "JavaException",
+    "JavaVM",
+    "JinnAgent",
+    "PyCChecker",
+    "PythonInterpreter",
+    "SimulatedCrash",
+    "Synthesizer",
+    "XCheckAgent",
+    "build_registry",
+    "render_uncaught",
+    "__version__",
+]

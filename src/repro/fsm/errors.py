@@ -1,0 +1,43 @@
+"""Error types shared by all FFI state machines."""
+
+from __future__ import annotations
+
+
+class SpecificationError(Exception):
+    """A state machine specification is malformed.
+
+    Raised at synthesis time (never at program run time), e.g. when a
+    mapping refers to a state transition the machine does not define.
+    """
+
+
+class FFIViolation(Exception):
+    """A program violated an FFI constraint.
+
+    Encodings raise this when a state machine transitions to an error
+    state.  The interposition agent that owns the machine decides how to
+    surface it (Jinn wraps it in a Java ``JNIAssertionFailure``; the
+    Python/C checker reports it directly).
+
+    Attributes:
+        machine: name of the state machine that detected the violation.
+        error_state: name of the error state reached.
+        function: name of the FFI function (or native method) at whose
+            boundary the violation was detected, if known.
+        entity: short description of the offending entity (a reference,
+            a thread, a field ID, ...), if known.
+    """
+
+    def __init__(self, message, *, machine, error_state, function=None, entity=None):
+        super().__init__(message)
+        self.machine = machine
+        self.error_state = error_state
+        self.function = function
+        self.entity = entity
+
+    def report(self):
+        """One-line diagnostic in the style of Jinn's error messages."""
+        where = " in {}".format(self.function) if self.function else ""
+        return "{} [machine={}, state={}]{}".format(
+            self.args[0], self.machine, self.error_state, where
+        )

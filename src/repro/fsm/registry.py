@@ -1,0 +1,63 @@
+"""Registry of state machine specifications.
+
+The synthesizer and the interpretive engine both operate on a registry: an
+ordered collection of validated :class:`StateMachineSpec` instances.  Order
+matters — machines are applied in registration order, which the Jinn specs
+use to check JVM-state constraints (env pointer, exceptions, critical
+sections) before type and resource constraints, as the paper's example in
+Section 4 lists them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.fsm.errors import SpecificationError
+from repro.fsm.machine import StateMachineSpec
+
+
+class SpecRegistry:
+    """Ordered, name-indexed collection of state machine specs."""
+
+    def __init__(self, specs: Optional[List[StateMachineSpec]] = None):
+        self._specs: List[StateMachineSpec] = []
+        self._by_name: Dict[str, StateMachineSpec] = {}
+        for spec in specs or []:
+            self.register(spec)
+
+    def register(self, spec: StateMachineSpec) -> StateMachineSpec:
+        if spec.name in self._by_name:
+            raise SpecificationError("duplicate machine name: " + spec.name)
+        spec.validate()
+        self._specs.append(spec)
+        self._by_name[spec.name] = spec
+        return spec
+
+    def __iter__(self) -> Iterator[StateMachineSpec]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> StateMachineSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SpecificationError("no machine named " + name) from None
+
+    def names(self) -> List[str]:
+        return [spec.name for spec in self._specs]
+
+    def by_class(self, constraint_class: str) -> List[StateMachineSpec]:
+        """Machines in one of the paper's three constraint classes."""
+        return [s for s in self._specs if s.constraint_class == constraint_class]
+
+    def without(self, *names: str) -> "SpecRegistry":
+        """A new registry excluding the named machines (for ablations)."""
+        missing = [n for n in names if n not in self._by_name]
+        if missing:
+            raise SpecificationError("unknown machines: {}".format(missing))
+        return SpecRegistry([s for s in self._specs if s.name not in names])

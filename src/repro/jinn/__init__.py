@@ -1,0 +1,38 @@
+"""Jinn: the synthesized dynamic JNI bug detector.
+
+The paper's primary artifact.  Eleven state machine specifications
+(:mod:`repro.jinn.machines`) are fed through the synthesizer
+(:mod:`repro.jinn.synthesizer`, Algorithm 1) to produce wrapper code;
+the agent (:mod:`repro.jinn.agent`) injects the wrappers into a running
+VM through the tools interface.  Violations surface as Java
+``jinn/JNIAssertionFailure`` exceptions at the exact faulting call.
+"""
+
+from repro.jinn.agent import JinnAgent
+from repro.jinn.catalog import interposition_count, render_catalog
+from repro.jinn.debugger import DebuggerAgent, FailureSnapshot
+from repro.jinn.machines import SPEC_CLASSES, build_registry
+from repro.jinn.reporting import render_uncaught, summarize_violations
+from repro.jinn.runtime import (
+    ASSERTION_FAILURE_CLASS,
+    JinnRuntime,
+    violation_of,
+)
+from repro.jinn.synthesizer import Synthesizer, count_noncomment_lines
+
+__all__ = [
+    "ASSERTION_FAILURE_CLASS",
+    "DebuggerAgent",
+    "FailureSnapshot",
+    "JinnAgent",
+    "interposition_count",
+    "render_catalog",
+    "JinnRuntime",
+    "SPEC_CLASSES",
+    "Synthesizer",
+    "build_registry",
+    "count_noncomment_lines",
+    "render_uncaught",
+    "summarize_violations",
+    "violation_of",
+]

@@ -1,0 +1,223 @@
+"""The Jinn agent: transparent interposition through the tools interface.
+
+The JVM loads the agent at start-up (``JavaVM(agents=[JinnAgent()])`` —
+the simulator's ``-agentlib:jinn``).  The agent then:
+
+1. defines Jinn's custom exception class ``jinn/JNIAssertionFailure``;
+2. at every thread start, swaps the thread's JNI function table for the
+   synthesizer's generated wrappers (composing with whatever table the
+   thread already had, so Jinn stacks with other agents);
+3. at every native-method bind, swaps the implementation for a generated
+   native-method wrapper;
+4. at VM death, asks every resource machine for leaks.
+
+Three modes support the paper's measurements: ``generated`` (full Jinn),
+``interpose`` (empty wrappers — Table 3's framework-overhead column), and
+``interpretive`` (no code generation; every event walks the machine
+specifications — the codegen-vs-interpretation ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.fsm.errors import FFIViolation
+from repro.fsm.events import Direction, EventContext, LanguageEvent
+from repro.fsm.registry import SpecRegistry
+from repro.jinn.machines import build_registry
+from repro.jinn.runtime import ASSERTION_FAILURE_CLASS, JinnRuntime
+from repro.jinn.synthesizer import Synthesizer
+from repro.jni import functions
+from repro.jvm.jvmti import JVMTIAgent
+
+_MODES = ("generated", "interpose", "interpretive")
+
+#: Compiled wrapper-module cache.  Generation is deterministic per
+#: (machine set, mode) — see the property test — so agents for the same
+#: specification reuse one compiled module instead of re-synthesizing at
+#: every VM start.
+_WRAPPER_CACHE = {}
+
+#: Runtime default values per return kind (interpretive mode).
+_DEFAULTS = {
+    "void": None,
+    "jboolean": False,
+    "jint": 0,
+    "jsize": 0,
+    "jlong": 0,
+    "jbyte": 0,
+    "jchar": "\0",
+    "jshort": 0,
+    "jfloat": 0.0,
+    "jdouble": 0.0,
+    "jobjectRefType": 0,
+}
+
+
+class JinnAgent(JVMTIAgent):
+    """Compiler- and VM-independent dynamic JNI bug detector."""
+
+    name = "jinn"
+
+    def __init__(
+        self,
+        registry: Optional[SpecRegistry] = None,
+        *,
+        mode: str = "generated",
+    ):
+        if mode not in _MODES:
+            raise ValueError("mode must be one of {}".format(_MODES))
+        self.registry = registry if registry is not None else build_registry()
+        self.mode = mode
+        self.rt: Optional[JinnRuntime] = None
+        self.vm = None
+        self._build_wrappers = None
+        self._native_factory: Optional[Callable] = None
+        #: Leak violations found at VM death.
+        self.termination_violations: List[FFIViolation] = []
+
+    # ------------------------------------------------------------------
+    # JVMTI hooks
+    # ------------------------------------------------------------------
+
+    def on_load(self, vm) -> None:
+        self.vm = vm
+        if vm.find_class(ASSERTION_FAILURE_CLASS) is None:
+            # An Error, not a RuntimeException: application handlers for
+            # their own exceptions must not swallow Jinn's reports.
+            vm.define_class(ASSERTION_FAILURE_CLASS, superclass="java/lang/Error")
+        self.rt = JinnRuntime(vm, self.registry)
+        if self.mode in ("generated", "interpose"):
+            cache_key = (tuple(self.registry.names()), self.mode)
+            if cache_key not in _WRAPPER_CACHE:
+                synthesizer = Synthesizer(self.registry)
+                _WRAPPER_CACHE[cache_key] = synthesizer.build(
+                    checking=(self.mode == "generated")
+                )
+            self._build_wrappers = _WRAPPER_CACHE[cache_key]
+
+    def on_thread_start(self, vm, thread) -> None:
+        env_machine = self.rt.encodings.get("jnienv_state")
+        if env_machine is not None:  # may be ablated away
+            env_machine.record_thread(thread)
+        env = thread.env
+        if self.mode == "interpretive":
+            env.install_function_table(self._interpretive_table(env))
+            return
+        wrappers, native_factory = self._build_wrappers(
+            self.rt, env.function_table()
+        )
+        env.install_function_table(wrappers)
+        if self._native_factory is None:
+            self._native_factory = native_factory
+
+    def on_native_method_bind(self, vm, method, impl: Callable) -> Callable:
+        if self.mode == "interpretive":
+            return self._interpretive_native(method, impl)
+        if self._native_factory is None:
+            # No thread started yet: build the factory against the raw
+            # table of the (not yet existing) env; the factory itself is
+            # table-independent.
+            _, self._native_factory = self._build_wrappers(self.rt, _raw_stub())
+        return self._native_factory(method.mangled_name(), impl)
+
+    def on_vm_death(self, vm) -> None:
+        self.termination_violations = self.rt.at_termination()
+
+    # ------------------------------------------------------------------
+    # Interpretive mode (ablation: no generated code)
+    # ------------------------------------------------------------------
+
+    def _interpretive_table(self, env) -> Dict[str, Callable]:
+        rt = self.rt
+        encodings = [rt.encodings[spec.name] for spec in self.registry]
+        table = {}
+        for name, raw_fn in env.function_table().items():
+            meta = functions.FUNCTIONS[name]
+            table[name] = self._interp_wrapper(rt, encodings, name, meta, raw_fn)
+        return table
+
+    @staticmethod
+    def _interp_wrapper(rt, encodings, name, meta, raw_fn):
+        default = _DEFAULTS.get(meta.returns)
+
+        def interp(env, *args):
+            thread = rt.vm.current_thread
+            ctx = EventContext(
+                LanguageEvent(Direction.CALL_NATIVE_TO_MANAGED, name),
+                env,
+                thread,
+                args=args,
+                meta=meta,
+            )
+            try:
+                for encoding in encodings:
+                    encoding.on_event(ctx)
+            except FFIViolation as v:
+                return rt.fail(env, v, default)
+            result = raw_fn(env, *args)
+            ctx = EventContext(
+                LanguageEvent(Direction.RETURN_MANAGED_TO_NATIVE, name),
+                env,
+                thread,
+                args=args,
+                result=result,
+                meta=meta,
+            )
+            try:
+                for encoding in encodings:
+                    encoding.on_event(ctx)
+            except FFIViolation as v:
+                rt.fail(env, v)
+            return result
+
+        interp.__name__ = "interp_" + name
+        return interp
+
+    def _interpretive_native(self, method, impl: Callable) -> Callable:
+        rt = self.rt
+        encodings = [rt.encodings[spec.name] for spec in self.registry]
+        method_name = method.mangled_name()
+
+        def interp_native(env, this, *args):
+            thread = rt.vm.current_thread
+            ctx = EventContext(
+                LanguageEvent(
+                    Direction.CALL_MANAGED_TO_NATIVE, method_name, True
+                ),
+                env,
+                thread,
+                args=(this,) + args,
+            )
+            try:
+                for encoding in encodings:
+                    encoding.on_event(ctx)
+            except FFIViolation as v:
+                rt.fail(env, v)
+            result = impl(env, this, *args)
+            ctx = EventContext(
+                LanguageEvent(
+                    Direction.RETURN_NATIVE_TO_MANAGED, method_name, True
+                ),
+                env,
+                thread,
+                args=(this,) + args,
+                result=result,
+            )
+            try:
+                for encoding in encodings:
+                    encoding.on_event(ctx)
+            except FFIViolation as v:
+                rt.fail(env, v)
+            return result
+
+        return interp_native
+
+
+def _raw_stub() -> Dict[str, Callable]:
+    """A placeholder raw table for factory-only builds."""
+
+    def missing(env, *args):
+        raise RuntimeError("raw stub called")
+
+    return {name: missing for name in functions.FUNCTIONS}

@@ -1,0 +1,65 @@
+"""The state machine catalog: a textual rendering of Figures 6-8.
+
+``render_catalog`` prints, for each machine, what the paper's figures
+tabulate — observed entity, errors discovered, state transitions, and the
+mapping from state transitions to language transitions — plus the derived
+interposition counts of Table 2.  Useful as living documentation: the
+output is generated from the same specifications the synthesizer
+consumes, so it cannot drift from the implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.fsm.registry import SpecRegistry
+from repro.jinn.machines import build_registry
+from repro.jni import functions
+
+_CLASS_TITLES = {
+    "jvm-state": "JVM state constraints (Figure 6)",
+    "type": "Type constraints (Figure 7)",
+    "resource": "Resource constraints (Figure 8)",
+}
+
+
+def interposition_count(spec, function_table=None) -> int:
+    """How many JNI functions this machine instruments (Table 2's counts)."""
+    table = function_table or functions.FUNCTIONS
+    count = 0
+    for meta in table.values():
+        seen = False
+        for st in spec.state_transitions():
+            for lt in spec.language_transitions_for(st):
+                if lt.functions.matches(meta):
+                    seen = True
+                    break
+            if seen:
+                break
+        if seen:
+            count += 1
+    return count
+
+
+def render_catalog(registry: Optional[SpecRegistry] = None) -> str:
+    """Multi-line catalog of every machine, grouped by constraint class."""
+    registry = registry if registry is not None else build_registry()
+    lines: List[str] = []
+    for constraint_class in ("jvm-state", "type", "resource"):
+        specs = registry.by_class(constraint_class)
+        if not specs:
+            continue
+        title = _CLASS_TITLES.get(constraint_class, constraint_class)
+        lines.append("=" * len(title))
+        lines.append(title)
+        lines.append("=" * len(title))
+        for spec in specs:
+            lines.append("")
+            lines.append(spec.describe())
+            lines.append(
+                "Interposes on {} JNI function(s).".format(
+                    interposition_count(spec)
+                )
+            )
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Debugger integration: full program state at the point of failure.
+
+The paper (§2.3, §6.3) argues Jinn's exceptions compose with debuggers:
+jdb/Eclipse can catch the ``JNIAssertionFailure``, and the Blink
+mixed-environment debugger can present "the entire program state,
+including the full calling context consisting of both Java and C frames".
+
+:class:`DebuggerAgent` is that integration for the simulator: a Jinn
+agent whose runtime snapshots the VM at every violation — the mixed
+Java/native stack, the thread's reference-table statistics, the pending
+exception chain, and heap statistics — so a post-mortem has everything
+Figure 9(c) promises and more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.fsm.errors import FFIViolation
+from repro.jinn.agent import JinnAgent
+from repro.jinn.runtime import JinnRuntime
+
+
+@dataclass
+class FailureSnapshot:
+    """Everything a debugger would show at one violation."""
+
+    violation: FFIViolation
+    thread: str
+    #: Mixed stack, innermost first; native frames marked.
+    frames: List[str] = field(default_factory=list)
+    pending_exceptions: List[str] = field(default_factory=list)
+    live_local_refs: int = 0
+    live_global_refs: int = 0
+    pinned_buffers: int = 0
+    heap_live: int = 0
+    heap_collections: int = 0
+
+    def render(self) -> str:
+        """Blink-style report: diagnosis, then the mixed call stack."""
+        lines = [
+            "=== Jinn failure snapshot ===",
+            self.violation.report(),
+            "thread: " + self.thread,
+            "mixed Java/C calling context:",
+        ]
+        lines.extend("  " + frame for frame in self.frames)
+        if self.pending_exceptions:
+            lines.append("pending exception chain:")
+            lines.extend("  " + e for e in self.pending_exceptions)
+        lines.append(
+            "references: {} local, {} global/weak, {} pinned buffer(s)".format(
+                self.live_local_refs, self.live_global_refs, self.pinned_buffers
+            )
+        )
+        lines.append(
+            "heap: {} live objects, {} collection(s)".format(
+                self.heap_live, self.heap_collections
+            )
+        )
+        return "\n".join(lines)
+
+
+class _SnapshottingRuntime(JinnRuntime):
+    """A JinnRuntime that captures a snapshot on every failure."""
+
+    def __init__(self, vm, registry, sink: List[FailureSnapshot]):
+        super().__init__(vm, registry)
+        self._sink = sink
+
+    def fail(self, env, violation, default=None):
+        self._sink.append(_capture(self.vm, env, violation))
+        return super().fail(env, violation, default)
+
+
+class DebuggerAgent(JinnAgent):
+    """Jinn with an attached debugger: Jinn detection + state capture.
+
+    Use exactly like :class:`JinnAgent`; inspect ``agent.snapshots``
+    after the run (or in an exception handler) for the captured states.
+    """
+
+    name = "jinn+debugger"
+
+    def __init__(self, registry=None, *, mode: str = "generated"):
+        super().__init__(registry, mode=mode)
+        self.snapshots: List[FailureSnapshot] = []
+
+    def on_load(self, vm) -> None:
+        super().on_load(vm)
+        # Swap in the snapshotting runtime, re-using the validated
+        # registry the base class installed.
+        self.rt = _SnapshottingRuntime(vm, self.registry, self.snapshots)
+
+    def last_snapshot(self) -> Optional[FailureSnapshot]:
+        return self.snapshots[-1] if self.snapshots else None
+
+
+def _capture(vm, env, violation: FFIViolation) -> FailureSnapshot:
+    thread = vm.current_thread
+    frames = []
+    for frame in thread.stack_snapshot():
+        frames.append(frame.render().strip())
+    if violation.function:
+        frames.insert(0, "at [C] {} (JNI function)".format(violation.function))
+    pending = []
+    cursor = thread.pending_exception
+    while cursor is not None:
+        pending.append(cursor.describe())
+        cursor = cursor.cause
+    stats = vm.heap.statistics()
+    snapshot = FailureSnapshot(
+        violation=violation,
+        thread=thread.describe(),
+        frames=frames,
+        pending_exceptions=pending,
+        heap_live=stats["live"],
+        heap_collections=stats["collections"],
+    )
+    if thread.env is not None:
+        snapshot.live_local_refs = thread.env.refs.live_local_count()
+        snapshot.pinned_buffers = len(thread.env.pinned)
+    snapshot.live_global_refs = len(vm.global_refs.globals) + len(
+        vm.global_refs.weaks
+    )
+    return snapshot

@@ -1,0 +1,47 @@
+"""Rendering Jinn failures the way Figure 9(c) shows them.
+
+When a ``jinn/JNIAssertionFailure`` goes uncaught, the output names the
+violated constraint and the faulting JNI call, shows the full Java
+calling context, and chains causes down to the original program
+exception — the property the paper contrasts against HotSpot's
+context-free warnings and J9's aborts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.jinn.runtime import ASSERTION_FAILURE_CLASS, violation_of
+from repro.jvm.exceptions import JThrowable
+
+
+def render_uncaught(throwable: JThrowable, thread_name: str = "main") -> str:
+    """Multi-line report for an uncaught throwable, JVM style."""
+    lines: List[str] = [
+        'Exception in thread "{}" {}'.format(thread_name, throwable.describe())
+    ]
+    if throwable.jclass.name == ASSERTION_FAILURE_CLASS:
+        lines.append("\tat jinn.JNIAssertionFailure.assertFail")
+    lines.extend(frame.render() for frame in throwable.stack_trace)
+    cause = throwable.cause
+    shown = len(throwable.stack_trace)
+    while cause is not None:
+        lines.append("Caused by: " + cause.describe())
+        if cause.jclass.name == ASSERTION_FAILURE_CLASS:
+            lines.append("\t... {} more".format(max(shown, 1)))
+        else:
+            lines.extend(frame.render() for frame in cause.stack_trace)
+        cause = cause.cause
+    return "\n".join(lines)
+
+
+def summarize_violations(throwable: JThrowable) -> List[str]:
+    """One line per violation along the throwable's cause chain."""
+    summaries: List[str] = []
+    current = throwable
+    while current is not None:
+        violation = violation_of(current)
+        if violation is not None:
+            summaries.append(violation.report())
+        current = current.cause
+    return summaries

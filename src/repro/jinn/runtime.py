@@ -1,0 +1,86 @@
+"""Jinn's runtime: encoding instances and the failure protocol.
+
+The generated wrappers (and the interpretive engine) call semantic
+methods on ``rt.<machine_name>``; when a machine reaches an error state it
+raises :class:`~repro.fsm.errors.FFIViolation`, and the wrapper hands it
+to :meth:`JinnRuntime.fail`, which converts it into a pending Java
+``jinn/JNIAssertionFailure`` — cause-chained onto whatever exception was
+already pending, which is how Figure 9's ``Caused by:`` chain arises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.fsm.errors import FFIViolation
+from repro.fsm.registry import SpecRegistry
+
+#: Internal class name of Jinn's custom exception.
+ASSERTION_FAILURE_CLASS = "jinn/JNIAssertionFailure"
+
+#: Field slot used to attach the FFIViolation to the Java throwable.
+VIOLATION_SLOT = ("jinn$violation", "X")
+
+
+class JinnRuntime:
+    """Holds one encoding per machine plus violation bookkeeping."""
+
+    def __init__(self, vm, registry: SpecRegistry):
+        self.vm = vm
+        self.registry = registry
+        self.encodings: Dict[str, object] = {}
+        for spec in registry:
+            encoding = spec.make_encoding(vm)
+            self.encodings[spec.name] = encoding
+            setattr(self, spec.name, encoding)
+        #: Every violation detected, in order (including termination leaks).
+        self.violations: List[FFIViolation] = []
+
+    def fail(self, env, violation: FFIViolation, default=None):
+        """Record a violation and pend a ``JNIAssertionFailure``.
+
+        Returns ``default`` so a generated wrapper can skip the raw call
+        and hand back the type's zero value — Jinn prevents the
+        undefined behaviour instead of merely observing it.
+        """
+        self.violations.append(violation)
+        vm = self.vm
+        thread = vm.current_thread
+        cause = thread.pending_exception
+        throwable = vm.new_throwable(
+            ASSERTION_FAILURE_CLASS, violation.args[0], cause
+        )
+        throwable.fill_in_stack_trace(thread.stack_snapshot())
+        throwable.fields[VIOLATION_SLOT] = violation
+        thread.pending_exception = throwable
+        vm.log("jinn: " + violation.report())
+        return default
+
+    def at_termination(self) -> List[FFIViolation]:
+        """Collect leak violations from every encoding at VM death."""
+        found: List[FFIViolation] = []
+        for spec in self.registry:
+            encoding = self.encodings[spec.name]
+            for message in encoding.at_termination():
+                leak = FFIViolation(
+                    message,
+                    machine=spec.name,
+                    error_state="Error: leak",
+                    function="VM shutdown",
+                )
+                self.violations.append(leak)
+                self.vm.log("jinn: " + leak.report())
+                found.append(leak)
+        return found
+
+    def reset(self) -> None:
+        for encoding in self.encodings.values():
+            encoding.reset()
+        self.violations.clear()
+
+
+def violation_of(throwable) -> Optional[FFIViolation]:
+    """Extract the FFIViolation attached to a JNIAssertionFailure."""
+    if throwable is None:
+        return None
+    return throwable.fields.get(VIOLATION_SLOT)

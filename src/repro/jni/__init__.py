@@ -1,0 +1,40 @@
+"""The JNI layer: function metadata, the raw JNIEnv, and baselines.
+
+``repro.jni.functions`` is the static fact base covering all 229 JNI 1.6
+interface functions; ``repro.jni.env`` is the unchecked per-thread
+environment native code calls into; ``repro.jni.xcheck`` reproduces the
+inconsistent built-in ``-Xcheck:jni`` checkers of HotSpot and J9.
+"""
+
+from repro.jni import functions
+from repro.jni.env import (
+    JNI_ABORT,
+    JNI_COMMIT,
+    JNIEnv,
+    JNIGlobalRefType,
+    JNIInvalidRefType,
+    JNILocalRefType,
+    JNIWeakGlobalRefType,
+)
+from repro.jni.refs import GlobalRefRegistry, LocalFrame, RefTables
+from repro.jni.types import JFieldID, JMethodID, JRef, NativeBuffer
+from repro.jni.xcheck import XCheckAgent
+
+__all__ = [
+    "JNIEnv",
+    "JNI_ABORT",
+    "JNI_COMMIT",
+    "JNIGlobalRefType",
+    "JNIInvalidRefType",
+    "JNILocalRefType",
+    "JNIWeakGlobalRefType",
+    "GlobalRefRegistry",
+    "JFieldID",
+    "JMethodID",
+    "JRef",
+    "LocalFrame",
+    "NativeBuffer",
+    "RefTables",
+    "XCheckAgent",
+    "functions",
+]

@@ -1,0 +1,207 @@
+"""JNI reference tables: local frames, global and weak-global references.
+
+This is the *JVM-internal* bookkeeping for references — the machinery a
+real JVM maintains regardless of any checking.  Local references live in
+frames: the native bridge pushes an implicit frame (default capacity 16,
+the JNI-guaranteed minimum) around every native method invocation, and
+``PushLocalFrame`` / ``PopLocalFrame`` manage explicit nested frames.
+Popping a frame kills every reference it owns, which is how dangling local
+references come to exist.
+
+Note the raw tables do not *check* anything: misuse outcomes are decided
+by vendor policy in :mod:`repro.jni.env`, and principled detection is the
+job of Jinn's own, independent encodings (:mod:`repro.jinn.machines`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.jni.types import JRef
+from repro.jvm.model import JObject
+
+
+class LocalFrame:
+    """One local-reference frame.
+
+    ``implicit`` frames are created by the native bridge on entry to a
+    native method; explicit frames come from ``PushLocalFrame``.
+    ``capacity`` is advisory in the raw layer — real JVMs typically keep
+    working past it (the spec calls overflow undefined), so the frame just
+    records that it overflowed.
+    """
+
+    __slots__ = ("capacity", "refs", "implicit", "overflowed")
+
+    def __init__(self, capacity: int, implicit: bool):
+        self.capacity = capacity
+        self.refs: List[JRef] = []
+        self.implicit = implicit
+        self.overflowed = False
+
+    @property
+    def live_count(self) -> int:
+        return len(self.refs)
+
+    def add(self, ref: JRef) -> None:
+        self.refs.append(ref)
+        if len(self.refs) > self.capacity:
+            self.overflowed = True
+
+    def kill_all(self) -> None:
+        for ref in self.refs:
+            ref.alive = False
+        self.refs.clear()
+
+
+class GlobalRefRegistry:
+    """VM-wide global and weak-global references.
+
+    Unlike local references, global references are valid across JNI
+    calls *and threads* (paper Figure 8), so their table belongs to the
+    VM, not to any single JNIEnv.
+    """
+
+    def __init__(self):
+        self.globals: List[JRef] = []
+        self.weaks: List[JRef] = []
+
+    def new_global(self, obj: Optional[JObject]) -> Optional[JRef]:
+        if obj is None:
+            return None
+        ref = JRef("global", obj)
+        self.globals.append(ref)
+        return ref
+
+    def delete_global(self, ref: JRef) -> str:
+        if not ref.alive:
+            return "double_free"
+        if ref in self.globals:
+            self.globals.remove(ref)
+            ref.alive = False
+            return "ok"
+        return "foreign"
+
+    def new_weak(self, obj: Optional[JObject]) -> Optional[JRef]:
+        if obj is None:
+            return None
+        ref = JRef("weak", obj)
+        self.weaks.append(ref)
+        return ref
+
+    def delete_weak(self, ref: JRef) -> str:
+        if not ref.alive:
+            return "double_free"
+        if ref in self.weaks:
+            self.weaks.remove(ref)
+            ref.alive = False
+            return "ok"
+        return "foreign"
+
+    def gc_roots(self) -> List[JObject]:
+        return [ref.target for ref in self.globals if ref.target is not None]
+
+    def weak_slots(self) -> List[JRef]:
+        return list(self.weaks)
+
+    def leak_descriptions(self) -> List[str]:
+        leaks = ["leaked " + ref.describe() for ref in self.globals]
+        leaks.extend("leaked " + ref.describe() for ref in self.weaks)
+        return leaks
+
+
+class RefTables:
+    """Local-reference state of one JNIEnv (i.e., one thread)."""
+
+    def __init__(self, default_capacity: int = 16):
+        self.default_capacity = default_capacity
+        self.frames: List[LocalFrame] = []
+        #: Number of local-frame overflow events (spec-undefined states).
+        self.overflow_events = 0
+        #: Running time series of live local-reference counts, appended
+        #: after every acquire/release when ``record_history`` is set.
+        #: Figure 10's data source.
+        self.record_history = False
+        self.history: List[int] = []
+
+    # -- frames ------------------------------------------------------------
+
+    def push_frame(self, capacity: Optional[int] = None, *, implicit: bool = False):
+        frame = LocalFrame(capacity or self.default_capacity, implicit)
+        self.frames.append(frame)
+        return frame
+
+    def pop_frame(self, *, implicit: bool = False) -> int:
+        """Pop one frame (or everything down to the implicit barrier).
+
+        When ``implicit`` is set the native method is returning: every
+        explicit frame left above the barrier is leaked and popped too.
+        Returns the number of such leaked frames.
+        """
+        leaked = 0
+        if implicit:
+            while self.frames and not self.frames[-1].implicit:
+                self._pop_one()
+                leaked += 1
+            if self.frames:
+                self._pop_one()
+        else:
+            if not self.frames:
+                return 0
+            self._pop_one()
+        return leaked
+
+    def _pop_one(self) -> None:
+        frame = self.frames.pop()
+        if frame.overflowed:
+            self.overflow_events += 1
+        frame.kill_all()
+        self._note_history()
+
+    def current_frame(self) -> Optional[LocalFrame]:
+        return self.frames[-1] if self.frames else None
+
+    # -- local references ----------------------------------------------------
+
+    def new_local(self, obj: Optional[JObject], thread) -> Optional[JRef]:
+        """Create a local reference in the current frame (None for null)."""
+        if obj is None:
+            return None
+        frame = self.current_frame()
+        if frame is None:
+            # Native code running with no frame (detached misuse): give it
+            # an implicit catch-all frame rather than crash the simulator.
+            frame = self.push_frame(implicit=True)
+        ref = JRef("local", obj, owner_thread=thread)
+        frame.add(ref)
+        self._note_history()
+        return ref
+
+    def delete_local(self, ref: JRef) -> str:
+        """Delete a local ref; returns "ok", "double_free", or "foreign"."""
+        if not ref.alive:
+            return "double_free"
+        for frame in reversed(self.frames):
+            if ref in frame.refs:
+                frame.refs.remove(ref)
+                ref.alive = False
+                self._note_history()
+                return "ok"
+        return "foreign"
+
+    def live_local_count(self) -> int:
+        return sum(frame.live_count for frame in self.frames)
+
+    # -- GC integration ---------------------------------------------------------
+
+    def gc_roots(self) -> List[JObject]:
+        roots: List[JObject] = []
+        for frame in self.frames:
+            roots.extend(ref.target for ref in frame.refs if ref.target is not None)
+        return roots
+
+    # -- accounting ----------------------------------------------------------
+
+    def _note_history(self) -> None:
+        if self.record_history:
+            self.history.append(self.live_local_count())

@@ -1,0 +1,296 @@
+"""Built-in ``-Xcheck:jni`` runtime checking, HotSpot- and J9-style.
+
+These are the paper's baselines (Table 1 columns six and seven; the
+"Runtime checking" column of Table 3).  Each vendor ships a *different,
+incomplete* checker: which misuse kinds it detects and whether it warns or
+aborts come from the vendor personality
+(:class:`repro.jvm.vendors.VendorSpec`), and the diagnostic text follows
+the vendor's house style — compare Figure 9's HotSpot ``WARNING in native
+method`` lines against J9's ``JVMJNCK028E`` error codes.
+
+The agent interposes exactly like Jinn does — through the JVMTI analogue's
+function-table and native-bind hooks — but its per-call analysis is the
+shallow kind real ``-Xcheck:jni`` implementations perform: no synthesized
+state machines, just direct inspection of handles and thread state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.jni import functions
+from repro.jni.typecheck import conforms
+from repro.jni.types import JFieldID, JMethodID, JRef, NativeBuffer
+from repro.jvm.errors import FatalJNIError
+from repro.jvm.jvmti import JVMTIAgent
+from repro.jvm.vendors import VendorSpec
+
+
+class XCheckAgent(JVMTIAgent):
+    """One vendor's built-in JNI checker."""
+
+    def __init__(self, vendor: VendorSpec):
+        self.vendor = vendor
+        self.name = "{}-Xcheck:jni".format(vendor.name)
+        self.vm = None
+        #: Expected env per thread id (HotSpot's env-mismatch check).
+        self._expected_env: Dict[int, object] = {}
+        #: Count of valid reports produced (coverage accounting).
+        self.reports = 0
+
+    # -- JVMTI hooks ------------------------------------------------------
+
+    def on_load(self, vm) -> None:
+        self.vm = vm
+
+    def on_thread_start(self, vm, thread) -> None:
+        self._expected_env[thread.thread_id] = thread.env
+        table = thread.env.function_table()
+        wrapped = {
+            name: self._wrap(name, fn, functions.FUNCTIONS[name])
+            for name, fn in table.items()
+        }
+        thread.env.install_function_table(wrapped)
+
+    def on_native_method_bind(self, vm, method, impl: Callable) -> Callable:
+        if not self.vendor.checks("local_leaked_frame"):
+            return impl
+
+        def checked_native(env, this, *args):
+            frames_before = len(env.refs.frames)
+            result = impl(env, this, *args)
+            explicit = sum(
+                1 for f in env.refs.frames[frames_before:] if not f.implicit
+            )
+            if explicit:
+                self._report(
+                    "local_leaked_frame",
+                    "{} returned with {} unpopped local frame(s)".format(
+                        method.describe(), explicit
+                    ),
+                    method.mangled_name(),
+                )
+            return result
+
+        return checked_native
+
+    def on_vm_death(self, vm) -> None:
+        if self.vendor.checks("pinned_leak"):
+            for thread in vm.threads:
+                env = thread.env
+                if env is not None and env.pinned:
+                    self._report(
+                        "pinned_leak",
+                        "{} pinned resource(s) never released".format(
+                            len(env.pinned)
+                        ),
+                        "VM shutdown",
+                    )
+
+    # -- per-call checking ---------------------------------------------------
+
+    def _wrap(self, name: str, fn: Callable, meta: functions.FunctionMeta):
+        def checked(env, *args):
+            self._check_call(env, meta, args)
+            result = fn(env, *args)
+            self._check_return(env, meta, result)
+            return result
+
+        checked.__name__ = "xcheck_" + name
+        return checked
+
+    def _check_call(self, env, meta: functions.FunctionMeta, args) -> None:
+        vendor = self.vendor
+        if vendor.checks("env_mismatch"):
+            expected = self._expected_env.get(self.vm.current_thread.thread_id)
+            if expected is not None and expected is not env:
+                self._report(
+                    "env_mismatch",
+                    "JNIEnv does not belong to the current thread",
+                    meta.name,
+                )
+        if (
+            vendor.checks("pending_exception")
+            and env.thread.pending_exception is not None
+            and not meta.exception_oblivious
+        ):
+            self._report(
+                "pending_exception",
+                "JNI call made with exception pending",
+                meta.name,
+            )
+        if (
+            vendor.checks("critical_violation")
+            and env.thread.in_critical_section()
+            and not meta.critical_safe
+        ):
+            self._report(
+                "critical_violation",
+                "JNI call made while holding a critical resource",
+                meta.name,
+            )
+        if vendor.checks("fixed_type_confusion"):
+            self._check_fixed_types(env, meta, args)
+        self._check_references(env, meta, args)
+        if vendor.checks("pinned_double_free") and meta.releases in (
+            "pinned",
+            "critical",
+        ):
+            for arg in args:
+                if isinstance(arg, NativeBuffer) and arg.freed:
+                    self._report(
+                        "pinned_double_free",
+                        "buffer passed to {} was already released".format(
+                            meta.name
+                        ),
+                        meta.name,
+                    )
+
+    def _check_fixed_types(self, env, meta: functions.FunctionMeta, args) -> None:
+        """The shallow handle-kind checks real -Xcheck:jni performs."""
+        for index, p in enumerate(meta.params):
+            if index >= len(args):
+                continue
+            value = args[index]
+            if value is None:
+                continue
+            if p.is_reference and not isinstance(value, JRef):
+                self._report(
+                    "fixed_type_confusion",
+                    "parameter '{}' of {} is not a reference (got {!r})".format(
+                        p.name, meta.name, type(value).__name__
+                    ),
+                    meta.name,
+                )
+                continue
+            if p.is_id and not isinstance(value, (JMethodID, JFieldID)):
+                self._report(
+                    "fixed_type_confusion",
+                    "parameter '{}' of {} is not a method/field ID".format(
+                        p.name, meta.name
+                    ),
+                    meta.name,
+                )
+                continue
+            if p.fixed_type is None or not isinstance(value, JRef):
+                continue
+            target = value.target
+            if target is None:
+                continue
+            if not conforms(env.vm, target, p.fixed_type):
+                self._report(
+                    "fixed_type_confusion",
+                    "parameter '{}' of {} is a {} but must be {}".format(
+                        p.name, meta.name, target.jclass.name, p.fixed_type
+                    ),
+                    meta.name,
+                )
+
+    def _check_references(self, env, meta: functions.FunctionMeta, args) -> None:
+        vendor = self.vendor
+        for index in meta.reference_param_indices:
+            if index >= len(args):
+                continue
+            ref = args[index]
+            if not isinstance(ref, JRef):
+                continue
+            if ref.kind == "local" and not ref.alive:
+                if meta.releases == "local":
+                    if vendor.checks("local_double_free"):
+                        self._report(
+                            "local_double_free",
+                            "local reference deleted twice",
+                            meta.name,
+                        )
+                elif vendor.checks("local_dangling"):
+                    self._report(
+                        "local_dangling",
+                        "use of dangling local reference",
+                        meta.name,
+                    )
+            elif ref.kind in ("global", "weak") and not ref.alive:
+                if vendor.checks("global_dangling"):
+                    self._report(
+                        "global_dangling",
+                        "use of deleted {} reference".format(ref.kind),
+                        meta.name,
+                    )
+            elif (
+                ref.kind == "local"
+                and vendor.checks("local_dangling")
+                and ref.owner_thread is not env.thread
+            ):
+                self._report(
+                    "local_dangling",
+                    "local reference used on the wrong thread",
+                    meta.name,
+                )
+
+    def _check_return(self, env, meta: functions.FunctionMeta, result) -> None:
+        if (
+            self.vendor.checks("local_overflow")
+            and meta.returns_reference
+            and isinstance(result, JRef)
+        ):
+            frame = env.refs.current_frame()
+            if frame is not None and frame.live_count > frame.capacity:
+                self._report(
+                    "local_overflow",
+                    "more than {} local references in the current frame".format(
+                        frame.capacity
+                    ),
+                    meta.name,
+                )
+
+    # -- reporting, in vendor house style -------------------------------------
+
+    #: check kind -> production misuse kind the warning defuses.
+    _MISUSE_FOR_CHECK = {
+        "pending_exception": "pending_exception_ignored",
+        "critical_violation": "critical_violation",
+        "env_mismatch": "env_mismatch",
+        "fixed_type_confusion": "fixed_type_confusion",
+        "local_dangling": "local_dangling",
+        "global_dangling": "global_dangling",
+        "pinned_double_free": "pinned_double_free",
+        "local_double_free": "local_double_free",
+        "local_overflow": "local_overflow",
+    }
+
+    def _report(self, check_kind: str, description: str, where: str) -> None:
+        response = self.vendor.check_response(check_kind)
+        self.reports += 1
+        if response == "warning":
+            misuse_kind = self._MISUSE_FOR_CHECK.get(check_kind)
+            env = self.vm.current_thread.env
+            if misuse_kind is not None and env is not None:
+                env.suppressed_misuse.add(misuse_kind)
+        if self.vendor.message_style == "hotspot":
+            lines = ["WARNING in native method: " + description]
+            lines.extend(
+                frame.render() for frame in self.vm.current_thread.stack_snapshot()
+            )
+            message = "\n".join(lines)
+        else:
+            lines = ["JVMJNCK028E JNI error in {}: {}".format(where, description)]
+            frames = self.vm.current_thread.stack_snapshot()
+            if frames:
+                lines.append(
+                    "JVMJNCK077E Error detected in {}.{}()".format(
+                        frames[0].class_name.replace("/", "."),
+                        frames[0].method_name,
+                    )
+                )
+            if response == "error":
+                lines.append("JVMJNCK024E JNI error detected. Aborting.")
+                lines.append(
+                    "JVMJNCK025I Use -Xcheck:jni:nonfatal to continue running "
+                    "when errors are detected."
+                )
+            message = "\n".join(lines)
+        self.vm.log(message)
+        if response == "error":
+            raise FatalJNIError(
+                "{}: {} ({})".format(self.name, description, check_kind),
+                diagnostics=(message,),
+            )

@@ -1,0 +1,48 @@
+"""Simulated JVM substrate.
+
+A pure-Python JVM that exposes everything the paper's tool observes:
+classes, objects, threads, a moving garbage collector, Java exceptions,
+monitors, vendor-specific undefined behaviour, and a JVMTI-style agent
+interface for transparent interposition.
+"""
+
+from repro.jvm.errors import (
+    DeadlockError,
+    FatalJNIError,
+    JavaException,
+    SimulatedCrash,
+    VMShutdownError,
+)
+from repro.jvm.exceptions import JThrowable, StackFrame
+from repro.jvm.heap import Heap
+from repro.jvm.jvmti import AgentHost, JVMTIAgent
+from repro.jvm.machine import JavaVM
+from repro.jvm.model import JArray, JClass, JField, JMethod, JObject, JString, Monitor
+from repro.jvm.threads import JThread
+from repro.jvm.vendors import HOTSPOT, J9, VENDORS, VendorSpec
+
+__all__ = [
+    "AgentHost",
+    "DeadlockError",
+    "FatalJNIError",
+    "HOTSPOT",
+    "Heap",
+    "J9",
+    "JArray",
+    "JClass",
+    "JField",
+    "JMethod",
+    "JObject",
+    "JString",
+    "JThread",
+    "JThrowable",
+    "JVMTIAgent",
+    "JavaException",
+    "JavaVM",
+    "Monitor",
+    "SimulatedCrash",
+    "StackFrame",
+    "VENDORS",
+    "VMShutdownError",
+    "VendorSpec",
+]

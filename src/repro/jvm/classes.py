@@ -1,0 +1,56 @@
+"""Bootstrap class library for the simulated JVM.
+
+A minimal slice of the Java platform: enough of ``java.lang`` for
+exceptions, strings, and reflection handles, plus the collection types the
+paper's running examples use (``java/util/Collections`` etc.).  Workloads
+define further classes with :meth:`repro.jvm.machine.JavaVM.define_class`.
+"""
+
+from __future__ import annotations
+
+#: (class name, superclass name) in definition order; None = no superclass.
+BOOTSTRAP_CLASSES = (
+    ("java/lang/Object", None),
+    ("java/lang/Class", "java/lang/Object"),
+    ("java/lang/String", "java/lang/Object"),
+    ("java/lang/Throwable", "java/lang/Object"),
+    ("java/lang/Error", "java/lang/Throwable"),
+    ("java/lang/OutOfMemoryError", "java/lang/Error"),
+    ("java/lang/NoSuchMethodError", "java/lang/Error"),
+    ("java/lang/NoSuchFieldError", "java/lang/Error"),
+    ("java/lang/Exception", "java/lang/Throwable"),
+    ("java/lang/RuntimeException", "java/lang/Exception"),
+    ("java/lang/NullPointerException", "java/lang/RuntimeException"),
+    ("java/lang/ArithmeticException", "java/lang/RuntimeException"),
+    ("java/lang/IllegalArgumentException", "java/lang/RuntimeException"),
+    ("java/lang/IllegalStateException", "java/lang/RuntimeException"),
+    ("java/lang/IndexOutOfBoundsException", "java/lang/RuntimeException"),
+    ("java/lang/ArrayIndexOutOfBoundsException", "java/lang/IndexOutOfBoundsException"),
+    ("java/lang/ClassNotFoundException", "java/lang/Exception"),
+    ("java/lang/InstantiationException", "java/lang/Exception"),
+    ("java/lang/Thread", "java/lang/Object"),
+    ("java/lang/ClassLoader", "java/lang/Object"),
+    ("java/lang/reflect/AccessibleObject", "java/lang/Object"),
+    ("java/lang/reflect/Method", "java/lang/reflect/AccessibleObject"),
+    ("java/lang/reflect/Constructor", "java/lang/reflect/AccessibleObject"),
+    ("java/lang/reflect/Field", "java/lang/reflect/AccessibleObject"),
+    ("java/lang/Number", "java/lang/Object"),
+    ("java/lang/Integer", "java/lang/Number"),
+    ("java/lang/Long", "java/lang/Number"),
+    ("java/lang/Double", "java/lang/Number"),
+    ("java/lang/Boolean", "java/lang/Object"),
+    ("java/nio/Buffer", "java/lang/Object"),
+    ("java/nio/ByteBuffer", "java/nio/Buffer"),
+    ("java/util/Collection", "java/lang/Object"),
+    ("java/util/List", "java/util/Collection"),
+    ("java/util/ArrayList", "java/util/List"),
+    ("java/util/Comparator", "java/lang/Object"),
+    ("java/util/Collections", "java/lang/Object"),
+)
+
+
+def bootstrap(vm) -> None:
+    """Define the bootstrap classes on a fresh VM."""
+    for name, super_name in BOOTSTRAP_CLASSES:
+        superclass = vm.find_class(super_name) if super_name else None
+        vm.define_class(name, superclass=superclass)

@@ -1,0 +1,61 @@
+"""Failure modes of the simulated JVM.
+
+The JNI specification leaves the consequences of most misuse *undefined*;
+real JVMs crash, keep running on corrupt state, raise unrelated exceptions,
+or deadlock.  These exception types are the simulator's honest analogues of
+those outcomes, and the Table 1 reproduction classifies runs by which of
+them (if any) escaped.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedCrash(Exception):
+    """The JVM aborted without diagnosis (a segfault analogue).
+
+    Corresponds to the "crash" entries of Table 1: the process dies and the
+    programmer gets no hint which JNI call was at fault.
+    """
+
+    def __init__(self, message="JVM crashed (simulated segfault)"):
+        super().__init__(message)
+
+
+class FatalJNIError(Exception):
+    """A built-in ``-Xcheck:jni`` checker printed a diagnosis and aborted.
+
+    Corresponds to the "error" entries of Table 1 (e.g. J9's
+    ``JVMJNCK024E JNI error detected. Aborting.``).
+    """
+
+    def __init__(self, message, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
+class DeadlockError(Exception):
+    """The program reached a state that deadlocks real JVMs.
+
+    Our simulator cannot literally hang, so it detects the hazardous
+    pattern (e.g. calling a critical-section-sensitive JNI function while
+    holding a critical resource, which blocks on a disabled GC) and raises
+    instead.  Corresponds to the "deadlock" entries of Table 1.
+    """
+
+
+class JavaException(Exception):
+    """Carrier for a Java exception propagating out of Java code.
+
+    Holds the throwable *object* (a :class:`repro.jvm.model.JObject` whose
+    class descends from ``java/lang/Throwable``).  Raised into the Python
+    harness when an exception reaches the top of the simulated Java stack,
+    mirroring an uncaught exception terminating a Java thread.
+    """
+
+    def __init__(self, throwable):
+        super().__init__(throwable.describe())
+        self.throwable = throwable
+
+
+class VMShutdownError(Exception):
+    """An operation was attempted on a JVM that has already shut down."""

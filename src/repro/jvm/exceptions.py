@@ -1,0 +1,67 @@
+"""Java-side throwables and stack traces for the simulated JVM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.jvm.model import JClass, JObject
+
+
+@dataclass(frozen=True)
+class StackFrame:
+    """One frame of a Java stack trace, printable like ``Throwable``'s."""
+
+    class_name: str
+    method_name: str
+    location: str = ""
+    is_native: bool = False
+
+    def render(self) -> str:
+        where = "Native Method" if self.is_native else (self.location or "Unknown")
+        return "\tat {}.{}({})".format(
+            self.class_name.replace("/", "."), self.method_name, where
+        )
+
+
+class JThrowable(JObject):
+    """A ``java/lang/Throwable`` instance with message, cause, and trace."""
+
+    __slots__ = ("message", "cause", "stack_trace")
+
+    def __init__(
+        self,
+        jclass: JClass,
+        message: Optional[str] = None,
+        cause: Optional["JThrowable"] = None,
+    ):
+        super().__init__(jclass)
+        self.message = message
+        self.cause = cause
+        self.stack_trace: List[StackFrame] = []
+
+    def fill_in_stack_trace(self, frames: List[StackFrame]) -> None:
+        self.stack_trace = list(frames)
+
+    def describe(self) -> str:
+        name = self.jclass.name.replace("/", ".")
+        if self.message:
+            return "{}: {}".format(name, self.message)
+        return name
+
+    def render_stack_trace(self) -> str:
+        """Multi-line rendering in the JVM's uncaught-exception format."""
+        lines = [self.describe()]
+        lines.extend(frame.render() for frame in self.stack_trace)
+        cause = self.cause
+        while cause is not None:
+            lines.append("Caused by: {}".format(cause.describe()))
+            lines.extend(frame.render() for frame in cause.stack_trace)
+            cause = cause.cause
+        return "\n".join(lines)
+
+    def references(self):
+        refs = super().references()
+        if self.cause is not None:
+            refs.append(self.cause)
+        return refs

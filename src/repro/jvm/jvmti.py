@@ -1,0 +1,65 @@
+"""JVM Tools Interface (JVMTI) analogue.
+
+Jinn's defining practicality claim is that it attaches to *unmodified*
+programs and VMs through vendor-neutral interfaces.  This module provides
+the simulator's equivalent: agents receive lifecycle events and may
+interpose on (a) every thread's JNI function table and (b) every native
+method implementation at bind time.  The VM treats agents as opaque user
+code, exactly as a real JVM treats a JVMTI agent shared object.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+
+class JVMTIAgent:
+    """Base class for tool agents (Jinn, the -Xcheck:jni baselines).
+
+    All callbacks have default no-op implementations so agents override
+    only what they observe.
+    """
+
+    #: Short identifier used in diagnostics.
+    name = "agent"
+
+    def on_load(self, vm) -> None:
+        """The VM loaded the agent, before any thread runs."""
+
+    def on_vm_init(self, vm) -> None:
+        """The VM finished bootstrapping (main thread attached)."""
+
+    def on_thread_start(self, vm, thread) -> None:
+        """A thread attached; its ``thread.env`` exists and may be
+        interposed on via ``thread.env.install_function_table``."""
+
+    def on_thread_end(self, vm, thread) -> None:
+        """A thread is detaching."""
+
+    def on_native_method_bind(self, vm, method, impl: Callable) -> Callable:
+        """A native method is being bound; return ``impl`` or a wrapper.
+
+        This is the JVMTI ``NativeMethodBind`` event Jinn uses to swap in
+        its generated wrapper functions (paper, Figure 3).
+        """
+        return impl
+
+    def on_vm_death(self, vm) -> None:
+        """The VM is shutting down; resource machines report leaks here."""
+
+
+class AgentHost:
+    """Orders and dispatches events to the loaded agents."""
+
+    def __init__(self, agents: List[JVMTIAgent]):
+        self.agents = list(agents)
+
+    def dispatch(self, event: str, *args) -> None:
+        for agent in self.agents:
+            getattr(agent, event)(*args)
+
+    def bind_native(self, vm, method, impl: Callable) -> Callable:
+        """Thread a native implementation through every agent's bind hook."""
+        for agent in self.agents:
+            impl = agent.on_native_method_bind(vm, method, impl)
+        return impl

@@ -1,0 +1,170 @@
+"""Vendor personalities: how production JVMs react to undefined behaviour.
+
+The JNI specification leaves misuse consequences to the vendor, and the
+paper's Table 1 documents that HotSpot and J9 genuinely diverge — one keeps
+running on corrupt state where the other segfaults.  A
+:class:`VendorSpec` encodes those observed reactions as policy, both for
+production runs (``ub_policy``) and for the vendor's built-in
+``-Xcheck:jni`` checker (``xcheck``: which misuse kinds it detects and
+whether it warns or aborts).
+
+The concrete HOTSPOT and J9 specs below are calibrated to reproduce the
+paper's measurements: Table 1's outcome matrix, the 56% / 50% coverage of
+Section 6.3, and the "inconsistent on 9 of 16 microbenchmarks" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+#: Misuse kinds the raw (unchecked) JNI layer can encounter.  Values of
+#: ``ub_policy`` describe the production reaction:
+#: ``running`` — continue on undefined state; ``crash`` — simulated
+#: segfault; ``npe`` — surfaces as a NullPointerException; ``deadlock`` —
+#: the VM hangs (simulated by DeadlockError); ``leak`` — silently retains
+#: the resource.
+MISUSE_KINDS = (
+    "env_mismatch",
+    "pending_exception_ignored",
+    "critical_violation",
+    "fixed_type_confusion",
+    "entity_type_mismatch",
+    "null_argument",
+    "final_field_write",
+    "pinned_double_free",
+    "global_dangling",
+    "local_dangling",
+    "local_double_free",
+    "local_overflow",
+    "unicode_overread",
+)
+
+#: Check kinds a built-in ``-Xcheck:jni`` implementation may perform.
+#: Values of ``xcheck`` are ``warning`` (print and continue) or ``error``
+#: (print and abort).  A kind absent from the map is unchecked — the
+#: production reaction applies even under ``-Xcheck:jni``.
+XCHECK_KINDS = (
+    "env_mismatch",
+    "pending_exception",
+    "critical_violation",
+    "fixed_type_confusion",
+    "local_dangling",
+    "global_dangling",
+    "pinned_double_free",
+    "local_double_free",
+    "local_leaked_frame",
+    "pinned_leak",
+    "local_overflow",
+)
+
+
+@dataclass(frozen=True)
+class VendorSpec:
+    """One JVM vendor's undefined-behaviour and ``-Xcheck:jni`` profile."""
+
+    name: str
+    ub_policy: Mapping[str, str]
+    xcheck: Mapping[str, str]
+    #: Whether GetStringChars buffers happen to carry a trailing NUL
+    #: (pitfall 8: not guaranteed by the specification).
+    nul_terminates_strings: bool
+    #: Prefix style for -Xcheck:jni diagnostics (see Figure 9).
+    message_style: str = "plain"
+
+    def reaction(self, misuse_kind: str) -> str:
+        """Production reaction to one misuse kind."""
+        return self.ub_policy.get(misuse_kind, "running")
+
+    def checks(self, check_kind: str) -> bool:
+        return check_kind in self.xcheck
+
+    def check_response(self, check_kind: str) -> str:
+        return self.xcheck[check_kind]
+
+
+def _frozen(mapping: dict) -> Mapping[str, str]:
+    return MappingProxyType(dict(mapping))
+
+
+#: Sun/Oracle HotSpot personality.  Production HotSpot shrugs off many
+#: protocol violations (wrong env, ignored exceptions, null arguments)
+#: and only dies on genuine memory corruption; its -Xcheck:jni catches a
+#: reference-heavy set of errors and aborts on most of them.
+HOTSPOT = VendorSpec(
+    name="HotSpot",
+    ub_policy=_frozen(
+        {
+            "env_mismatch": "running",
+            "pending_exception_ignored": "running",
+            "critical_violation": "deadlock",
+            "fixed_type_confusion": "crash",
+            "entity_type_mismatch": "running",
+            "null_argument": "running",
+            "final_field_write": "npe",
+            "pinned_double_free": "crash",
+            "global_dangling": "crash",
+            "local_dangling": "crash",
+            "local_double_free": "crash",
+            "local_overflow": "leak",
+            "unicode_overread": "running",
+        }
+    ),
+    xcheck=_frozen(
+        {
+            "env_mismatch": "error",
+            "pending_exception": "warning",
+            "critical_violation": "warning",
+            "fixed_type_confusion": "error",
+            "local_dangling": "error",
+            "global_dangling": "error",
+            "pinned_double_free": "error",
+            "local_double_free": "error",
+            "local_leaked_frame": "warning",
+        }
+    ),
+    nul_terminates_strings=True,
+    message_style="hotspot",
+)
+
+#: IBM J9 personality.  Production J9 crashes where HotSpot keeps running
+#: (wrong env, ignored exceptions, bad arguments); its -Xcheck:jni favours
+#: resource accounting (leak warnings at termination, local-reference
+#: overflow warnings) but misses the env-mismatch check entirely.
+J9 = VendorSpec(
+    name="J9",
+    ub_policy=_frozen(
+        {
+            "env_mismatch": "crash",
+            "pending_exception_ignored": "crash",
+            "critical_violation": "deadlock",
+            "fixed_type_confusion": "crash",
+            "entity_type_mismatch": "crash",
+            "null_argument": "crash",
+            "final_field_write": "npe",
+            "pinned_double_free": "crash",
+            "global_dangling": "crash",
+            "local_dangling": "crash",
+            "local_double_free": "crash",
+            "local_overflow": "leak",
+            "unicode_overread": "npe",
+        }
+    ),
+    xcheck=_frozen(
+        {
+            "pending_exception": "error",
+            "critical_violation": "error",
+            "fixed_type_confusion": "error",
+            "local_dangling": "error",
+            "global_dangling": "error",
+            "local_double_free": "error",
+            "pinned_leak": "warning",
+            "local_overflow": "warning",
+        }
+    ),
+    nul_terminates_strings=False,
+    message_style="j9",
+)
+
+VENDORS = {spec.name: spec for spec in (HOTSPOT, J9)}

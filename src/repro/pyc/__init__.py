@@ -1,0 +1,24 @@
+"""Python/C FFI substrate and synthesized checker (paper Section 7)."""
+
+from repro.pyc.api import PyCApi
+from repro.pyc.checker import PyCChecker, PyCRuntime
+from repro.pyc.interp import PythonException, PythonInterpreter
+from repro.pyc.machines import build_pyc_registry
+from repro.pyc.objects import GARBAGE, Allocator, InterpreterCrash, PyObj
+from repro.pyc.spec import PY_FUNCTIONS, PyFunctionMeta, census
+
+__all__ = [
+    "Allocator",
+    "GARBAGE",
+    "InterpreterCrash",
+    "PY_FUNCTIONS",
+    "PyCApi",
+    "PyCChecker",
+    "PyCRuntime",
+    "PyFunctionMeta",
+    "PyObj",
+    "PythonException",
+    "PythonInterpreter",
+    "build_pyc_registry",
+    "census",
+]

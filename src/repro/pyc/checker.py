@@ -1,0 +1,97 @@
+"""The synthesized Python/C dynamic checker (paper §7.2).
+
+Structurally identical to Jinn: the same synthesizer (Algorithm 1)
+consumes the Python/C machine specifications and generates wrappers for
+every API function plus a factory for extension-function wrappers.  The
+differences the paper discusses are reflected here: there is no JVMTI
+analogue, so the checker is "statically linked" — handed to the
+interpreter at construction — and reference-count macros are functions
+(``Py_IncRef``/``Py_DecRef``) so interposition can see them.
+
+On a violation the checker *raises* — the C caller is stopped at the
+exact faulting call, and the harness observes an
+:class:`~repro.fsm.errors.FFIViolation`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.fsm.errors import FFIViolation
+from repro.fsm.registry import SpecRegistry
+from repro.jinn.synthesizer import Synthesizer
+from repro.pyc.machines import build_pyc_registry
+from repro.pyc.spec import PY_FUNCTIONS
+
+
+class PyCRuntime:
+    """Encoding instances plus the (raising) failure protocol."""
+
+    def __init__(self, interp, registry: SpecRegistry):
+        self.interp = interp
+        self.registry = registry
+        self.encodings: Dict[str, object] = {}
+        for spec in registry:
+            encoding = spec.make_encoding(interp)
+            self.encodings[spec.name] = encoding
+            setattr(self, spec.name, encoding)
+        self.violations: List[FFIViolation] = []
+
+    def fail(self, api, violation: FFIViolation, default=None):
+        """Record and re-raise: the Python/C checker stops the program."""
+        self.violations.append(violation)
+        self.interp.log("pyc-checker: " + violation.report())
+        raise violation
+
+    def at_termination(self) -> List[FFIViolation]:
+        found: List[FFIViolation] = []
+        for spec in self.registry:
+            for message in self.encodings[spec.name].at_termination():
+                leak = FFIViolation(
+                    message,
+                    machine=spec.name,
+                    error_state="Error: leak",
+                    function="interpreter exit",
+                )
+                self.violations.append(leak)
+                self.interp.log("pyc-checker: " + leak.report())
+                found.append(leak)
+        return found
+
+    def reset(self) -> None:
+        for encoding in self.encodings.values():
+            encoding.reset()
+        self.violations.clear()
+
+
+class PyCChecker:
+    """Bind-time interposer handed to :class:`PythonInterpreter`."""
+
+    def __init__(self, registry: Optional[SpecRegistry] = None):
+        self.registry = registry if registry is not None else build_pyc_registry()
+        self.rt: Optional[PyCRuntime] = None
+        self._native_factory: Optional[Callable] = None
+
+    def on_api_created(self, interp, api) -> None:
+        self.rt = PyCRuntime(interp, self.registry)
+        synthesizer = Synthesizer(self.registry, function_table=PY_FUNCTIONS)
+        build_wrappers = synthesizer.build()
+        wrappers, native_factory = build_wrappers(self.rt, api.function_table())
+        api.install_function_table(wrappers)
+        self._native_factory = native_factory
+
+    def on_extension_bind(self, interp, name: str, impl: Callable) -> Callable:
+        if self._native_factory is None:
+            return impl
+        wrapped = self._native_factory(name, impl)
+
+        def extension_entry(api, self_obj, args_tuple):
+            # The factory's wrapper signature is (env, this, *args).
+            return wrapped(api, self_obj, args_tuple)
+
+        return extension_entry
+
+    def termination_report(self) -> List[FFIViolation]:
+        if self.rt is None:
+            return []
+        return self.rt.at_termination()

@@ -1,0 +1,140 @@
+"""The simulated Python interpreter (the managed side of Python/C).
+
+Owns the allocator, the singletons, the per-interpreter exception slot,
+the Global Interpreter Lock, and the registry of C extension functions.
+``call_extension`` is the language transition from Python into C: it
+builds the argument tuple, transfers the GIL, invokes the (possibly
+checker-wrapped) extension, and propagates any pending exception when the
+extension returns — mirroring the JNI native bridge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.pyc.objects import Allocator, InterpreterCrash, PyObj
+
+
+class PythonException(Exception):
+    """A Python-level exception propagating out of the interpreter."""
+
+    def __init__(self, exc_type: str, message: str):
+        super().__init__("{}: {}".format(exc_type, message))
+        self.exc_type = exc_type
+        self.message = message
+
+
+class PythonInterpreter:
+    """One interpreter instance.
+
+    Args:
+        reuse_memory: whether freed object memory is immediately reused
+            (making dangling-reference reads return garbage rather than
+            stale-but-plausible values).
+        agents: bind-time interposers; each has
+            ``on_extension_bind(interp, name, impl) -> impl`` and
+            ``on_api_created(interp, api)`` hooks (the Python/C analogue
+            of JVMTI, implemented here by static linking as §7.2 notes
+            CPython requires).
+    """
+
+    def __init__(self, *, reuse_memory: bool = False, agents=()):
+        self.allocator = Allocator(reuse_memory)
+        self.agents = list(agents)
+        #: (exc_type, message) or None — the pending-exception slot.
+        self.exc_info: Optional[Tuple[str, str]] = None
+        #: Name of the thread holding the GIL, or None.
+        self.gil_holder: Optional[str] = "main"
+        self.current_thread = "main"
+        self.extensions: Dict[str, Callable] = {}
+        self.transition_count = 0
+        self.diagnostics: List[str] = []
+
+        self.none = self.allocator.new("NoneType", None)
+        self.true = self.allocator.new("bool", True)
+        self.false = self.allocator.new("bool", False)
+        # Singletons are immortal.
+        for singleton in (self.none, self.true, self.false):
+            singleton.ob_refcnt = 1 << 30
+
+        from repro.pyc.api import PyCApi
+
+        self.api = PyCApi(self)
+        for agent in self.agents:
+            agent.on_api_created(self, self.api)
+
+    # -- allocation helpers (interpreter-internal, no API dispatch) -----------
+
+    def new_str(self, value: str) -> PyObj:
+        return self.allocator.new("str", value)
+
+    def new_int(self, value: int) -> PyObj:
+        return self.allocator.new("int", value)
+
+    def new_float(self, value: float) -> PyObj:
+        return self.allocator.new("float", value)
+
+    def new_list(self, items) -> PyObj:
+        return self.allocator.new("list", list(items))
+
+    def new_tuple(self, items) -> PyObj:
+        return self.allocator.new("tuple", list(items))
+
+    def new_dict(self) -> PyObj:
+        return self.allocator.new("dict", {})
+
+    # -- exceptions ------------------------------------------------------
+
+    def set_exception(self, exc_type: str, message: str) -> None:
+        self.exc_info = (exc_type, message)
+
+    def clear_exception(self) -> None:
+        self.exc_info = None
+
+    # -- extensions (the FFI boundary) ----------------------------------------
+
+    def register_extension(self, name: str, impl: Callable) -> None:
+        """Bind a C extension function; agents may wrap it here."""
+        for agent in self.agents:
+            impl = agent.on_extension_bind(self, name, impl)
+        self.extensions[name] = impl
+
+    def call_extension(self, name: str, *py_args: PyObj) -> Optional[PyObj]:
+        """Invoke an extension from Python (Call:Python->C ...
+        Return:C->Python)."""
+        impl = self.extensions[name]
+        args_tuple = self.new_tuple(list(py_args))
+        for arg in py_args:
+            arg.incref()
+        self.transition_count += 1
+        try:
+            result = impl(self.api, None, args_tuple)
+        finally:
+            self.transition_count += 1
+            for arg in py_args:
+                if not arg.freed:
+                    arg.decref()
+            if not args_tuple.freed:
+                args_tuple.decref()
+        if self.exc_info is not None:
+            exc_type, message = self.exc_info
+            self.clear_exception()
+            raise PythonException(exc_type, message)
+        if result is None:
+            raise InterpreterCrash(
+                "extension {} returned NULL without setting an exception".format(
+                    name
+                )
+            )
+        return result
+
+    def shutdown_leaks(self) -> List[str]:
+        """Objects still co-owned by C at interpreter exit."""
+        leaks = []
+        for obj in self.allocator.live_objects():
+            if obj.ob_refcnt > 0 and obj.ob_refcnt < (1 << 29):
+                leaks.append("live at exit: " + obj.describe())
+        return leaks
+
+    def log(self, message: str) -> None:
+        self.diagnostics.append(message)

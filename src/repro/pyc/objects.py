@@ -1,0 +1,111 @@
+"""Simulated CPython object world with real reference counting.
+
+A :class:`PyObj` carries ``ob_refcnt`` exactly like a ``PyObject*``.
+When the count reaches zero the object is deallocated: children are
+decref'd and the memory is marked freed.  What a *subsequent access*
+observes is interpreter-dependent (paper §7.2: "behavior depends on
+whether the interpreter reuses the memory for first"), so the allocator
+takes a ``reuse_memory`` knob — with reuse off, stale reads appear to
+work; with reuse on, they return garbage.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+_serials = itertools.count(1)
+
+#: Payload shown by stale reads when the allocator reuses memory.
+GARBAGE = "\x7f<garbage>"
+
+
+class InterpreterCrash(Exception):
+    """The CPython process died (segfault analogue)."""
+
+
+class PyObj:
+    """One heap object of the simulated interpreter."""
+
+    __slots__ = ("type_name", "value", "ob_refcnt", "freed", "serial", "allocator")
+
+    def __init__(self, allocator: "Allocator", type_name: str, value):
+        self.allocator = allocator
+        self.type_name = type_name
+        self.value = value
+        self.ob_refcnt = 1
+        self.freed = False
+        self.serial = next(_serials)
+
+    # -- reference counting ---------------------------------------------------
+
+    def incref(self) -> None:
+        if self.freed:
+            # Incrementing a freed object's count corrupts the heap.
+            raise InterpreterCrash(
+                "Py_INCREF on freed object #{}".format(self.serial)
+            )
+        self.ob_refcnt += 1
+
+    def decref(self) -> None:
+        if self.freed:
+            raise InterpreterCrash(
+                "Py_DECREF on freed object #{}".format(self.serial)
+            )
+        self.ob_refcnt -= 1
+        if self.ob_refcnt <= 0:
+            self._dealloc()
+
+    def _dealloc(self) -> None:
+        children: List[PyObj] = []
+        if isinstance(self.value, list):
+            children = [v for v in self.value if isinstance(v, PyObj)]
+        elif isinstance(self.value, dict):
+            children = [v for v in self.value.values() if isinstance(v, PyObj)]
+        self.freed = True
+        if self.allocator.reuse_memory:
+            self.value = GARBAGE
+        self.allocator.note_freed(self)
+        for child in children:
+            if not child.freed:
+                child.decref()
+
+    # -- access -----------------------------------------------------------
+
+    def read(self):
+        """Read the payload as C code dereferencing the struct would.
+
+        A freed object still *reads* — the essence of the dangling
+        reference hazard: whether you get the stale value or garbage
+        depends on the allocator.
+        """
+        return self.value
+
+    def describe(self) -> str:
+        state = " (freed)" if self.freed else ""
+        return "<{} #{} refcnt={}{}>".format(
+            self.type_name, self.serial, self.ob_refcnt, state
+        )
+
+
+class Allocator:
+    """Tracks allocations for leak accounting and memory-reuse policy."""
+
+    def __init__(self, reuse_memory: bool = False):
+        self.reuse_memory = reuse_memory
+        self.allocated = 0
+        self.freed = 0
+        self.live: dict = {}
+
+    def new(self, type_name: str, value) -> PyObj:
+        obj = PyObj(self, type_name, value)
+        self.allocated += 1
+        self.live[obj.serial] = obj
+        return obj
+
+    def note_freed(self, obj: PyObj) -> None:
+        self.freed += 1
+        self.live.pop(obj.serial, None)
+
+    def live_objects(self) -> List[PyObj]:
+        return list(self.live.values())

@@ -1,0 +1,49 @@
+"""Workloads: microbenchmarks, case studies, and synthetic benchmarks."""
+
+from repro.workloads.casestudies import (
+    CASE_STUDIES,
+    CaseStudy,
+    local_ref_time_series,
+)
+from repro.workloads.dacapo import (
+    BENCHMARK_NAMES,
+    PAPER_OVERHEADS,
+    PAPER_TRANSITIONS,
+    measure_overheads,
+    run_workload,
+)
+from repro.workloads.microbench import (
+    EXTRA_SCENARIOS,
+    MICROBENCHMARKS,
+    TABLE1_ROWS,
+    Scenario,
+    scenario_by_name,
+)
+from repro.workloads.outcomes import (
+    CONFIGURATIONS,
+    VALID_REPORTS,
+    RunResult,
+    run_all_configurations,
+    run_scenario,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "CASE_STUDIES",
+    "CONFIGURATIONS",
+    "CaseStudy",
+    "EXTRA_SCENARIOS",
+    "MICROBENCHMARKS",
+    "PAPER_OVERHEADS",
+    "PAPER_TRANSITIONS",
+    "RunResult",
+    "Scenario",
+    "TABLE1_ROWS",
+    "VALID_REPORTS",
+    "local_ref_time_series",
+    "measure_overheads",
+    "run_all_configurations",
+    "run_scenario",
+    "run_workload",
+    "scenario_by_name",
+]

@@ -1,0 +1,344 @@
+"""Re-creations of the paper's open-source case studies (§6.4).
+
+Each case study reproduces the *bug pattern* Jinn found in the wild:
+
+- **Subversion** (JavaHL binding): two local-reference overflows
+  (``Outputer.cpp:99``, ``InfoCallback.cpp:144``) and a dangling local
+  reference used by the ``JNIStringHolder`` C++ destructor
+  (``CopySources.cpp``).
+- **Java-gnome**: the nullness bug first reported by the Blink debugger,
+  and GNOME bug 576111 — a local reference stored in a C callback
+  structure and used after its frame died (the paper's running example,
+  Figure 1).
+- **Eclipse 3.4 SWT**: an entity-specific typing violation in
+  ``callback.c:698`` — the receiver class does not itself declare the
+  static method its ``jmethodID`` names (an inner-class/superclass mix-up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.jvm import JavaVM
+
+# ----------------------------------------------------------------------
+# Subversion
+# ----------------------------------------------------------------------
+
+
+def _define_info_entries(vm: JavaVM, count: int) -> None:
+    vm.define_class("org/tigris/subversion/Info")
+    vm.add_field("org/tigris/subversion/Info", "count", "I", is_static=True)
+    vm.require_class("org/tigris/subversion/Info").find_field(
+        "count", "I"
+    ).static_value = count
+
+
+def make_subversion_outputer(entries: int = 20, *, fixed: bool = False):
+    """Outputer.cpp: one ``makeJString`` per repository-info entry.
+
+    The original misses a ``DeleteLocalRef``, so the implicit frame fills
+    past its 16-slot capacity; the fix deletes each string after use and
+    the live count never exceeds a handful (paper Figure 10).
+    """
+
+    def scenario(vm: JavaVM) -> None:
+        _define_info_entries(vm, entries)
+        vm.define_class("Outputer")
+        vm.add_method("Outputer", "output", "()V", is_static=True, is_native=True)
+
+        def native_output(env, clazz):
+            info_cls = env.FindClass("org/tigris/subversion/Info")
+            fid = env.GetStaticFieldID(info_cls, "count", "I")
+            count = env.GetStaticIntField(info_cls, fid)
+            for i in range(count):
+                jreport_uuid = env.NewStringUTF("uuid-{:04d}".format(i))
+                env.GetStringUTFLength(jreport_uuid)
+                if fixed:
+                    env.DeleteLocalRef(jreport_uuid)
+                    if env.ExceptionCheck():
+                        return None
+
+        vm.register_native("Outputer", "output", "()V", native_output)
+        vm.call_static("Outputer", "output", "()V")
+
+    return scenario
+
+
+def make_subversion_infocallback(entries: int = 24, *, fixed: bool = False):
+    """InfoCallback.cpp: the second overflow site — two locals per entry."""
+
+    def scenario(vm: JavaVM) -> None:
+        _define_info_entries(vm, entries)
+        vm.define_class("InfoCallback")
+        vm.add_method(
+            "InfoCallback", "singleInfo", "()V", is_static=True, is_native=True
+        )
+
+        def native_single_info(env, clazz):
+            info_cls = env.FindClass("org/tigris/subversion/Info")
+            fid = env.GetStaticFieldID(info_cls, "count", "I")
+            count = env.GetStaticIntField(info_cls, fid)
+            if fixed:
+                env.PushLocalFrame(4)
+            for i in range(count):
+                jpath = env.NewStringUTF("/repo/path/{}".format(i))
+                jurl = env.NewStringUTF("https://svn/{}".format(i))
+                env.IsSameObject(jpath, jurl)
+                if fixed:
+                    env.DeleteLocalRef(jpath)
+                    env.DeleteLocalRef(jurl)
+            if fixed:
+                env.PopLocalFrame(None)
+
+        vm.register_native("InfoCallback", "singleInfo", "()V", native_single_info)
+        vm.call_static("InfoCallback", "singleInfo", "()V")
+
+    return scenario
+
+
+def subversion_stringholder(vm: JavaVM) -> None:
+    """CopySources.cpp: the JNIStringHolder destructor uses a dead ref.
+
+    The holder's constructor stores the ``jpath`` local reference; the
+    program then deletes it explicitly; when the C++ block exits, the
+    destructor calls ``ReleaseStringUTFChars(m_jtext, m_str)`` on the
+    dangling reference — invisible control flow the destructor obscures.
+    """
+    vm.define_class("CopySources")
+    vm.add_method(
+        "CopySources",
+        "copy",
+        "(Ljava/lang/String;)V",
+        is_static=True,
+        is_native=True,
+    )
+
+    def native_copy(env, clazz, jpath):
+        holder = {
+            "m_jtext": jpath,  # JNIStringHolder constructor
+            "m_str": env.GetStringUTFChars(jpath),
+        }
+        env.DeleteLocalRef(jpath)
+        # C++ scope exit: ~JNIStringHolder() runs against the dead ref.
+        if holder["m_jtext"] is not None and holder["m_str"] is not None:
+            env.ReleaseStringUTFChars(holder["m_jtext"], holder["m_str"])
+
+    vm.register_native(
+        "CopySources", "copy", "(Ljava/lang/String;)V", native_copy
+    )
+    vm.call_static(
+        "CopySources", "copy", "(Ljava/lang/String;)V", vm.new_string("/trunk/a")
+    )
+
+
+# ----------------------------------------------------------------------
+# Java-gnome
+# ----------------------------------------------------------------------
+
+
+def javagnome_nullness(vm: JavaVM) -> None:
+    """The nullness bug the Blink debugger reported (paper §6.4.2)."""
+    vm.define_class("org/gnome/gtk/Plumbing")
+    vm.add_method(
+        "org/gnome/gtk/Plumbing", "connect", "()V", is_static=True, is_native=True
+    )
+
+    def native_connect(env, clazz):
+        cls = env.FindClass("org/gnome/gtk/Plumbing")
+        # GetStaticMethodID fails (wrong signature) and returns NULL,
+        # which the code passes along unchecked.
+        mid = env.GetStaticMethodID(cls, "handleSignal", "(I)V")
+        env.ExceptionClear()
+        env.CallStaticVoidMethodA(cls, mid, [0])
+
+    vm.register_native("org/gnome/gtk/Plumbing", "connect", "()V", native_connect)
+    vm.call_static("org/gnome/gtk/Plumbing", "connect", "()V")
+
+
+def javagnome_576111(vm: JavaVM) -> None:
+    """GNOME bug 576111 (paper Figure 1): the escaping local receiver.
+
+    ``Java_Callback_bind`` stores its ``receiver`` parameter — a local
+    reference — into a heap-allocated callback record.  When the GTK
+    event fires, ``binding_java_signal.c:348`` calls
+    ``CallStaticVoidMethodA(env, bjc->receiver, bjc->method, jargs)``
+    through the now-dangling reference.
+    """
+    vm.define_class("Callback")
+
+    def java_on_event(vmach, thread, cls, event_code):
+        return None
+
+    vm.add_method("Callback", "onEvent", "(I)V", is_static=True, body=java_on_event)
+    vm.add_method(
+        "Callback",
+        "bind",
+        "(Ljava/lang/Class;Ljava/lang/String;Ljava/lang/String;)V",
+        is_static=True,
+        is_native=True,
+    )
+    vm.add_method("Callback", "fire", "()V", is_static=True, is_native=True)
+    event_callback = {}
+
+    def native_bind(env, clazz, receiver, name, desc):
+        # create_event_callback(): a C heap record.
+        event_callback["receiver"] = receiver  # BUG: local ref escapes
+        name_chars = env.GetStringUTFChars(name)
+        desc_chars = env.GetStringUTFChars(desc)
+        method_name = "".join(name_chars.data)
+        method_desc = "".join(desc_chars.data)
+        env.ReleaseStringUTFChars(name, name_chars)
+        env.ReleaseStringUTFChars(desc, desc_chars)
+        event_callback["mid"] = env.GetStaticMethodID(
+            receiver, method_name, method_desc
+        )
+
+    def native_fire(env, clazz):
+        # marshal_event(): builds jargs, then the dangling call.
+        jargs = [7]
+        env.CallStaticVoidMethodA(
+            env_receiver(), event_callback["mid"], jargs
+        )
+
+    def env_receiver():
+        return event_callback["receiver"]
+
+    vm.register_native(
+        "Callback",
+        "bind",
+        "(Ljava/lang/Class;Ljava/lang/String;Ljava/lang/String;)V",
+        native_bind,
+    )
+    vm.register_native("Callback", "fire", "()V", native_fire)
+    callback_cls = vm.require_class("Callback")
+    vm.call_static(
+        "Callback",
+        "bind",
+        "(Ljava/lang/Class;Ljava/lang/String;Ljava/lang/String;)V",
+        vm.class_object_of(callback_cls),
+        vm.new_string("onEvent"),
+        vm.new_string("(I)V"),
+    )
+    vm.call_static("Callback", "fire", "()V")
+
+
+# ----------------------------------------------------------------------
+# Eclipse SWT
+# ----------------------------------------------------------------------
+
+
+def eclipse_swt_entity_typing(vm: JavaVM) -> None:
+    """callback.c:698 — the receiver class does not declare the method.
+
+    The static method the ``jmethodID`` names is declared by the
+    superclass; dynamic callback control passes the inner subclass's
+    class object.  Production JVMs may never use the ``object`` value, so
+    the bug survived multiple revisions; Jinn's entity-specific typing
+    machine flags it.
+    """
+    vm.define_class("org/eclipse/swt/Display")
+
+    def java_handler(vmach, thread, cls, value):
+        return None
+
+    vm.add_method(
+        "org/eclipse/swt/Display",
+        "windowProc",
+        "(I)V",
+        is_static=True,
+        body=java_handler,
+    )
+    vm.define_class(
+        "org/eclipse/swt/Display$Inner", superclass="org/eclipse/swt/Display"
+    )
+    vm.define_class("Callback")
+    vm.add_method("Callback", "invoke", "()V", is_static=True, is_native=True)
+
+    def native_invoke(env, clazz):
+        display_cls = env.FindClass("org/eclipse/swt/Display")
+        mid = env.GetStaticMethodID(display_cls, "windowProc", "(I)V")
+        inner_cls = env.FindClass("org/eclipse/swt/Display$Inner")
+        # BUG: Inner does not itself declare windowProc.
+        env.CallStaticVoidMethodV(inner_cls, mid, [5])
+
+    vm.register_native("Callback", "invoke", "()V", native_invoke)
+    vm.call_static("Callback", "invoke", "()V")
+
+
+# ----------------------------------------------------------------------
+# Registry and Figure 10 instrumentation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    """One §6.4 finding: the program, and what Jinn should report."""
+
+    name: str
+    program: str  # Subversion / Java-gnome / Eclipse
+    run: Callable[[JavaVM], None]
+    machine: str
+    error_kind: str
+
+
+CASE_STUDIES: Tuple[CaseStudy, ...] = (
+    CaseStudy(
+        "outputer-overflow",
+        "Subversion",
+        make_subversion_outputer(),
+        "local_ref",
+        "overflow",
+    ),
+    CaseStudy(
+        "infocallback-overflow",
+        "Subversion",
+        make_subversion_infocallback(),
+        "local_ref",
+        "overflow",
+    ),
+    CaseStudy(
+        "stringholder-dangling",
+        "Subversion",
+        subversion_stringholder,
+        "local_ref",
+        "dangling",
+    ),
+    CaseStudy(
+        "blink-nullness",
+        "Java-gnome",
+        javagnome_nullness,
+        "nullness",
+        "null",
+    ),
+    CaseStudy(
+        "bug-576111-dangling",
+        "Java-gnome",
+        javagnome_576111,
+        "local_ref",
+        "dangling",
+    ),
+    CaseStudy(
+        "swt-entity-typing",
+        "Eclipse",
+        eclipse_swt_entity_typing,
+        "entity_typing",
+        "mismatch",
+    ),
+)
+
+
+def local_ref_time_series(*, fixed: bool, entries: int = 20) -> List[int]:
+    """Figure 10's data: live local references over time, Outputer.
+
+    Runs the Subversion Outputer scenario on a production VM with the
+    reference tables' history recording enabled and returns the series
+    of live local-reference counts after each acquire/release.
+    """
+    vm = JavaVM()
+    vm.main_thread.env.refs.record_history = True
+    make_subversion_outputer(entries, fixed=fixed)(vm)
+    history = list(vm.main_thread.env.refs.history)
+    vm.shutdown()
+    return history

@@ -1,0 +1,469 @@
+"""The 16 JNI microbenchmarks (paper §6.1).
+
+Each microbenchmark is a small multilingual program designed to drive one
+of the error states of the eleven state machines (16 error states in
+total across Figures 6-8).  Two extra Table 1 scenarios round out the
+pitfall rows: ``id_confusion`` (pitfall 6, a second face of the
+fixed-typing machine) and ``unicode_string`` (pitfall 8, the one bug no
+language-boundary checker can see).
+
+Every scenario is a plain function ``scenario(vm)`` that defines its
+classes and native methods on a fresh VM and then runs the buggy program,
+letting whatever happens propagate to the caller
+(:func:`repro.workloads.outcomes.run_scenario` classifies it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.jvm import JavaVM
+
+# ----------------------------------------------------------------------
+# JVM state constraints
+# ----------------------------------------------------------------------
+
+
+def env_mismatch(vm: JavaVM) -> None:
+    """Machine 1 / pitfall 14: using the JNIEnv across threads."""
+    vm.define_class("EnvMismatch")
+    vm.add_method("EnvMismatch", "capture", "()V", is_static=True, is_native=True)
+    vm.add_method("EnvMismatch", "use", "()V", is_static=True, is_native=True)
+    stash = {}
+
+    def native_capture(env, clazz):
+        stash["env"] = env  # a C global holding the main thread's env
+
+    def native_use(env, clazz):
+        wrong_env = stash["env"]
+        # BUG: worker thread calls through the main thread's JNIEnv.
+        wrong_env.FindClass("java/lang/Object")
+
+    vm.register_native("EnvMismatch", "capture", "()V", native_capture)
+    vm.register_native("EnvMismatch", "use", "()V", native_use)
+    vm.call_static("EnvMismatch", "capture", "()V")
+    worker = vm.attach_thread("worker")
+    with vm.run_on_thread(worker):
+        vm.call_static("EnvMismatch", "use", "()V")
+
+
+def exception_state(vm: JavaVM) -> None:
+    """Machine 2 / pitfall 1: ignoring a pending exception (Figure 9)."""
+    vm.define_class("ExceptionState")
+
+    def java_foo(vmach, thread, cls):
+        vmach.throw_new(thread, "java/lang/RuntimeException", "checked by native code")
+
+    vm.add_method("ExceptionState", "foo", "()V", is_static=True, body=java_foo)
+    vm.add_method("ExceptionState", "call", "()V", is_static=True, is_native=True)
+
+    def native_call(env, clazz):
+        cls = env.FindClass("ExceptionState")
+        mid = env.GetStaticMethodID(cls, "foo", "()V")
+        env.CallStaticVoidMethodA(cls, mid, [])  # throws in Java
+        # BUG: the pending exception is ignored; two more JNI calls follow.
+        mid2 = env.GetStaticMethodID(cls, "foo", "()V")
+        env.CallStaticVoidMethodA(cls, mid2 or mid, [])
+
+    vm.register_native("ExceptionState", "call", "()V", native_call)
+
+    def java_main(vmach, thread, cls):
+        from repro.jvm.errors import JavaException
+
+        try:
+            vmach.call_static("ExceptionState", "call", "()V")
+        except JavaException as je:
+            # The application handles its own RuntimeException; anything
+            # else (a crash, Jinn's JNIAssertionFailure) propagates.
+            runtime_exc = vmach.require_class("java/lang/RuntimeException")
+            if je.throwable.jclass.is_subclass_of(runtime_exc):
+                return None
+            raise
+
+    vm.add_method("ExceptionState", "main", "()V", is_static=True, body=java_main)
+    vm.call_static("ExceptionState", "main", "()V")
+
+
+def critical_state(vm: JavaVM) -> None:
+    """Machine 3 / pitfall 16: JNI call inside a critical section."""
+    vm.define_class("CriticalState")
+    vm.add_method("CriticalState", "run", "()V", is_static=True, is_native=True)
+
+    def native_run(env, clazz):
+        arr = env.NewIntArray(8)
+        carray = env.GetPrimitiveArrayCritical(arr)
+        # BUG: a critical-section-sensitive call while holding carray.
+        env.FindClass("java/lang/String")
+        env.ReleasePrimitiveArrayCritical(arr, carray, 0)
+
+    vm.register_native("CriticalState", "run", "()V", native_run)
+    vm.call_static("CriticalState", "run", "()V")
+
+
+# ----------------------------------------------------------------------
+# Type constraints
+# ----------------------------------------------------------------------
+
+
+def fixed_typing(vm: JavaVM) -> None:
+    """Machine 4 / pitfall 3: confusing jclass with jobject."""
+    vm.define_class("FixedTyping")
+    vm.add_method("FixedTyping", "run", "()V", is_static=True, is_native=True)
+
+    def native_run(env, clazz):
+        object_cls = env.FindClass("java/lang/Object")
+        instance = env.AllocObject(object_cls)
+        # BUG: an instance passed where GetStaticMethodID expects a jclass.
+        env.GetStaticMethodID(instance, "toString", "()Ljava/lang/String;")
+
+    vm.register_native("FixedTyping", "run", "()V", native_run)
+    vm.call_static("FixedTyping", "run", "()V")
+
+
+def id_confusion(vm: JavaVM) -> None:
+    """Pitfall 6 (extra Table 1 scenario): ID passed as a reference."""
+    vm.define_class("IdConfusion")
+
+    def java_noop(vmach, thread, cls):
+        return None
+
+    vm.add_method("IdConfusion", "noop", "()V", is_static=True, body=java_noop)
+    vm.add_method("IdConfusion", "run", "()V", is_static=True, is_native=True)
+
+    def native_run(env, clazz):
+        cls = env.FindClass("IdConfusion")
+        mid = env.GetStaticMethodID(cls, "noop", "()V")
+        # BUG: a jmethodID passed where GetObjectClass expects a jobject.
+        env.GetObjectClass(mid)
+
+    vm.register_native("IdConfusion", "run", "()V", native_run)
+    vm.call_static("IdConfusion", "run", "()V")
+
+
+def entity_typing(vm: JavaVM) -> None:
+    """Machine 5 / pitfall 2: actuals violate the method ID's formals."""
+    vm.define_class("EntityTyping")
+
+    def java_takes_int(vmach, thread, cls, *args):
+        return None  # tolerant body: production VMs may call it anyway
+
+    vm.add_method(
+        "EntityTyping", "takesInt", "(I)V", is_static=True, body=java_takes_int
+    )
+    vm.add_method("EntityTyping", "run", "()V", is_static=True, is_native=True)
+
+    def native_run(env, clazz):
+        cls = env.FindClass("EntityTyping")
+        mid = env.GetStaticMethodID(cls, "takesInt", "(I)V")
+        jstr = env.NewStringUTF("not an int")
+        # BUG: a string and an extra argument for a (I)V method.
+        env.CallStaticVoidMethodA(cls, mid, [jstr, 42])
+
+    vm.register_native("EntityTyping", "run", "()V", native_run)
+    vm.call_static("EntityTyping", "run", "()V")
+
+
+def access_control(vm: JavaVM) -> None:
+    """Machine 6 / pitfall 9: writing a final field."""
+    vm.define_class("AccessControl")
+    vm.add_field(
+        "AccessControl", "LIMIT", "I", is_static=True, is_final=True
+    )
+    vm.add_method("AccessControl", "run", "()V", is_static=True, is_native=True)
+
+    def native_run(env, clazz):
+        cls = env.FindClass("AccessControl")
+        fid = env.GetStaticFieldID(cls, "LIMIT", "I")
+        # BUG: assignment to a final field.
+        env.SetStaticIntField(cls, fid, 42)
+
+    vm.register_native("AccessControl", "run", "()V", native_run)
+    vm.call_static("AccessControl", "run", "()V")
+
+
+def nullness(vm: JavaVM) -> None:
+    """Machine 7 / pitfall 2: null method ID passed to a Call function."""
+    vm.define_class("Nullness")
+    vm.add_method("Nullness", "run", "()V", is_static=True, is_native=True)
+
+    def native_run(env, clazz):
+        cls = env.FindClass("Nullness")
+        # BUG: GetStaticMethodID failed (no such method) and returned
+        # NULL; the code does not check and calls through it anyway.
+        mid = env.GetStaticMethodID(cls, "doesNotExist", "()V")
+        env.ExceptionClear()
+        env.CallStaticVoidMethodA(cls, mid, [])
+
+    vm.register_native("Nullness", "run", "()V", native_run)
+    vm.call_static("Nullness", "run", "()V")
+
+
+# ----------------------------------------------------------------------
+# Resource constraints
+# ----------------------------------------------------------------------
+
+
+def pinned_leak(vm: JavaVM) -> None:
+    """Machine 8 / pitfall 11: string chars acquired, never released."""
+    vm.define_class("PinnedLeak")
+    vm.add_method("PinnedLeak", "run", "()V", is_static=True, is_native=True)
+
+    def native_run(env, clazz):
+        jstr = env.NewStringUTF("retained")
+        env.GetStringUTFChars(jstr)
+        # BUG: no ReleaseStringUTFChars — the buffer stays pinned forever.
+
+    vm.register_native("PinnedLeak", "run", "()V", native_run)
+    vm.call_static("PinnedLeak", "run", "()V")
+
+
+def pinned_double_free(vm: JavaVM) -> None:
+    """Machine 8: releasing array elements twice."""
+    vm.define_class("PinnedDoubleFree")
+    vm.add_method("PinnedDoubleFree", "run", "()V", is_static=True, is_native=True)
+
+    def native_run(env, clazz):
+        arr = env.NewIntArray(4)
+        elems = env.GetIntArrayElements(arr)
+        env.ReleaseIntArrayElements(arr, elems, 0)
+        # BUG: the same buffer released a second time.
+        env.ReleaseIntArrayElements(arr, elems, 0)
+
+    vm.register_native("PinnedDoubleFree", "run", "()V", native_run)
+    vm.call_static("PinnedDoubleFree", "run", "()V")
+
+
+def monitor_leak(vm: JavaVM) -> None:
+    """Machine 9: a monitor entered through JNI and never exited."""
+    vm.define_class("MonitorLeak")
+    vm.add_field("MonitorLeak", "lock", "Ljava/lang/Object;", is_static=True)
+    lock_obj = vm.new_object("java/lang/Object")
+    vm.require_class("MonitorLeak").find_field(
+        "lock", "Ljava/lang/Object;"
+    ).static_value = lock_obj
+    vm.add_method("MonitorLeak", "run", "()V", is_static=True, is_native=True)
+
+    def native_run(env, clazz):
+        cls = env.FindClass("MonitorLeak")
+        fid = env.GetStaticFieldID(cls, "lock", "Ljava/lang/Object;")
+        lock = env.GetStaticObjectField(cls, fid)
+        env.MonitorEnter(lock)
+        # BUG: early return path misses MonitorExit — deadlock risk.
+
+    vm.register_native("MonitorLeak", "run", "()V", native_run)
+    vm.call_static("MonitorLeak", "run", "()V")
+
+
+def global_leak(vm: JavaVM) -> None:
+    """Machine 10: a global reference that is never deleted."""
+    vm.define_class("GlobalLeak")
+    vm.add_method("GlobalLeak", "run", "()V", is_static=True, is_native=True)
+
+    def native_run(env, clazz):
+        obj = env.AllocObject(env.FindClass("java/lang/Object"))
+        env.NewGlobalRef(obj)
+        # BUG: the global reference escapes and is never released.
+
+    vm.register_native("GlobalLeak", "run", "()V", native_run)
+    vm.call_static("GlobalLeak", "run", "()V")
+
+
+def global_dangling(vm: JavaVM) -> None:
+    """Machine 10: use of a deleted global reference."""
+    vm.define_class("GlobalDangling")
+    vm.add_method("GlobalDangling", "run", "()V", is_static=True, is_native=True)
+
+    def native_run(env, clazz):
+        obj = env.AllocObject(env.FindClass("java/lang/Object"))
+        g = env.NewGlobalRef(obj)
+        env.DeleteGlobalRef(g)
+        # BUG: g is dangling now.
+        env.GetObjectClass(g)
+
+    vm.register_native("GlobalDangling", "run", "()V", native_run)
+    vm.call_static("GlobalDangling", "run", "()V")
+
+
+def local_overflow(vm: JavaVM) -> None:
+    """Machine 11 / pitfall 12: more than 16 locals without a frame."""
+    vm.define_class("LocalOverflow")
+    vm.add_method("LocalOverflow", "run", "()V", is_static=True, is_native=True)
+
+    def native_run(env, clazz):
+        for i in range(20):
+            # BUG: 20 local references without EnsureLocalCapacity.
+            env.NewStringUTF("local-{}".format(i))
+
+    vm.register_native("LocalOverflow", "run", "()V", native_run)
+    vm.call_static("LocalOverflow", "run", "()V")
+
+
+def local_leaked_frame(vm: JavaVM) -> None:
+    """Machine 11: PushLocalFrame without a matching PopLocalFrame."""
+    vm.define_class("LeakedFrame")
+    vm.add_method("LeakedFrame", "run", "()V", is_static=True, is_native=True)
+
+    def native_run(env, clazz):
+        env.PushLocalFrame(8)
+        env.NewStringUTF("inside the frame")
+        # BUG: returns to Java with the explicit frame still pushed.
+
+    vm.register_native("LeakedFrame", "run", "()V", native_run)
+    vm.call_static("LeakedFrame", "run", "()V")
+
+
+def local_dangling(vm: JavaVM) -> None:
+    """Machine 11 / pitfall 13: the GNOME 576111 pattern (Figure 1)."""
+    vm.define_class("LocalDangling")
+    vm.add_method(
+        "LocalDangling",
+        "bind",
+        "(Ljava/lang/Object;)V",
+        is_static=True,
+        is_native=True,
+    )
+    vm.add_method("LocalDangling", "fire", "()V", is_static=True, is_native=True)
+    callback_record = {}
+
+    def native_bind(env, clazz, receiver):
+        # BUG: a local reference stored into a C heap structure.
+        callback_record["receiver"] = receiver
+
+    def native_fire(env, clazz):
+        # The reference died when bind returned; this use dangles.
+        env.GetObjectClass(callback_record["receiver"])
+
+    vm.register_native(
+        "LocalDangling", "bind", "(Ljava/lang/Object;)V", native_bind
+    )
+    vm.register_native("LocalDangling", "fire", "()V", native_fire)
+    vm.call_static(
+        "LocalDangling",
+        "bind",
+        "(Ljava/lang/Object;)V",
+        vm.new_object("java/lang/Object"),
+    )
+    vm.call_static("LocalDangling", "fire", "()V")
+
+
+def local_double_free(vm: JavaVM) -> None:
+    """Machine 11: DeleteLocalRef twice on the same reference."""
+    vm.define_class("LocalDoubleFree")
+    vm.add_method("LocalDoubleFree", "run", "()V", is_static=True, is_native=True)
+
+    def native_run(env, clazz):
+        s = env.NewStringUTF("short-lived")
+        env.DeleteLocalRef(s)
+        # BUG: second delete of the same local reference.
+        env.DeleteLocalRef(s)
+
+    vm.register_native("LocalDoubleFree", "run", "()V", native_run)
+    vm.call_static("LocalDoubleFree", "run", "()V")
+
+
+# ----------------------------------------------------------------------
+# Pitfall 8 — beyond language-boundary checking
+# ----------------------------------------------------------------------
+
+
+def unicode_string(vm: JavaVM) -> None:
+    """Pitfall 8: GetStringChars buffers are not NUL-terminated.
+
+    C code scans for a terminating NUL that JNI never promised.  HotSpot
+    buffers happen to carry one (the program silently "works"); J9's do
+    not, and the over-read surfaces as an NPE.  No language-boundary
+    checker — Jinn included — can see this; it requires C memory safety.
+    """
+    vm.define_class("UnicodeString")
+    vm.add_method("UnicodeString", "run", "()V", is_static=True, is_native=True)
+
+    def native_run(env, clazz):
+        jstr = env.NewStringUTF("héllo wörld")
+        buf = env.GetStringChars(jstr)
+        chars = []
+        i = 0
+        while True:
+            try:
+                ch = buf.read(i)  # C pointer arithmetic past the end
+            except IndexError:
+                vm.misuse(
+                    "unicode_overread",
+                    "C code read past the end of a GetStringChars buffer",
+                )
+                break
+            if ch == "\0":
+                break
+            chars.append(ch)
+            i += 1
+        env.ReleaseStringChars(jstr, buf)
+
+    vm.register_native("UnicodeString", "run", "()V", native_run)
+    vm.call_static("UnicodeString", "run", "()V")
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One microbenchmark: what it exercises and how to run it."""
+
+    name: str
+    run: Callable[[JavaVM], None]
+    machine: str
+    error_state: str
+    pitfall: Optional[int] = None
+
+
+#: The canonical 16 microbenchmarks, one per state-machine error state.
+MICROBENCHMARKS: Tuple[Scenario, ...] = (
+    Scenario("EnvMismatch", env_mismatch, "jnienv_state", "mismatch", 14),
+    Scenario("ExceptionState", exception_state, "exception_state", "unhandled", 1),
+    Scenario("CriticalState", critical_state, "critical_section", "violation", 16),
+    Scenario("FixedTyping", fixed_typing, "fixed_typing", "mismatch", 3),
+    Scenario("EntityTyping", entity_typing, "entity_typing", "mismatch", 2),
+    Scenario("AccessControl", access_control, "access_control", "final write", 9),
+    Scenario("Nullness", nullness, "nullness", "null", 2),
+    Scenario("PinnedLeak", pinned_leak, "pinned_resource", "leak", 11),
+    Scenario(
+        "PinnedDoubleFree", pinned_double_free, "pinned_resource", "double free"
+    ),
+    Scenario("MonitorLeak", monitor_leak, "monitor", "leak", 11),
+    Scenario("GlobalLeak", global_leak, "global_ref", "leak", 11),
+    Scenario("GlobalDangling", global_dangling, "global_ref", "dangling", 13),
+    Scenario("LocalOverflow", local_overflow, "local_ref", "overflow", 12),
+    Scenario("LeakedFrame", local_leaked_frame, "local_ref", "leak"),
+    Scenario("LocalDangling", local_dangling, "local_ref", "dangling", 13),
+    Scenario("LocalDoubleFree", local_double_free, "local_ref", "double free"),
+)
+
+#: Extra scenarios for the remaining Table 1 rows.
+EXTRA_SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario("IdConfusion", id_confusion, "fixed_typing", "mismatch", 6),
+    Scenario("UnicodeString", unicode_string, "(beyond boundary)", "over-read", 8),
+)
+
+#: Table 1 rows: pitfall number, pitfall description, scenario.
+TABLE1_ROWS = (
+    (1, "Error checking", "ExceptionState"),
+    (2, "Invalid arguments to JNI functions", "Nullness"),
+    (3, "Confusing jclass with jobject", "FixedTyping"),
+    (6, "Confusing IDs with references", "IdConfusion"),
+    (8, "Terminating Unicode strings", "UnicodeString"),
+    (9, "Violating access control rules", "AccessControl"),
+    (11, "Retaining virtual machine resources", "PinnedLeak"),
+    (12, "Excessive local reference creation", "LocalOverflow"),
+    (13, "Using invalid local references", "LocalDangling"),
+    (14, "Using the JNIEnv across threads", "EnvMismatch"),
+    (16, "Bad critical region", "CriticalState"),
+)
+
+
+def scenario_by_name(name: str) -> Scenario:
+    for scenario in MICROBENCHMARKS + EXTRA_SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    raise KeyError("no scenario named " + name)

@@ -1,0 +1,102 @@
+"""Python/C microbenchmarks: one per error state of the five machines.
+
+The Python/C counterpart of the 16 JNI microbenchmarks — each extension
+triggers one error state, for coverage-style evaluation of the
+synthesized checker (paper §7.2's demonstration, extended to the full
+machine set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.fsm.errors import FFIViolation
+from repro.pyc import PyCChecker, PythonInterpreter
+
+
+def dangling_borrow(api, self_obj, args):
+    """borrowed_ref / Error: dangling — Figure 11."""
+    pythons = api.Py_BuildValue("[ss]", "Eric", "Graham")
+    first = api.PyList_GetItem(pythons, 0)
+    api.Py_DecRef(pythons)
+    api.PyString_AsString(first)
+    return api.Py_RETURN_NONE()
+
+
+def owned_leak(api, self_obj, args):
+    """owned_ref / Error: leak — a new reference never released."""
+    api.PyString_FromString("kept forever")
+    return api.Py_RETURN_NONE()
+
+
+def over_release(api, self_obj, args):
+    """owned_ref / Error: over-release — decref of a borrow."""
+    lst = api.Py_BuildValue("[s]", "x")
+    item = api.PyList_GetItem(lst, 0)
+    api.Py_DecRef(item)
+    return api.Py_RETURN_NONE()
+
+
+def api_without_gil(api, self_obj, args):
+    """gil_state / Error: API call without the GIL."""
+    token = api.PyEval_SaveThread()
+    try:
+        api.PyLong_FromLong(1)
+    finally:
+        api.PyEval_RestoreThread(token)
+    return api.Py_RETURN_NONE()
+
+
+def ignored_exception(api, self_obj, args):
+    """py_exception_state / Error: unhandled exception."""
+    api.PyErr_SetString("ValueError", "ignored")
+    api.PyLong_FromLong(1)
+    return api.Py_RETURN_NONE()
+
+
+def type_confusion(api, self_obj, args):
+    """py_fixed_typing / Error: type mismatch."""
+    number = api.PyLong_FromLong(3)
+    api.PyList_GetItem(number, 0)
+    return api.Py_RETURN_NONE()
+
+
+@dataclass(frozen=True)
+class PyScenario:
+    name: str
+    run: Callable
+    machine: str
+    #: True when the violation is only visible at interpreter exit.
+    at_termination: bool = False
+
+
+PYC_MICROBENCHMARKS: Tuple[PyScenario, ...] = (
+    PyScenario("DanglingBorrow", dangling_borrow, "borrowed_ref"),
+    PyScenario("OwnedLeak", owned_leak, "owned_ref", at_termination=True),
+    PyScenario("OverRelease", over_release, "owned_ref"),
+    PyScenario("ApiWithoutGIL", api_without_gil, "gil_state"),
+    PyScenario("IgnoredException", ignored_exception, "py_exception_state"),
+    PyScenario("TypeConfusion", type_confusion, "py_fixed_typing"),
+)
+
+
+def run_pyc_scenario(scenario: PyScenario, *, checked: bool = True) -> dict:
+    """Run one Python/C microbenchmark; returns an outcome record."""
+    checker = PyCChecker() if checked else None
+    interp = PythonInterpreter(agents=[checker] if checker else [])
+    interp.register_extension(scenario.name, scenario.run)
+    record = {"outcome": "completed", "machine": None}
+    try:
+        interp.call_extension(scenario.name)
+    except FFIViolation as violation:
+        record["outcome"] = "violation"
+        record["machine"] = violation.machine
+    except Exception as exc:  # crash / PythonException on unchecked runs
+        record["outcome"] = type(exc).__name__
+    if checker is not None and record["outcome"] == "completed":
+        leaks = checker.termination_report()
+        if leaks:
+            record["outcome"] = "violation"
+            record["machine"] = leaks[0].machine
+    return record

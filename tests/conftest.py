@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jinn import JinnAgent
+from repro.jvm import HOTSPOT, J9, JavaVM
+
+
+@pytest.fixture
+def vm():
+    """A plain production HotSpot VM."""
+    machine = JavaVM(vendor=HOTSPOT)
+    yield machine
+    if machine.alive:
+        machine.shutdown()
+
+
+@pytest.fixture
+def j9_vm():
+    machine = JavaVM(vendor=J9)
+    yield machine
+    if machine.alive:
+        machine.shutdown()
+
+
+@pytest.fixture
+def jinn_agent():
+    return JinnAgent()
+
+
+@pytest.fixture
+def jinn_vm(jinn_agent):
+    """A HotSpot VM with Jinn loaded."""
+    machine = JavaVM(vendor=HOTSPOT, agents=[jinn_agent])
+    yield machine
+    if machine.alive:
+        machine.shutdown()
+
+
+def define_native(vm, class_name, method_name, descriptor, impl):
+    """Declare + bind a static native method in one step."""
+    if vm.find_class(class_name) is None:
+        vm.define_class(class_name)
+    vm.add_method(
+        class_name, method_name, descriptor, is_static=True, is_native=True
+    )
+    vm.register_native(class_name, method_name, descriptor, impl)
+
+
+def call_native(vm, class_name, method_name, descriptor, impl, *args):
+    """Define, bind, and immediately invoke a static native method."""
+    define_native(vm, class_name, method_name, descriptor, impl)
+    return vm.call_static(class_name, method_name, descriptor, *args)
+
+
+@pytest.fixture
+def native():
+    """The call_native helper as a fixture."""
+    return call_native

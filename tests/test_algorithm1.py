@@ -1,0 +1,122 @@
+"""Cross-checks of Algorithm 1: the plan must mirror the mappings.
+
+The synthesizer's plan is the cross product of state transitions and FFI
+functions (paper Figure 5).  These tests verify the plan against the
+mappings *independently*: for every machine, every language transition,
+and every matching function, the wrapper plan must contain that machine's
+instrumentation at the right site — and nothing for functions no mapping
+matches.
+"""
+
+import pytest
+
+from repro.fsm.events import Direction, Site
+from repro.jinn import Synthesizer, build_registry
+from repro.jinn.synthesizer import NATIVE_KEY, _SITE_FOR_DIRECTION
+from repro.jni import functions
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return build_registry()
+
+
+@pytest.fixture(scope="module")
+def plan(registry):
+    return Synthesizer(registry).plan()
+
+
+def _machines_mapped_to(registry, meta, direction):
+    hit = set()
+    for spec in registry:
+        for st in spec.state_transitions():
+            for lt in spec.language_transitions_for(st):
+                if lt.direction is direction and lt.functions.matches(meta):
+                    hit.add(spec.name)
+    return hit
+
+
+def _machines_in_plan(plan_lines):
+    present = set()
+    for line in plan_lines:
+        stripped = line.strip()
+        if "rt." in stripped:
+            after = stripped.split("rt.", 1)[1]
+            present.add(after.split(".", 1)[0])
+    return present
+
+
+class TestPlanMirrorsMappings:
+    @pytest.mark.parametrize(
+        "direction",
+        [Direction.CALL_NATIVE_TO_MANAGED, Direction.RETURN_MANAGED_TO_NATIVE],
+    )
+    def test_every_mapped_machine_emits_or_declines_explicitly(
+        self, registry, plan, direction
+    ):
+        """A machine mapped to (function, direction) appears in the plan
+        iff its emit() produced lines — and a machine NOT mapped never
+        appears."""
+        site = _SITE_FOR_DIRECTION[direction]
+        for name, meta in functions.FUNCTIONS.items():
+            mapped = _machines_mapped_to(registry, meta, direction)
+            present = _machines_in_plan(plan[name][site])
+            for machine in present:
+                assert machine in mapped, (name, direction.value, machine)
+            for machine in mapped:
+                spec = registry.get(machine)
+                if spec.emit(meta, direction):
+                    assert machine in present, (name, direction.value, machine)
+
+    def test_native_wrapper_sites(self, registry, plan):
+        for direction, site in (
+            (Direction.CALL_MANAGED_TO_NATIVE, Site.PRE),
+            (Direction.RETURN_NATIVE_TO_MANAGED, Site.POST),
+        ):
+            mapped = _machines_mapped_to(registry, None, direction)
+            present = _machines_in_plan(plan[NATIVE_KEY][site])
+            assert present <= mapped
+            for machine in mapped:
+                if registry.get(machine).emit(None, direction):
+                    assert machine in present, (direction.value, machine)
+
+    def test_machine_order_preserved_within_each_site(self, registry, plan):
+        order = {name: i for i, name in enumerate(registry.names())}
+        for name in functions.FUNCTIONS:
+            for site in (Site.PRE, Site.POST):
+                seen = [
+                    order[m]
+                    for line in plan[name][site]
+                    for m in _machines_in_plan([line])
+                ]
+                assert seen == sorted(seen), (name, site)
+
+    def test_no_function_escapes_the_cross_product(self, plan):
+        """Every JNI function receives at least the three JVM-state
+        checks (the paper's 229/209/225 interposition counts)."""
+        for name, meta in functions.FUNCTIONS.items():
+            machines = _machines_in_plan(plan[name][Site.PRE])
+            assert "jnienv_state" in machines, name
+            if not meta.exception_oblivious:
+                assert "exception_state" in machines, name
+            if not meta.critical_safe:
+                assert "critical_section" in machines, name
+
+    def test_interposition_totals_match_table2(self, plan):
+        exception_checks = sum(
+            1
+            for name in functions.FUNCTIONS
+            if any(
+                "exception_state" in line for line in plan[name][Site.PRE]
+            )
+        )
+        critical_checks = sum(
+            1
+            for name in functions.FUNCTIONS
+            if any(
+                "critical_section.check_sensitive" in line
+                for line in plan[name][Site.PRE]
+            )
+        )
+        assert exception_checks == 209
+        assert critical_checks == 225

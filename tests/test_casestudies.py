@@ -1,0 +1,84 @@
+"""Integration tests for the §6.4 case studies and Figure 10."""
+
+import pytest
+
+from repro.workloads.casestudies import (
+    CASE_STUDIES,
+    local_ref_time_series,
+    make_subversion_infocallback,
+    make_subversion_outputer,
+)
+from repro.workloads.outcomes import run_scenario
+
+
+class TestDetection:
+    @pytest.mark.parametrize("case", CASE_STUDIES, ids=lambda c: c.name)
+    def test_jinn_detects_with_right_machine(self, case):
+        result = run_scenario(case.run, checker="jinn")
+        assert result.outcome == "exception"
+        assert result.violations
+        assert case.machine in result.violations[0]
+
+    def test_subversion_has_two_overflows_and_one_dangling(self):
+        subversion = [c for c in CASE_STUDIES if c.program == "Subversion"]
+        kinds = sorted(c.error_kind for c in subversion)
+        assert kinds == ["dangling", "overflow", "overflow"]
+
+    def test_javagnome_has_nullness_and_dangling(self):
+        gnome = [c for c in CASE_STUDIES if c.program == "Java-gnome"]
+        assert sorted(c.error_kind for c in gnome) == ["dangling", "null"]
+
+    def test_eclipse_is_entity_typing(self):
+        eclipse = [c for c in CASE_STUDIES if c.program == "Eclipse"]
+        assert len(eclipse) == 1
+        assert eclipse[0].machine == "entity_typing"
+
+    def test_eclipse_bug_survives_production_hotspot(self):
+        eclipse = next(c for c in CASE_STUDIES if c.program == "Eclipse")
+        # "Because the production JVM may not use the object value, this
+        # bug has survived multiple revisions."
+        result = run_scenario(eclipse.run, checker="none")
+        assert result.outcome == "running"
+
+
+class TestFixes:
+    def test_fixed_outputer_is_clean_under_jinn(self):
+        result = run_scenario(
+            make_subversion_outputer(fixed=True), checker="jinn"
+        )
+        assert result.outcome == "running"
+        assert result.violations == []
+
+    def test_fixed_infocallback_is_clean_under_jinn(self):
+        result = run_scenario(
+            make_subversion_infocallback(fixed=True), checker="jinn"
+        )
+        assert result.outcome == "running"
+        assert result.violations == []
+
+
+class TestFigure10:
+    def test_original_overflows_sixteen(self):
+        series = local_ref_time_series(fixed=False)
+        assert max(series) > 16
+
+    def test_fixed_never_exceeds_eight(self):
+        series = local_ref_time_series(fixed=True)
+        assert max(series) <= 8  # the paper: "never exceeds 8"
+
+    def test_series_is_sawtooth_for_fixed(self):
+        series = local_ref_time_series(fixed=True)
+        # acquire/release alternation: the count repeatedly goes down.
+        assert any(b < a for a, b in zip(series, series[1:]))
+
+    def test_original_is_monotone_growth_then_drop(self):
+        series = local_ref_time_series(fixed=False)
+        peak = max(series)
+        peak_at = series.index(peak)
+        assert all(b >= a for a, b in zip(series[:peak_at], series[1:peak_at]))
+        assert series[-1] == 0  # frame death releases everything
+
+    def test_entry_count_scales_peak(self):
+        small = max(local_ref_time_series(fixed=False, entries=5))
+        large = max(local_ref_time_series(fixed=False, entries=30))
+        assert large > small

@@ -1,0 +1,84 @@
+"""Tests for the synthetic Table 3 workloads."""
+
+import pytest
+
+from repro.workloads.dacapo import (
+    BENCHMARK_NAMES,
+    CONFIGS,
+    PAPER_OVERHEADS,
+    PAPER_TRANSITIONS,
+    WORKLOAD_MIXES,
+    geomean,
+    iterations_for,
+    run_workload,
+    transitions_per_iteration,
+)
+
+
+class TestTables:
+    def test_nineteen_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 19
+
+    def test_paper_tables_aligned(self):
+        assert set(PAPER_TRANSITIONS) == set(PAPER_OVERHEADS) == set(WORKLOAD_MIXES)
+
+    def test_jython_has_most_transitions(self):
+        assert max(PAPER_TRANSITIONS, key=PAPER_TRANSITIONS.get) == "jython"
+
+    def test_paper_geomeans(self):
+        # Table 3's GeoMean row: 1.01 / 1.10 / 1.14.
+        checking = geomean([v[0] for v in PAPER_OVERHEADS.values()])
+        interposing = geomean([v[1] for v in PAPER_OVERHEADS.values()])
+        jinn = geomean([v[2] for v in PAPER_OVERHEADS.values()])
+        assert round(checking, 2) == 1.01
+        assert round(interposing, 2) == 1.10
+        assert round(jinn, 2) == 1.14
+
+
+class TestWorkloadExecution:
+    def test_workload_is_bug_free_under_jinn(self):
+        result = run_workload("compress", config="jinn", scale=100)
+        assert result.transitions > 0
+
+    def test_transition_counts_match_formula(self):
+        iterations = 10
+        result = run_workload("db", config="production", iterations=iterations)
+        per_iteration = transitions_per_iteration("db")
+        # kernel iterations plus the FindClass/GetMethodID/GetFieldID
+        # prologue (3 calls -> 6) and the native bridge itself (2).
+        expected = iterations * per_iteration + 6 + 2
+        assert result.transitions == expected
+
+    def test_scaled_iterations_replay_paper_ratio(self):
+        big = iterations_for("jython", 1000) * transitions_per_iteration("jython")
+        small = iterations_for("compress", 1000) * transitions_per_iteration(
+            "compress"
+        )
+        # jython performs ~3800x the transitions of compress in the paper;
+        # the scaled replay must preserve orders of magnitude (compress is
+        # clamped to a floor, so allow generous slack).
+        assert big / small > 100
+
+    def test_all_configs_run(self):
+        for config in CONFIGS:
+            result = run_workload("mtrt", config=config, iterations=3)
+            assert result.config == config
+            assert result.elapsed >= 0.0
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            run_workload("db", config="warp")
+
+    def test_mix_affects_transitions_per_iteration(self):
+        assert transitions_per_iteration("compress") != transitions_per_iteration(
+            "jython"
+        )
+
+    def test_geomean_basics(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+
+    @pytest.mark.parametrize("name", ["luindex", "raytrace", "hsqldb"])
+    def test_every_mix_runs_clean(self, name):
+        result = run_workload(name, config="jinn", iterations=5)
+        assert result.transitions > 0

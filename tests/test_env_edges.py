@@ -1,0 +1,204 @@
+"""Edge-case semantics of the raw JNIEnv and outcome classification."""
+
+import pytest
+
+from repro.jvm import HOTSPOT, J9, JavaVM
+from repro.workloads.outcomes import RunResult, run_scenario
+from tests.conftest import call_native
+
+_counter = [0]
+
+
+def run_native(vm, body, descriptor="()V", *args):
+    _counter[0] += 1
+    return call_native(
+        vm, "ee/Host{}".format(_counter[0]), "go", descriptor, body, *args
+    )
+
+
+class TestStringEdges:
+    def test_empty_string(self, vm):
+        out = {}
+
+        def nat(env, this):
+            js = env.NewStringUTF("")
+            out["len"] = env.GetStringLength(js)
+            buf = env.GetStringUTFChars(js)
+            out["data"] = list(buf.data)
+            env.ReleaseStringUTFChars(js, buf)
+
+        run_native(vm, nat)
+        assert out == {"len": 0, "data": []}
+
+    def test_new_string_truncates_to_length(self, vm):
+        out = {}
+
+        def nat(env, this):
+            js = env.NewString(list("abcdef"), 0)
+            out["len"] = env.GetStringLength(js)
+
+        run_native(vm, nat)
+        assert out["len"] == 0
+
+    def test_utf_region_copies(self, vm):
+        out = {}
+
+        def nat(env, this):
+            js = env.NewStringUTF("hello")
+            region = [None] * 2
+            env.GetStringUTFRegion(js, 3, 2, region)
+            out["tail"] = "".join(region)
+
+        run_native(vm, nat)
+        assert out["tail"] == "lo"
+
+
+class TestClassEdges:
+    def test_define_class_twice_pends_error(self, vm):
+        out = {}
+
+        def nat(env, this):
+            env.DefineClass("dup/K", None, b"")
+            out["second"] = env.DefineClass("dup/K", None, b"")
+            out["pending"] = env.ExceptionCheck()
+            env.ExceptionClear()
+
+        run_native(vm, nat)
+        assert out["second"] is None
+        assert out["pending"]
+
+    def test_register_natives_unknown_method_fails(self, vm):
+        vm.define_class("ee/R")
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("ee/R")
+            out["code"] = env.RegisterNatives(
+                cls, [("ghost", "()V", lambda e, t: None)], 1
+            )
+            env.ExceptionClear()
+
+        run_native(vm, nat)
+        assert out["code"] == -1
+
+
+class TestBufferEdges:
+    def test_direct_buffer_queries_on_plain_object(self, vm):
+        out = {}
+
+        def nat(env, this):
+            obj = env.AllocObject(env.FindClass("java/nio/ByteBuffer"))
+            out["addr"] = env.GetDirectBufferAddress(obj)
+            out["cap"] = env.GetDirectBufferCapacity(obj)
+
+        run_native(vm, nat)
+        assert out == {"addr": None, "cap": -1}
+
+    def test_push_local_frame_clamps_capacity(self, vm):
+        def nat(env, this):
+            env.PushLocalFrame(0)  # clamped to at least 1
+            env.NewStringUTF("inside")
+            env.PopLocalFrame(None)
+
+        run_native(vm, nat)
+
+    def test_exception_describe_without_pending_is_noop(self, vm):
+        before = len(vm.diagnostics)
+
+        def nat(env, this):
+            env.ExceptionDescribe()
+
+        run_native(vm, nat)
+        assert len(vm.diagnostics) == before
+
+
+class TestNullTolerance:
+    def test_throw_null_returns_default_on_hotspot(self, vm):
+        out = {}
+
+        def nat(env, this):
+            out["code"] = env.Throw(None)
+
+        run_native(vm, nat)
+        assert out["code"] == 0  # jint default: garbage result, running
+
+    def test_monitor_enter_null_on_hotspot(self, vm):
+        out = {}
+
+        def nat(env, this):
+            out["code"] = env.MonitorEnter(None)
+
+        run_native(vm, nat)
+        assert out["code"] == 0
+
+    def test_plain_variadic_call_without_args(self, vm):
+        vm.define_class("ee/V")
+        hits = []
+        vm.add_method(
+            "ee/V",
+            "zero",
+            "()V",
+            is_static=True,
+            body=lambda vmach, t, c: hits.append(1),
+        )
+
+        def nat(env, this):
+            cls = env.FindClass("ee/V")
+            mid = env.GetStaticMethodID(cls, "zero", "()V")
+            env.CallStaticVoidMethod(cls, mid)
+
+        run_native(vm, nat)
+        assert hits == [1]
+
+
+class TestOutcomeClassification:
+    def test_run_result_shape(self):
+        def clean(vm):
+            vm.define_class("oc/C")
+            vm.register_native("oc/C", "ok", "()I", lambda env, this: 1)
+            vm.call_static("oc/C", "ok", "()I")
+
+        result = run_scenario(clean, checker="none")
+        assert isinstance(result, RunResult)
+        assert result.outcome == "running"
+        assert result.transition_count > 0
+        assert result.violations == []
+
+    def test_local_frame_capacity_parameter(self):
+        def many_locals(vm):
+            vm.define_class("oc/D")
+
+            def nat(env, this):
+                for i in range(10):
+                    env.NewStringUTF(str(i))
+
+            vm.register_native("oc/D", "nat", "()V", nat)
+            vm.call_static("oc/D", "nat", "()V")
+
+        tight = run_scenario(
+            many_locals, checker="jinn", local_frame_capacity=4
+        )
+        roomy = run_scenario(
+            many_locals, checker="jinn", local_frame_capacity=32
+        )
+        assert tight.outcome == "exception"
+        assert roomy.outcome == "running"
+
+    def test_unknown_checker_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario(lambda vm: None, checker="magic")
+
+    def test_uncaught_application_exception_classified(self):
+        def thrower(vm):
+            vm.define_class("oc/T")
+
+            def nat(env, this):
+                env.ThrowNew(
+                    env.FindClass("java/lang/IllegalStateException"), "app bug"
+                )
+
+            vm.register_native("oc/T", "nat", "()V", nat)
+            vm.call_static("oc/T", "nat", "()V")
+
+        result = run_scenario(thrower, checker="none")
+        assert result.outcome == "uncaught:java/lang/IllegalStateException"

@@ -1,0 +1,140 @@
+"""Handle-misuse fuzz: under Jinn, no crash may escape the checker.
+
+The paper's practical claim is that Jinn intercepts JNI misuse *before*
+the VM corrupts itself, turning would-be segfaults into exceptions.  This
+sweep calls every reference/ID-taking JNI function with systematically
+wrong handles (nulls, dead references, wrong handle kinds, wrong Java
+types) and asserts that with Jinn loaded the outcome is always a clean
+return or a Java exception — never a :class:`SimulatedCrash`.
+"""
+
+import pytest
+
+from repro.jinn import JinnAgent
+from repro.jni import functions
+from repro.jvm import (
+    DeadlockError,
+    FatalJNIError,
+    JavaException,
+    JavaVM,
+    SimulatedCrash,
+)
+
+#: Functions whose *legitimate* semantics end the run (not misuse).
+_TERMINATORS = {"FatalError"}
+
+
+def _make_env(vm):
+    """A VM + helpers producing each wrong-handle flavour."""
+    vm.define_class("fz/H")
+    vm.add_method("fz/H", "m", "()V", is_static=True, body=lambda *a: None)
+    vm.add_field("fz/H", "f", "I", is_static=True)
+    vm.add_method("fz/H", "probe", "()V", is_static=True, is_native=True)
+    return vm
+
+
+def _wrong_values(env, cls_handle):
+    """Candidate bad values to substitute for reference/ID params."""
+    dead = env.NewStringUTF("dead")
+    env.DeleteLocalRef(dead)
+    mid = env.GetStaticMethodID(cls_handle, "m", "()V")
+    fid = env.GetStaticFieldID(cls_handle, "f", "I")
+    plain = env.AllocObject(env.FindClass("java/lang/Object"))
+    kept = env.AllocObject(env.FindClass("java/lang/Object"))
+    global_ref = env.NewGlobalRef(kept)
+    weak_ref = env.NewWeakGlobalRef(kept)
+    dead_global = env.NewGlobalRef(kept)
+    env.DeleteGlobalRef(dead_global)
+    return {
+        "null": None,
+        "dead-local": dead,
+        "methodID-as-ref": mid,
+        "plain-object": plain,
+        "fieldID-as-ref": fid,
+        "global-ref": global_ref,
+        "weak-ref": weak_ref,
+        "dead-global": dead_global,
+    }
+
+
+def _benign_fillers(env, meta, bad_value, bad_index):
+    """Arguments for one call: ``bad_value`` at ``bad_index``, plausible
+    values elsewhere."""
+    args = []
+    for i, p in enumerate(meta.params):
+        if i == bad_index:
+            args.append(bad_value)
+        elif p.jtype in functions.REFERENCE_JTYPES:
+            args.append(env.NewStringUTF("filler"))
+        elif p.jtype in functions.ID_JTYPES:
+            cls = env.FindClass("fz/H")
+            if p.jtype == "jmethodID":
+                args.append(env.GetStaticMethodID(cls, "m", "()V"))
+            else:
+                args.append(env.GetStaticFieldID(cls, "f", "I"))
+        elif p.jtype == "cstring":
+            args.append("fz/H" if p.name == "name" else "()V")
+        elif p.jtype in ("jint", "jsize", "jlong"):
+            args.append(0)
+        elif p.jtype == "jboolean":
+            args.append(False)
+        elif p.jtype in ("varargs", "va_list", "jvalueArray"):
+            args.append([])
+        elif p.jtype == "buffer":
+            args.append([])
+        else:
+            args.append(0)
+    return args
+
+
+_TARGETS = [
+    (name, index)
+    for name, meta in functions.FUNCTIONS.items()
+    if name not in _TERMINATORS
+    for index in (meta.reference_param_indices + meta.id_param_indices)
+]
+
+
+@pytest.mark.parametrize(
+    "flavour",
+    [
+        "null",
+        "dead-local",
+        "methodID-as-ref",
+        "plain-object",
+        "fieldID-as-ref",
+        "global-ref",
+        "weak-ref",
+        "dead-global",
+    ],
+)
+def test_jinn_prevents_crashes_for_handle_misuse(flavour):
+    crashes = []
+    vm = _make_env(JavaVM(agents=[JinnAgent()]))
+    outcome_log = []
+
+    def probe(env, this):
+        cls = env.FindClass("fz/H")
+        bad = _wrong_values(env, cls)[flavour]
+        for name, index in _TARGETS:
+            meta = functions.FUNCTIONS[name]
+            args = _benign_fillers(env, meta, bad, index)
+            try:
+                getattr(env, name)(*args)
+            except SimulatedCrash as crash:
+                crashes.append((name, index, str(crash)))
+            except (JavaException, DeadlockError, FatalJNIError):
+                pass
+            except Exception as exc:  # noqa: BLE001 - report, don't mask
+                crashes.append((name, index, repr(exc)))
+            env.ExceptionClear()
+            outcome_log.append(name)
+
+    vm.register_native("fz/H", "probe", "()V", probe)
+    try:
+        vm.call_static("fz/H", "probe", "()V")
+    except JavaException:
+        pass  # the final pending Jinn exception propagating out is fine
+    vm.shutdown()
+    assert len(outcome_log) == len(_TARGETS)
+    assert crashes == [], crashes[:10]

@@ -1,0 +1,59 @@
+"""Robustness sweep for the -Xcheck:jni baselines.
+
+Unlike Jinn, the built-in checkers are *allowed* to miss bugs (the
+production crash then fires) — but they must never themselves blow up
+with an internal error.  Same handle-misuse sweep as the Jinn fuzz, with
+crashes/aborts in the allowed set.
+"""
+
+import pytest
+
+from repro.jni import functions
+from repro.jvm import (
+    HOTSPOT,
+    J9,
+    DeadlockError,
+    FatalJNIError,
+    JavaException,
+    JavaVM,
+    SimulatedCrash,
+)
+from tests.test_fuzz_handles import (
+    _TARGETS,
+    _TERMINATORS,
+    _benign_fillers,
+    _make_env,
+    _wrong_values,
+)
+
+_ALLOWED = (JavaException, DeadlockError, FatalJNIError, SimulatedCrash)
+
+
+@pytest.mark.parametrize("vendor", [HOTSPOT, J9], ids=lambda v: v.name)
+@pytest.mark.parametrize("flavour", ["dead-local", "methodID-as-ref", "plain-object"])
+def test_xcheck_never_raises_internal_errors(vendor, flavour):
+    internal_errors = []
+    vm = _make_env(JavaVM(vendor=vendor, check_jni=True))
+
+    def probe(env, this):
+        cls = env.FindClass("fz/H")
+        bad = _wrong_values(env, cls)[flavour]
+        for name, index in _TARGETS:
+            meta = functions.FUNCTIONS[name]
+            args = _benign_fillers(env, meta, bad, index)
+            try:
+                getattr(env, name)(*args)
+            except _ALLOWED:
+                pass
+            except Exception as exc:  # noqa: BLE001 - report, don't mask
+                internal_errors.append((name, index, repr(exc)))
+            env.ExceptionClear()
+
+    vm.register_native("fz/H", "probe", "()V", probe)
+    try:
+        vm.call_static("fz/H", "probe", "()V")
+    except _ALLOWED:
+        pass
+    if vm.alive:
+        vm.shutdown()
+    assert internal_errors == [], internal_errors[:10]

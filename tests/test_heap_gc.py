@@ -1,0 +1,181 @@
+"""Tests for the moving, reclaiming garbage collector."""
+
+import pytest
+
+from repro.jvm import JavaVM, SimulatedCrash
+from repro.jvm.heap import Heap
+from repro.jvm.model import JClass, JObject
+
+
+def _obj():
+    return JObject(JClass("java/lang/Object"))
+
+
+class TestHeapPrimitives:
+    def test_allocation_assigns_addresses(self):
+        heap = Heap()
+        a, b = heap.allocate(_obj()), heap.allocate(_obj())
+        assert a.address != 0
+        assert a.address != b.address
+        assert heap.live_count == 2
+
+    def test_collect_reclaims_unreachable(self):
+        heap = Heap()
+        root, garbage = heap.allocate(_obj()), heap.allocate(_obj())
+        reclaimed = heap.collect([root])
+        assert reclaimed == 1
+        assert garbage.reclaimed
+        assert not root.reclaimed
+        assert heap.live_count == 1
+
+    def test_collect_traces_field_references(self):
+        heap = Heap()
+        root, child = heap.allocate(_obj()), heap.allocate(_obj())
+        root.fields[("child", "Ljava/lang/Object;")] = child
+        assert heap.collect([root]) == 0
+        assert not child.reclaimed
+
+    def test_collect_traces_array_elements(self):
+        vm = JavaVM()
+        arr = vm.new_array("Ljava/lang/Object;", 2)
+        kept = vm.new_object("java/lang/Object")
+        arr.elements[0] = kept
+        vm.main_thread.java_stack.append(arr)
+        vm.gc()
+        assert not kept.reclaimed
+        vm.shutdown()
+
+    def test_moving_collector_rewrites_addresses(self):
+        heap = Heap()
+        root = heap.allocate(_obj())
+        before = root.address
+        heap.collect([root])
+        assert root.address != before
+
+    def test_weak_slots_cleared_when_target_dies(self):
+        heap = Heap()
+        target = heap.allocate(_obj())
+
+        class Slot:
+            pass
+
+        slot = Slot()
+        slot.target = target
+        heap.collect([], weak_refs=[slot])
+        assert slot.target is None
+        assert target.reclaimed
+
+    def test_weak_slots_kept_when_target_survives(self):
+        heap = Heap()
+        target = heap.allocate(_obj())
+
+        class Slot:
+            pass
+
+        slot = Slot()
+        slot.target = target
+        heap.collect([target], weak_refs=[slot])
+        assert slot.target is target
+
+    def test_statistics(self):
+        heap = Heap()
+        heap.allocate(_obj())
+        heap.collect([])
+        stats = heap.statistics()
+        assert stats["collections"] == 1
+        assert stats["reclaimed_total"] == 1
+        assert stats["live"] == 0
+
+    def test_contains(self):
+        heap = Heap()
+        obj = heap.allocate(_obj())
+        other = _obj()
+        assert heap.contains(obj)
+        assert not heap.contains(other)
+
+
+class TestVMIntegratedGC:
+    def test_local_refs_are_roots(self, vm):
+        vm.define_class("demo/C")
+        survived = {}
+
+        def nat(env, this):
+            handle = env.NewStringUTF("rooted")
+            vm.gc()
+            survived["object"] = env.resolve_reference(handle)
+
+        vm.register_native("demo/C", "nat", "()V", nat)
+        vm.call_static("demo/C", "nat", "()V")
+        assert not survived["object"].reclaimed
+
+    def test_global_refs_are_roots(self, vm):
+        vm.define_class("demo/C")
+        holder = {}
+
+        def nat(env, this):
+            obj = env.AllocObject(env.FindClass("java/lang/Object"))
+            holder["g"] = env.NewGlobalRef(obj)
+
+        vm.register_native("demo/C", "nat", "()V", nat)
+        vm.call_static("demo/C", "nat", "()V")
+        vm.gc()
+        assert not holder["g"].target.reclaimed
+
+    def test_unrooted_object_reclaimed_after_native_returns(self, vm):
+        vm.define_class("demo/C")
+        made = {}
+
+        def nat(env, this):
+            handle = env.NewStringUTF("transient")
+            made["object"] = handle.target
+
+        vm.register_native("demo/C", "nat", "()V", nat)
+        vm.call_static("demo/C", "nat", "()V")
+        vm.gc()
+        assert made["object"].reclaimed
+
+    def test_weak_global_cleared_by_vm_gc(self, vm):
+        vm.define_class("demo/C")
+        holder = {}
+
+        def nat(env, this):
+            obj = env.AllocObject(env.FindClass("java/lang/Object"))
+            holder["weak"] = env.NewWeakGlobalRef(obj)
+
+        vm.register_native("demo/C", "nat", "()V", nat)
+        vm.call_static("demo/C", "nat", "()V")
+        vm.gc()
+        assert holder["weak"].target is None
+
+    def test_static_fields_are_roots(self, vm):
+        vm.define_class("demo/C")
+        field = vm.add_field(
+            "demo/C", "keep", "Ljava/lang/Object;", is_static=True
+        )
+        field.static_value = vm.new_object("java/lang/Object")
+        vm.gc()
+        assert not field.static_value.reclaimed
+
+    def test_gc_stress_mode_runs_collections(self):
+        vm = JavaVM(gc_stress=True)
+        before = vm.heap.collections
+        vm.new_string("a")
+        vm.new_string("b")
+        assert vm.heap.collections >= before + 2
+        vm.shutdown()
+
+    def test_use_after_reclaim_crashes(self, vm):
+        vm.define_class("demo/C")
+        stash = {}
+
+        def capture(env, this, obj):
+            stash["ref"] = obj  # escapes the frame (dangling later)
+
+        vm.register_native("demo/C", "cap", "(Ljava/lang/Object;)V", capture)
+        vm.call_static(
+            "demo/C", "cap", "(Ljava/lang/Object;)V", vm.new_object("java/lang/Object")
+        )
+        vm.gc()  # the object is unreachable now; collector reclaims it
+        assert stash["ref"].target.reclaimed
+        with pytest.raises(SimulatedCrash):
+            stash["ref"].target._guard()

@@ -1,0 +1,93 @@
+"""Instance (non-static) native methods through the bridge and Jinn."""
+
+import pytest
+
+from repro.jinn import JinnAgent, violation_of
+from repro.jni.types import JRef
+from repro.jvm import JavaException, JavaVM
+
+
+@pytest.fixture
+def agent():
+    return JinnAgent()
+
+
+@pytest.fixture
+def ivm(agent):
+    vm = JavaVM(agents=[agent])
+    vm.define_class("in/Counter")
+    vm.add_field("in/Counter", "value", "I")
+    yield vm
+    if vm.alive:
+        vm.shutdown()
+
+
+def _bind_instance(vm, name, descriptor, impl):
+    vm.add_method("in/Counter", name, descriptor, is_native=True)
+    vm.register_native("in/Counter", name, descriptor, impl)
+
+
+class TestInstanceNatives:
+    def test_receiver_arrives_as_local_ref(self, ivm, agent):
+        seen = {}
+
+        def nat(env, this):
+            seen["is_ref"] = isinstance(this, JRef)
+            seen["class"] = env.resolve_reference(this).jclass.name
+
+        _bind_instance(ivm, "probe", "()V", nat)
+        obj = ivm.new_object("in/Counter")
+        ivm.call_instance(obj, "probe", "()V")
+        assert seen == {"is_ref": True, "class": "in/Counter"}
+        assert agent.rt.violations == []
+
+    def test_instance_native_reads_and_writes_fields(self, ivm, agent):
+        def increment(env, this):
+            cls = env.GetObjectClass(this)
+            fid = env.GetFieldID(cls, "value", "I")
+            env.SetIntField(this, fid, env.GetIntField(this, fid) + 1)
+            return env.GetIntField(this, fid)
+
+        _bind_instance(ivm, "increment", "()I", increment)
+        obj = ivm.new_object("in/Counter")
+        assert ivm.call_instance(obj, "increment", "()I") == 1
+        assert ivm.call_instance(obj, "increment", "()I") == 2
+        assert agent.rt.violations == []
+
+    def test_receiver_ref_dies_with_the_frame(self, ivm, agent):
+        stash = {}
+
+        def capture(env, this):
+            stash["this"] = this
+
+        def misuse(env, this):
+            env.GetObjectClass(stash["this"])
+
+        _bind_instance(ivm, "capture", "()V", capture)
+        _bind_instance(ivm, "misuse", "()V", misuse)
+        obj = ivm.new_object("in/Counter")
+        ivm.call_instance(obj, "capture", "()V")
+        with pytest.raises(JavaException) as exc_info:
+            ivm.call_instance(obj, "misuse", "()V")
+        assert violation_of(exc_info.value.throwable).machine == "local_ref"
+
+    def test_instance_native_called_from_c(self, ivm, agent):
+        def body(env, this):
+            cls = env.GetObjectClass(this)
+            fid = env.GetFieldID(cls, "value", "I")
+            return env.GetIntField(this, fid) * 2
+
+        _bind_instance(ivm, "doubled", "()I", body)
+        ivm.add_method("in/Counter", "drive", "()I", is_static=True, is_native=True)
+
+        def drive(env, clazz):
+            cls = env.FindClass("in/Counter")
+            obj = env.AllocObject(cls)
+            fid = env.GetFieldID(cls, "value", "I")
+            env.SetIntField(obj, fid, 21)
+            mid = env.GetMethodID(cls, "doubled", "()I")
+            return env.CallIntMethodA(obj, mid, [])
+
+        ivm.register_native("in/Counter", "drive", "()I", drive)
+        assert ivm.call_static("in/Counter", "drive", "()I") == 42
+        assert agent.rt.violations == []

@@ -1,0 +1,203 @@
+"""Cross-module integration scenarios."""
+
+import pytest
+
+from repro import (
+    HOTSPOT,
+    J9,
+    JavaException,
+    JavaVM,
+    JinnAgent,
+    PyCChecker,
+    PythonInterpreter,
+    render_uncaught,
+)
+from repro.fsm.errors import FFIViolation
+from repro.jinn import violation_of
+from repro.jni import XCheckAgent
+from repro.jvm import FatalJNIError
+
+
+class TestAgentStacking:
+    def test_jinn_and_xcheck_compose(self):
+        """Both agents interpose; Jinn (loaded last) checks first."""
+        vm = JavaVM(vendor=HOTSPOT, agents=[JinnAgent()], check_jni=True)
+        vm.define_class("it/C")
+        vm.add_method("it/C", "nat", "()V", is_static=True, is_native=True)
+
+        def nat(env, this):
+            env.GetStringLength(None)
+
+        vm.register_native("it/C", "nat", "()V", nat)
+        with pytest.raises(JavaException) as exc_info:
+            vm.call_static("it/C", "nat", "()V")
+        assert violation_of(exc_info.value.throwable).machine == "nullness"
+        vm.shutdown()
+
+    def test_two_jinn_agents_rejected_by_class_definition(self):
+        # The second agent finds jinn/JNIAssertionFailure already defined
+        # and must not re-define it.
+        vm = JavaVM(agents=[JinnAgent(), JinnAgent()])
+        assert vm.find_class("jinn/JNIAssertionFailure") is not None
+        vm.shutdown()
+
+
+class TestMultiThreadScenarios:
+    def test_per_thread_local_frames_are_independent(self):
+        agent = JinnAgent()
+        vm = JavaVM(agents=[agent])
+        vm.define_class("it/T")
+        vm.add_method("it/T", "spin", "(I)V", is_static=True, is_native=True)
+
+        def spin(env, this, n):
+            for i in range(n):
+                s = env.NewStringUTF(str(i))
+                env.DeleteLocalRef(s)
+
+        vm.register_native("it/T", "spin", "(I)V", spin)
+        vm.call_static("it/T", "spin", "(I)V", 10)
+        worker = vm.attach_thread("worker")
+        with vm.run_on_thread(worker):
+            vm.call_static("it/T", "spin", "(I)V", 10)
+        assert agent.rt.violations == []
+        vm.shutdown()
+
+    def test_global_ref_shared_across_threads_is_legal(self):
+        agent = JinnAgent()
+        vm = JavaVM(agents=[agent])
+        vm.define_class("it/G")
+        shared = {}
+
+        def make(env, this):
+            obj = env.AllocObject(env.FindClass("java/lang/Object"))
+            shared["g"] = env.NewGlobalRef(obj)
+
+        def use(env, this):
+            env.GetObjectClass(shared["g"])
+            env.DeleteGlobalRef(shared["g"])
+
+        vm.add_method("it/G", "make", "()V", is_static=True, is_native=True)
+        vm.add_method("it/G", "use", "()V", is_static=True, is_native=True)
+        vm.register_native("it/G", "make", "()V", make)
+        vm.register_native("it/G", "use", "()V", use)
+        vm.call_static("it/G", "make", "()V")
+        worker = vm.attach_thread("worker")
+        with vm.run_on_thread(worker):
+            vm.call_static("it/G", "use", "()V")
+        assert agent.rt.violations == []
+        vm.shutdown()
+
+
+class TestDeepCallChains:
+    def test_java_c_java_c_roundtrips(self):
+        """Nested transitions: Java -> C -> Java -> C -> Java."""
+        agent = JinnAgent()
+        vm = JavaVM(agents=[agent])
+        vm.define_class("it/Deep")
+
+        def java_outer(vmach, thread, cls, depth):
+            if depth <= 0:
+                return 0
+            return vmach.call_static("it/Deep", "natStep", "(I)I", depth)
+
+        vm.add_method("it/Deep", "step", "(I)I", is_static=True, body=java_outer)
+        vm.add_method("it/Deep", "natStep", "(I)I", is_static=True, is_native=True)
+
+        def nat_step(env, this, depth):
+            cls = env.FindClass("it/Deep")
+            mid = env.GetStaticMethodID(cls, "step", "(I)I")
+            return 1 + env.CallStaticIntMethodA(cls, mid, [depth - 1])
+
+        vm.register_native("it/Deep", "natStep", "(I)I", nat_step)
+        assert vm.call_static("it/Deep", "step", "(I)I", 5) == 5
+        assert agent.rt.violations == []
+        vm.shutdown()
+
+    def test_violation_deep_in_the_chain_surfaces_at_top(self):
+        vm = JavaVM(agents=[JinnAgent()])
+        vm.define_class("it/Deep2")
+
+        def java_mid(vmach, thread, cls):
+            return vmach.call_static("it/Deep2", "natBad", "()V")
+
+        vm.add_method("it/Deep2", "mid", "()V", is_static=True, body=java_mid)
+        vm.add_method("it/Deep2", "natBad", "()V", is_static=True, is_native=True)
+
+        def nat_bad(env, this):
+            env.GetStringLength(None)
+
+        vm.register_native("it/Deep2", "natBad", "()V", nat_bad)
+        with pytest.raises(JavaException) as exc_info:
+            vm.call_static("it/Deep2", "mid", "()V")
+        rendered = render_uncaught(exc_info.value.throwable)
+        assert "it.Deep2.natBad(Native Method)" in rendered
+        assert "it.Deep2.mid" in rendered
+        vm.shutdown()
+
+
+class TestXCheckVsJinnSideBySide:
+    def test_same_bug_error_vs_exception(self):
+        def scenario(vm):
+            vm.define_class("it/S")
+            vm.add_method("it/S", "nat", "()V", is_static=True, is_native=True)
+
+            def nat(env, this):
+                s = env.NewStringUTF("x")
+                env.DeleteLocalRef(s)
+                env.GetStringLength(s)
+
+            vm.register_native("it/S", "nat", "()V", nat)
+            vm.call_static("it/S", "nat", "()V")
+
+        checked = JavaVM(vendor=HOTSPOT, check_jni=True)
+        with pytest.raises(FatalJNIError):
+            scenario(checked)
+        checked.shutdown()
+
+        jinned = JavaVM(vendor=HOTSPOT, agents=[JinnAgent()])
+        with pytest.raises(JavaException):
+            scenario(jinned)
+        jinned.shutdown()
+
+
+class TestBothFFIsInOneProcess:
+    def test_jni_and_pyc_checkers_coexist(self):
+        vm = JavaVM(agents=[JinnAgent()])
+        checker = PyCChecker()
+        interp = PythonInterpreter(agents=[checker])
+
+        def ext(api, self_obj, args):
+            s = api.PyString_FromString("bridge")
+            api.Py_DecRef(s)
+            api.PyString_AsString(s)
+            return api.Py_RETURN_NONE()
+
+        interp.register_extension("ext", ext)
+        with pytest.raises(FFIViolation):
+            interp.call_extension("ext")
+        # The JVM side is unaffected.
+        vm.define_class("it/B")
+        vm.register_native(
+            "it/B", "ok", "()I", lambda env, this: env.GetVersion()
+        )
+        assert vm.call_static("it/B", "ok", "()I") == 0x00010006
+        vm.shutdown()
+
+
+class TestGCUnderJinn:
+    def test_collections_do_not_confuse_the_machines(self):
+        agent = JinnAgent()
+        vm = JavaVM(agents=[agent], gc_stress=True)
+        vm.define_class("it/GC")
+
+        def nat(env, this):
+            for i in range(8):
+                s = env.NewStringUTF(str(i))
+                env.GetStringLength(s)
+                env.DeleteLocalRef(s)
+
+        vm.register_native("it/GC", "nat", "()V", nat)
+        vm.call_static("it/GC", "nat", "()V")
+        assert agent.rt.violations == []
+        assert vm.heap.collections > 0
+        vm.shutdown()

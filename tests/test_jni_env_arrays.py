@@ -1,0 +1,222 @@
+"""Tests for the raw JNIEnv array and critical-section functions."""
+
+import pytest
+
+from repro.jni.env import JNI_ABORT, JNI_COMMIT
+from repro.jvm import DeadlockError
+from tests.conftest import call_native
+
+_counter = [0]
+
+
+def run_native(vm, body, descriptor="()V", *args):
+    _counter[0] += 1
+    return call_native(
+        vm, "ta/Host{}".format(_counter[0]), "go", descriptor, body, *args
+    )
+
+
+class TestPrimitiveArrays:
+    @pytest.mark.parametrize(
+        "kind,descriptor",
+        [
+            ("Boolean", "Z"),
+            ("Byte", "B"),
+            ("Char", "C"),
+            ("Short", "S"),
+            ("Int", "I"),
+            ("Long", "J"),
+            ("Float", "F"),
+            ("Double", "D"),
+        ],
+    )
+    def test_new_array_per_type(self, vm, kind, descriptor):
+        out = {}
+
+        def nat(env, this):
+            new_array = getattr(env, "New{}Array".format(kind))
+            arr = new_array(5)
+            out["len"] = env.GetArrayLength(arr)
+            out["elem"] = env.resolve_array(arr).element_descriptor
+
+        run_native(vm, nat)
+        assert out["len"] == 5
+        assert out["elem"] == descriptor
+
+    def test_elements_roundtrip_with_writeback(self, vm):
+        out = {}
+
+        def nat(env, this):
+            arr = env.NewIntArray(3)
+            elems = env.GetIntArrayElements(arr)
+            elems.write(0, 10)
+            elems.write(2, 30)
+            env.ReleaseIntArrayElements(arr, elems, 0)
+            region = [None] * 3
+            env.GetIntArrayRegion(arr, 0, 3, region)
+            out["values"] = region
+
+        run_native(vm, nat)
+        assert out["values"] == [10, 0, 30]
+
+    def test_release_with_abort_discards_writes(self, vm):
+        out = {}
+
+        def nat(env, this):
+            arr = env.NewIntArray(2)
+            elems = env.GetIntArrayElements(arr)
+            elems.write(0, 99)
+            env.ReleaseIntArrayElements(arr, elems, JNI_ABORT)
+            out["first"] = env.resolve_array(arr).elements[0]
+
+        run_native(vm, nat)
+        assert out["first"] == 0
+
+    def test_commit_writes_back_but_keeps_buffer(self, vm):
+        out = {}
+
+        def nat(env, this):
+            arr = env.NewIntArray(2)
+            elems = env.GetIntArrayElements(arr)
+            elems.write(0, 5)
+            env.ReleaseIntArrayElements(arr, elems, JNI_COMMIT)
+            out["written"] = env.resolve_array(arr).elements[0]
+            out["still_usable"] = not elems.freed
+            env.ReleaseIntArrayElements(arr, elems, 0)
+
+        run_native(vm, nat)
+        assert out["written"] == 5
+        assert out["still_usable"]
+
+    def test_set_region(self, vm):
+        out = {}
+
+        def nat(env, this):
+            arr = env.NewLongArray(4)
+            env.SetLongArrayRegion(arr, 1, 2, [7, 8])
+            out["elements"] = list(env.resolve_array(arr).elements)
+
+        run_native(vm, nat)
+        assert out["elements"] == [0, 7, 8, 0]
+
+    def test_region_bounds_pend_exception(self, vm):
+        out = {}
+
+        def nat(env, this):
+            arr = env.NewIntArray(2)
+            env.GetIntArrayRegion(arr, 1, 4, [None] * 4)
+            out["pending"] = env.ExceptionCheck()
+            env.ExceptionClear()
+
+        run_native(vm, nat)
+        assert out["pending"]
+
+
+class TestObjectArrays:
+    def test_new_object_array_with_initial_element(self, vm):
+        filler = vm.new_string("fill")
+        out = {}
+
+        def nat(env, this, handle):
+            cls = env.FindClass("java/lang/String")
+            arr = env.NewObjectArray(3, cls, handle)
+            element = env.GetObjectArrayElement(arr, 1)
+            out["same"] = env.IsSameObject(element, handle)
+            out["len"] = env.GetArrayLength(arr)
+
+        run_native(vm, nat, "(Ljava/lang/String;)V", filler)
+        assert out["same"] is True
+        assert out["len"] == 3
+
+    def test_set_and_get_element(self, vm):
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("java/lang/Object")
+            arr = env.NewObjectArray(2, cls, None)
+            s = env.NewStringUTF("slot1")
+            env.SetObjectArrayElement(arr, 1, s)
+            got = env.GetObjectArrayElement(arr, 1)
+            out["value"] = env.resolve_string(got).value
+            out["empty"] = env.GetObjectArrayElement(arr, 0)
+
+        run_native(vm, nat)
+        assert out["value"] == "slot1"
+        assert out["empty"] is None
+
+    def test_element_index_bounds_pend(self, vm):
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("java/lang/Object")
+            arr = env.NewObjectArray(1, cls, None)
+            out["value"] = env.GetObjectArrayElement(arr, 5)
+            out["pending"] = env.ExceptionCheck()
+            env.ExceptionClear()
+
+        run_native(vm, nat)
+        assert out["value"] is None
+        assert out["pending"]
+
+
+class TestCriticalSections:
+    def test_balanced_critical_section_is_legal(self, vm):
+        out = {}
+
+        def nat(env, this):
+            arr = env.NewIntArray(4)
+            carray = env.GetPrimitiveArrayCritical(arr)
+            carray.write(0, 11)
+            env.ReleasePrimitiveArrayCritical(arr, carray, 0)
+            out["value"] = env.resolve_array(arr).elements[0]
+            out["in_critical"] = env.thread.in_critical_section()
+
+        run_native(vm, nat)
+        assert out["value"] == 11
+        assert out["in_critical"] is False
+
+    def test_string_critical_roundtrip(self, vm):
+        out = {}
+
+        def nat(env, this):
+            js = env.NewStringUTF("crit")
+            buf = env.GetStringCritical(js)
+            out["text"] = "".join(buf.data)
+            env.ReleaseStringCritical(js, buf)
+
+        run_native(vm, nat)
+        assert out["text"] == "crit"
+
+    def test_nested_critical_sections(self, vm):
+        out = {}
+
+        def nat(env, this):
+            a1 = env.NewIntArray(1)
+            a2 = env.NewIntArray(1)
+            c1 = env.GetPrimitiveArrayCritical(a1)
+            c2 = env.GetPrimitiveArrayCritical(a2)
+            env.ReleasePrimitiveArrayCritical(a2, c2, 0)
+            out["still_critical"] = env.thread.in_critical_section()
+            env.ReleasePrimitiveArrayCritical(a1, c1, 0)
+            out["after"] = env.thread.in_critical_section()
+
+        run_native(vm, nat)
+        assert out["still_critical"] is True
+        assert out["after"] is False
+
+    def test_sensitive_call_inside_critical_deadlocks(self, vm):
+        def nat(env, this):
+            arr = env.NewIntArray(1)
+            env.GetPrimitiveArrayCritical(arr)
+            env.FindClass("java/lang/Object")  # sensitive!
+
+        with pytest.raises(DeadlockError):
+            run_native(vm, nat)
+
+    def test_allocation_before_critical_is_fine(self, vm):
+        def nat(env, this):
+            js = env.NewStringUTF("before")
+            buf = env.GetStringCritical(js)
+            env.ReleaseStringCritical(js, buf)
+
+        run_native(vm, nat)  # no exception

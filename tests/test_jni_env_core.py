@@ -1,0 +1,619 @@
+"""Tests for the raw JNIEnv: classes, methods, fields, strings, misc."""
+
+import pytest
+
+from repro.jni.types import JFieldID, JMethodID, JRef
+from repro.jvm import JavaException, JavaVM
+from repro.jvm.errors import FatalJNIError
+from tests.conftest import call_native
+
+
+def run_native(vm, body, descriptor="()V", *args):
+    """Run ``body(env, this, *handles)`` as a one-off native method."""
+    return call_native(vm, "t/Host{}".format(run_native.counter), "go", descriptor, body, *args)
+
+
+run_native.counter = 0
+
+
+@pytest.fixture(autouse=True)
+def _bump_counter():
+    run_native.counter += 1
+
+
+class TestVersionAndVM:
+    def test_get_version(self, vm):
+        out = {}
+        run_native(vm, lambda env, this: out.update(v=env.GetVersion()))
+        assert out["v"] == 0x00010006
+
+    def test_get_java_vm(self, vm):
+        out = {}
+        run_native(vm, lambda env, this: out.update(jvm=env.GetJavaVM()))
+        assert out["jvm"] is vm
+
+
+class TestClassOps:
+    def test_find_class_returns_class_ref(self, vm):
+        out = {}
+
+        def nat(env, this):
+            ref = env.FindClass("java/lang/String")
+            out["is_ref"] = isinstance(ref, JRef)
+            out["cls"] = env.resolve_class(ref)
+
+        run_native(vm, nat)
+        assert out["is_ref"]
+        assert out["cls"].name == "java/lang/String"
+
+    def test_find_missing_class_pends_cnfe(self, vm):
+        out = {}
+
+        def nat(env, this):
+            out["ref"] = env.FindClass("no/Such")
+            out["pending"] = env.ExceptionCheck()
+            env.ExceptionClear()
+
+        run_native(vm, nat)
+        assert out["ref"] is None
+        assert out["pending"]
+
+    def test_define_class(self, vm):
+        def nat(env, this):
+            env.DefineClass("dyn/Made", None, b"")
+
+        run_native(vm, nat)
+        assert vm.find_class("dyn/Made") is not None
+
+    def test_get_superclass(self, vm):
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("java/lang/RuntimeException")
+            sup = env.GetSuperclass(cls)
+            out["name"] = env.resolve_class(sup).name
+
+        run_native(vm, nat)
+        assert out["name"] == "java/lang/Exception"
+
+    def test_get_superclass_of_object_is_null(self, vm):
+        out = {}
+
+        def nat(env, this):
+            out["sup"] = env.GetSuperclass(env.FindClass("java/lang/Object"))
+
+        run_native(vm, nat)
+        assert out["sup"] is None
+
+    def test_is_assignable_from(self, vm):
+        out = {}
+
+        def nat(env, this):
+            npe = env.FindClass("java/lang/NullPointerException")
+            rte = env.FindClass("java/lang/RuntimeException")
+            out["up"] = env.IsAssignableFrom(npe, rte)
+            out["down"] = env.IsAssignableFrom(rte, npe)
+
+        run_native(vm, nat)
+        assert out["up"] is True
+        assert out["down"] is False
+
+
+class TestReflectionBridge:
+    def test_method_roundtrip(self, vm):
+        vm.define_class("t/R")
+        vm.add_method("t/R", "m", "()V", is_static=True, body=lambda *a: None)
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("t/R")
+            mid = env.GetStaticMethodID(cls, "m", "()V")
+            reflected = env.ToReflectedMethod(cls, mid, True)
+            out["back"] = env.FromReflectedMethod(reflected)
+            out["orig"] = mid
+
+        run_native(vm, nat)
+        assert out["back"].method is out["orig"].method
+
+    def test_field_roundtrip(self, vm):
+        vm.define_class("t/R")
+        vm.add_field("t/R", "x", "I", is_static=True)
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("t/R")
+            fid = env.GetStaticFieldID(cls, "x", "I")
+            reflected = env.ToReflectedField(cls, fid, True)
+            out["back"] = env.FromReflectedField(reflected)
+            out["orig"] = fid
+
+        run_native(vm, nat)
+        assert out["back"].field is out["orig"].field
+
+    def test_constructor_reflects_to_constructor_class(self, vm):
+        vm.define_class("t/R")
+        vm.add_method("t/R", "<init>", "()V", body=lambda *a: None)
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("t/R")
+            mid = env.GetMethodID(cls, "<init>", "()V")
+            reflected = env.ToReflectedMethod(cls, mid, False)
+            out["cls"] = env.resolve_reference(reflected).jclass.name
+
+        run_native(vm, nat)
+        assert out["cls"] == "java/lang/reflect/Constructor"
+
+
+class TestExceptions:
+    def test_throw_new_and_occurred(self, vm):
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("java/lang/IllegalStateException")
+            assert env.ThrowNew(cls, "bad state") == 0
+            pending = env.ExceptionOccurred()
+            out["desc"] = env.resolve_reference(pending).describe()
+            env.ExceptionClear()
+            out["after"] = env.ExceptionCheck()
+
+        run_native(vm, nat)
+        assert out["desc"] == "java.lang.IllegalStateException: bad state"
+        assert out["after"] is False
+
+    def test_throw_existing_throwable(self, vm):
+        def nat(env, this):
+            cls = env.FindClass("java/lang/RuntimeException")
+            mid_less = env.ThrowNew(cls, "first")
+            pending = env.ExceptionOccurred()
+            env.ExceptionClear()
+            env.Throw(pending)
+
+        with pytest.raises(JavaException) as exc_info:
+            run_native(vm, nat)
+        assert "first" in str(exc_info.value)
+
+    def test_exception_describe_logs_and_clears(self, vm):
+        def nat(env, this):
+            env.ThrowNew(env.FindClass("java/lang/RuntimeException"), "shown")
+            env.ExceptionDescribe()
+            assert not env.ExceptionCheck()
+
+        run_native(vm, nat)
+        assert any("shown" in line for line in vm.diagnostics)
+
+    def test_fatal_error_aborts(self, vm):
+        def nat(env, this):
+            env.FatalError("unrecoverable")
+
+        with pytest.raises(FatalJNIError):
+            run_native(vm, nat)
+
+    def test_pending_exception_propagates_at_native_return(self, vm):
+        def nat(env, this):
+            env.ThrowNew(env.FindClass("java/lang/RuntimeException"), "late")
+
+        with pytest.raises(JavaException):
+            run_native(vm, nat)
+
+
+class TestMethodCalls:
+    def _sum_class(self, vm):
+        vm.define_class("t/Sum")
+        vm.add_method(
+            "t/Sum",
+            "add",
+            "(II)I",
+            is_static=True,
+            body=lambda vmach, thread, cls, a, b: a + b,
+        )
+
+    def test_static_int_call_all_variants(self, vm):
+        self._sum_class(vm)
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("t/Sum")
+            mid = env.GetStaticMethodID(cls, "add", "(II)I")
+            out["plain"] = env.CallStaticIntMethod(cls, mid, 1, 2)
+            out["v"] = env.CallStaticIntMethodV(cls, mid, [3, 4])
+            out["a"] = env.CallStaticIntMethodA(cls, mid, [5, 6])
+
+        run_native(vm, nat)
+        assert (out["plain"], out["v"], out["a"]) == (3, 7, 11)
+
+    def test_instance_virtual_dispatch(self, vm):
+        vm.define_class("t/Base")
+        vm.define_class("t/Derived", superclass="t/Base")
+        vm.add_method(
+            "t/Base", "who", "()I", body=lambda vmach, t, recv: 1
+        )
+        vm.add_method(
+            "t/Derived", "who", "()I", body=lambda vmach, t, recv: 2
+        )
+        obj = vm.new_object("t/Derived")
+        out = {}
+
+        def nat(env, this, handle):
+            base = env.FindClass("t/Base")
+            mid = env.GetMethodID(base, "who", "()I")
+            out["virtual"] = env.CallIntMethodA(handle, mid, [])
+            out["nonvirtual"] = env.CallNonvirtualIntMethodA(handle, base, mid, [])
+
+        run_native(vm, nat, "(Ljava/lang/Object;)V", obj)
+        assert out["virtual"] == 2
+        assert out["nonvirtual"] == 1
+
+    def test_object_returning_call_creates_local_ref(self, vm):
+        vm.define_class("t/Maker")
+        vm.add_method(
+            "t/Maker",
+            "make",
+            "()Ljava/lang/String;",
+            is_static=True,
+            body=lambda vmach, thread, cls: vmach.new_string("made"),
+        )
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("t/Maker")
+            mid = env.GetStaticMethodID(cls, "make", "()Ljava/lang/String;")
+            ref = env.CallStaticObjectMethodA(cls, mid, [])
+            out["is_ref"] = isinstance(ref, JRef)
+            out["value"] = env.resolve_string(ref).value
+
+        run_native(vm, nat)
+        assert out["is_ref"]
+        assert out["value"] == "made"
+
+    def test_java_exception_from_call_is_pending_not_raised(self, vm):
+        vm.define_class("t/Thrower")
+
+        def body(vmach, thread, cls):
+            vmach.throw_new(thread, "java/lang/ArithmeticException", "div0")
+
+        vm.add_method("t/Thrower", "boom", "()V", is_static=True, body=body)
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("t/Thrower")
+            mid = env.GetStaticMethodID(cls, "boom", "()V")
+            env.CallStaticVoidMethodA(cls, mid, [])
+            out["pending"] = env.ExceptionCheck()
+            env.ExceptionClear()
+
+        run_native(vm, nat)
+        assert out["pending"]
+
+    def test_missing_method_pends_nosuchmethod(self, vm):
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("java/lang/Object")
+            out["mid"] = env.GetStaticMethodID(cls, "nope", "()V")
+            pending = env.ExceptionOccurred()
+            out["kind"] = env.resolve_reference(pending).jclass.name
+            env.ExceptionClear()
+
+        run_native(vm, nat)
+        assert out["mid"] is None
+        assert out["kind"] == "java/lang/NoSuchMethodError"
+
+    def test_bad_signature_string_pends(self, vm):
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("java/lang/Object")
+            out["mid"] = env.GetStaticMethodID(cls, "f", "(Lunfinished")
+            out["pending"] = env.ExceptionCheck()
+            env.ExceptionClear()
+
+        run_native(vm, nat)
+        assert out["mid"] is None
+        assert out["pending"]
+
+    def test_static_lookup_rejects_instance_method(self, vm):
+        vm.define_class("t/I")
+        vm.add_method("t/I", "inst", "()V", body=lambda *a: None)
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("t/I")
+            out["mid"] = env.GetStaticMethodID(cls, "inst", "()V")
+            env.ExceptionClear()
+
+        run_native(vm, nat)
+        assert out["mid"] is None
+
+    def test_new_object_runs_constructor(self, vm):
+        vm.define_class("t/Ctor")
+        vm.add_field("t/Ctor", "n", "I")
+
+        def init(vmach, thread, receiver, n):
+            receiver.set_field(
+                vmach.require_class("t/Ctor").find_field("n", "I"), n
+            )
+
+        vm.add_method("t/Ctor", "<init>", "(I)V", body=init)
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("t/Ctor")
+            mid = env.GetMethodID(cls, "<init>", "(I)V")
+            obj = env.NewObjectA(cls, mid, [9])
+            fid = env.GetFieldID(cls, "n", "I")
+            out["n"] = env.GetIntField(obj, fid)
+
+        run_native(vm, nat)
+        assert out["n"] == 9
+
+    def test_alloc_object_skips_constructor(self, vm):
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("java/lang/Object")
+            obj = env.AllocObject(cls)
+            out["cls"] = env.resolve_reference(obj).jclass.name
+
+        run_native(vm, nat)
+        assert out["cls"] == "java/lang/Object"
+
+
+class TestFields:
+    def _fielded(self, vm):
+        vm.define_class("t/F")
+        vm.add_field("t/F", "n", "I")
+        vm.add_field("t/F", "s", "Ljava/lang/String;")
+        vm.add_field("t/F", "stat", "J", is_static=True)
+
+    def test_instance_int_roundtrip(self, vm):
+        self._fielded(vm)
+        obj = vm.new_object("t/F")
+        out = {}
+
+        def nat(env, this, handle):
+            cls = env.FindClass("t/F")
+            fid = env.GetFieldID(cls, "n", "I")
+            env.SetIntField(handle, fid, 41)
+            out["n"] = env.GetIntField(handle, fid)
+
+        run_native(vm, nat, "(Ljava/lang/Object;)V", obj)
+        assert out["n"] == 41
+
+    def test_instance_object_field_returns_ref(self, vm):
+        self._fielded(vm)
+        obj = vm.new_object("t/F")
+        out = {}
+
+        def nat(env, this, handle):
+            cls = env.FindClass("t/F")
+            fid = env.GetFieldID(cls, "s", "Ljava/lang/String;")
+            env.SetObjectField(handle, fid, env.NewStringUTF("stored"))
+            ref = env.GetObjectField(handle, fid)
+            out["value"] = env.resolve_string(ref).value
+
+        run_native(vm, nat, "(Ljava/lang/Object;)V", obj)
+        assert out["value"] == "stored"
+
+    def test_static_long_roundtrip(self, vm):
+        self._fielded(vm)
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("t/F")
+            fid = env.GetStaticFieldID(cls, "stat", "J")
+            env.SetStaticLongField(cls, fid, 1 << 40)
+            out["v"] = env.GetStaticLongField(cls, fid)
+
+        run_native(vm, nat)
+        assert out["v"] == 1 << 40
+
+    def test_missing_field_pends(self, vm):
+        self._fielded(vm)
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("t/F")
+            out["fid"] = env.GetFieldID(cls, "ghost", "I")
+            env.ExceptionClear()
+
+        run_native(vm, nat)
+        assert out["fid"] is None
+
+    def test_final_field_write_pends_npe(self, vm):
+        vm.define_class("t/Final")
+        vm.add_field("t/Final", "K", "I", is_static=True, is_final=True)
+
+        def nat(env, this):
+            cls = env.FindClass("t/Final")
+            fid = env.GetStaticFieldID(cls, "K", "I")
+            env.SetStaticIntField(cls, fid, 1)
+
+        with pytest.raises(JavaException) as exc_info:
+            run_native(vm, nat)
+        assert "NullPointerException" in str(exc_info.value)
+
+
+class TestStrings:
+    def test_new_string_utf_roundtrip(self, vm):
+        out = {}
+
+        def nat(env, this):
+            js = env.NewStringUTF("héllo")
+            out["len"] = env.GetStringLength(js)
+            out["utf_len"] = env.GetStringUTFLength(js)
+            buf = env.GetStringUTFChars(js)
+            out["text"] = "".join(buf.data)
+            env.ReleaseStringUTFChars(js, buf)
+
+        run_native(vm, nat)
+        assert out["len"] == 5
+        assert out["utf_len"] == len("héllo".encode("utf-8"))
+        assert out["text"] == "héllo"
+
+    def test_new_string_from_chars(self, vm):
+        out = {}
+
+        def nat(env, this):
+            js = env.NewString(list("abcdef"), 3)
+            buf = env.GetStringChars(js)
+            out["text"] = "".join(buf.data)
+            env.ReleaseStringChars(js, buf)
+
+        run_native(vm, nat)
+        assert out["text"] == "abc"
+
+    def test_string_region(self, vm):
+        out = {}
+
+        def nat(env, this):
+            js = env.NewStringUTF("abcdef")
+            region = [None] * 3
+            env.GetStringRegion(js, 2, 3, region)
+            out["region"] = "".join(region)
+
+        run_native(vm, nat)
+        assert out["region"] == "cde"
+
+    def test_string_region_bounds_pend(self, vm):
+        out = {}
+
+        def nat(env, this):
+            js = env.NewStringUTF("ab")
+            env.GetStringRegion(js, 1, 5, [None] * 5)
+            out["pending"] = env.ExceptionCheck()
+            env.ExceptionClear()
+
+        run_native(vm, nat)
+        assert out["pending"]
+
+    def test_hotspot_buffers_are_nul_terminated(self, vm):
+        out = {}
+
+        def nat(env, this):
+            js = env.NewStringUTF("xy")
+            buf = env.GetStringChars(js)
+            out["nul"] = buf.read(2)
+            env.ReleaseStringChars(js, buf)
+
+        run_native(vm, nat)
+        assert out["nul"] == "\0"
+
+    def test_j9_buffers_are_not_nul_terminated(self, j9_vm):
+        out = {}
+
+        def nat(env, this):
+            js = env.NewStringUTF("xy")
+            buf = env.GetStringChars(js)
+            try:
+                buf.read(2)
+                out["overread"] = False
+            except IndexError:
+                out["overread"] = True
+            env.ReleaseStringChars(js, buf)
+
+        call_native(j9_vm, "t/J9Str", "go", "()V", nat)
+        assert out["overread"]
+
+
+class TestMiscEnv:
+    def test_is_same_object(self, vm):
+        obj = vm.new_object("java/lang/Object")
+        out = {}
+
+        def nat(env, this, handle):
+            other = env.NewLocalRef(handle)
+            out["same"] = env.IsSameObject(handle, other)
+            out["null_null"] = env.IsSameObject(None, None)
+            out["obj_null"] = env.IsSameObject(handle, None)
+
+        run_native(vm, nat, "(Ljava/lang/Object;)V", obj)
+        assert out["same"] is True
+        assert out["null_null"] is True
+        assert out["obj_null"] is False
+
+    def test_is_instance_of(self, vm):
+        out = {}
+
+        def nat(env, this):
+            s = env.NewStringUTF("x")
+            out["str"] = env.IsInstanceOf(s, env.FindClass("java/lang/String"))
+            out["obj"] = env.IsInstanceOf(s, env.FindClass("java/lang/Object"))
+            out["null"] = env.IsInstanceOf(None, env.FindClass("java/lang/String"))
+
+        run_native(vm, nat)
+        assert out == {"str": True, "obj": True, "null": True}
+
+    def test_get_object_class(self, vm):
+        out = {}
+
+        def nat(env, this):
+            s = env.NewStringUTF("x")
+            cls_ref = env.GetObjectClass(s)
+            out["name"] = env.resolve_class(cls_ref).name
+
+        run_native(vm, nat)
+        assert out["name"] == "java/lang/String"
+
+    def test_direct_byte_buffer(self, vm):
+        out = {}
+
+        def nat(env, this):
+            address = bytearray(16)
+            buf = env.NewDirectByteBuffer(address, 16)
+            out["addr_is"] = env.GetDirectBufferAddress(buf) is address
+            out["cap"] = env.GetDirectBufferCapacity(buf)
+
+        run_native(vm, nat)
+        assert out["addr_is"]
+        assert out["cap"] == 16
+
+    def test_register_natives_through_env(self, vm):
+        vm.define_class("t/Reg")
+        vm.add_method("t/Reg", "dyn", "()I", is_static=True, is_native=True)
+
+        def dyn_impl(env, this):
+            return 77
+
+        def nat(env, this):
+            cls = env.FindClass("t/Reg")
+            assert env.RegisterNatives(cls, [("dyn", "()I", dyn_impl)], 1) == 0
+
+        run_native(vm, nat)
+        assert vm.call_static("t/Reg", "dyn", "()I") == 77
+
+    def test_unregister_natives(self, vm):
+        vm.define_class("t/Reg")
+        vm.register_native("t/Reg", "dyn", "()I", lambda env, this: 1)
+
+        def nat(env, this):
+            env.UnregisterNatives(env.FindClass("t/Reg"))
+
+        run_native(vm, nat)
+        with pytest.raises(JavaException):
+            vm.call_static("t/Reg", "dyn", "()I")
+
+    def test_monitor_enter_exit_via_env(self, vm):
+        obj = vm.new_object("java/lang/Object")
+        out = {}
+
+        def nat(env, this, handle):
+            out["enter"] = env.MonitorEnter(handle)
+            out["exit"] = env.MonitorExit(handle)
+
+        run_native(vm, nat, "(Ljava/lang/Object;)V", obj)
+        assert out == {"enter": 0, "exit": 0}
+        assert obj.monitor.owner is None
+
+    def test_monitor_exit_without_enter_pends(self, vm):
+        obj = vm.new_object("java/lang/Object")
+        out = {}
+
+        def nat(env, this, handle):
+            out["code"] = env.MonitorExit(handle)
+            out["pending"] = env.ExceptionCheck()
+            env.ExceptionClear()
+
+        run_native(vm, nat, "(Ljava/lang/Object;)V", obj)
+        assert out["code"] == -1
+        assert out["pending"]

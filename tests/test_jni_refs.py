@@ -1,0 +1,326 @@
+"""Tests for JNI reference management: frames, locals, globals, weaks."""
+
+import pytest
+
+from repro.jni.env import (
+    JNIGlobalRefType,
+    JNIInvalidRefType,
+    JNILocalRefType,
+    JNIWeakGlobalRefType,
+)
+from repro.jni.refs import GlobalRefRegistry, RefTables
+from repro.jni.types import JRef
+from repro.jvm import JavaVM, SimulatedCrash
+from tests.conftest import call_native
+
+_counter = [0]
+
+
+def run_native(vm, body, descriptor="()V", *args):
+    _counter[0] += 1
+    return call_native(
+        vm, "tr/Host{}".format(_counter[0]), "go", descriptor, body, *args
+    )
+
+
+class TestRefTablesUnit:
+    def test_new_local_lands_in_current_frame(self, vm):
+        tables = RefTables()
+        frame = tables.push_frame(implicit=True)
+        obj = vm.new_object("java/lang/Object")
+        ref = tables.new_local(obj, vm.main_thread)
+        assert ref in frame.refs
+        assert ref.alive
+        assert tables.live_local_count() == 1
+
+    def test_null_local_is_none(self, vm):
+        tables = RefTables()
+        tables.push_frame(implicit=True)
+        assert tables.new_local(None, vm.main_thread) is None
+
+    def test_pop_kills_refs(self, vm):
+        tables = RefTables()
+        tables.push_frame(implicit=True)
+        ref = tables.new_local(vm.new_object("java/lang/Object"), vm.main_thread)
+        tables.pop_frame()
+        assert not ref.alive
+        assert tables.live_local_count() == 0
+
+    def test_pop_implicit_discards_explicit_frames(self, vm):
+        tables = RefTables()
+        tables.push_frame(implicit=True)
+        tables.push_frame()  # explicit, never popped
+        tables.push_frame()  # explicit, never popped
+        assert tables.pop_frame(implicit=True) == 2
+
+    def test_delete_local_statuses(self, vm):
+        tables = RefTables()
+        tables.push_frame(implicit=True)
+        ref = tables.new_local(vm.new_object("java/lang/Object"), vm.main_thread)
+        assert tables.delete_local(ref) == "ok"
+        assert tables.delete_local(ref) == "double_free"
+        foreign = JRef("local", vm.new_object("java/lang/Object"))
+        assert tables.delete_local(foreign) == "foreign"
+
+    def test_overflow_recorded_on_pop(self, vm):
+        tables = RefTables(default_capacity=2)
+        tables.push_frame(implicit=True)
+        for _ in range(3):
+            tables.new_local(vm.new_object("java/lang/Object"), vm.main_thread)
+        assert tables.current_frame().overflowed
+        tables.pop_frame()
+        assert tables.overflow_events == 1
+
+    def test_global_lifecycle(self, vm):
+        registry = GlobalRefRegistry()
+        obj = vm.new_object("java/lang/Object")
+        g = registry.new_global(obj)
+        assert g.kind == "global"
+        assert registry.delete_global(g) == "ok"
+        assert registry.delete_global(g) == "double_free"
+
+    def test_global_registry_is_vm_wide(self, vm):
+        # A ref made through one thread's env is deletable from another.
+        worker = vm.attach_thread("worker")
+        g = vm.global_refs.new_global(vm.new_object("java/lang/Object"))
+        with vm.run_on_thread(worker):
+            assert vm.global_refs.delete_global(g) == "ok"
+
+    def test_history_recording(self, vm):
+        tables = RefTables()
+        tables.record_history = True
+        tables.push_frame(implicit=True)
+        tables.new_local(vm.new_object("java/lang/Object"), vm.main_thread)
+        tables.new_local(vm.new_object("java/lang/Object"), vm.main_thread)
+        tables.pop_frame()
+        assert tables.history == [1, 2, 0]
+
+    def test_leak_descriptions_for_globals(self, vm):
+        registry = GlobalRefRegistry()
+        registry.new_global(vm.new_object("java/lang/Object"))
+        registry.new_weak(vm.new_object("java/lang/Object"))
+        leaks = registry.leak_descriptions()
+        assert len(leaks) == 2
+
+
+class TestLocalFramesThroughEnv:
+    def test_push_pop_local_frame_survivor(self, vm):
+        out = {}
+
+        def nat(env, this):
+            env.PushLocalFrame(4)
+            inner = env.NewStringUTF("survivor")
+            survivor = env.PopLocalFrame(inner)
+            out["alive"] = survivor.alive
+            out["inner_dead"] = not inner.alive
+            out["value"] = env.resolve_string(survivor).value
+
+        run_native(vm, nat)
+        assert out == {"alive": True, "inner_dead": True, "value": "survivor"}
+
+    def test_pop_local_frame_null_survivor(self, vm):
+        out = {}
+
+        def nat(env, this):
+            env.PushLocalFrame(4)
+            env.NewStringUTF("doomed")
+            out["result"] = env.PopLocalFrame(None)
+
+        run_native(vm, nat)
+        assert out["result"] is None
+
+    def test_pop_without_push_crashes_production(self, vm):
+        def nat(env, this):
+            env.PopLocalFrame(None)
+
+        with pytest.raises(SimulatedCrash):
+            run_native(vm, nat)
+
+    def test_ensure_local_capacity_prevents_overflow_accounting(self, vm):
+        def nat(env, this):
+            env.EnsureLocalCapacity(64)
+            for i in range(30):
+                env.NewStringUTF(str(i))
+
+        run_native(vm, nat)
+        assert vm.main_thread.env.refs.overflow_events == 0
+
+    def test_local_refs_die_when_native_returns(self, vm):
+        holder = {}
+
+        def nat(env, this):
+            holder["ref"] = env.NewStringUTF("frame-local")
+
+        run_native(vm, nat)
+        assert not holder["ref"].alive
+
+    def test_delete_local_ref_frees_slot(self, vm):
+        out = {}
+
+        def nat(env, this):
+            before = env.refs.live_local_count()
+            s = env.NewStringUTF("tmp")
+            env.DeleteLocalRef(s)
+            out["delta"] = env.refs.live_local_count() - before
+
+        run_native(vm, nat)
+        assert out["delta"] == 0
+
+    def test_delete_null_local_is_noop(self, vm):
+        def nat(env, this):
+            env.DeleteLocalRef(None)
+
+        run_native(vm, nat)
+
+    def test_new_local_ref_duplicates(self, vm):
+        obj = vm.new_object("java/lang/Object")
+        out = {}
+
+        def nat(env, this, handle):
+            dup = env.NewLocalRef(handle)
+            out["same_target"] = env.IsSameObject(dup, handle)
+            out["distinct_handle"] = dup is not handle
+
+        run_native(vm, nat, "(Ljava/lang/Object;)V", obj)
+        assert out == {"same_target": True, "distinct_handle": True}
+
+
+class TestGlobalAndWeakRefs:
+    def test_global_ref_survives_across_native_calls(self, vm):
+        holder = {}
+
+        def first(env, this):
+            obj = env.AllocObject(env.FindClass("java/lang/Object"))
+            holder["g"] = env.NewGlobalRef(obj)
+
+        def second(env, this):
+            cls = env.GetObjectClass(holder["g"])
+            holder["name"] = env.resolve_class(cls).name
+
+        run_native(vm, first)
+        run_native(vm, second)
+        assert holder["name"] == "java/lang/Object"
+
+    def test_delete_global(self, vm):
+        out = {}
+
+        def nat(env, this):
+            obj = env.AllocObject(env.FindClass("java/lang/Object"))
+            g = env.NewGlobalRef(obj)
+            env.DeleteGlobalRef(g)
+            out["alive"] = g.alive
+
+        run_native(vm, nat)
+        assert out["alive"] is False
+
+    def test_weak_ref_clears_after_gc(self, vm):
+        holder = {}
+
+        def nat(env, this):
+            obj = env.AllocObject(env.FindClass("java/lang/Object"))
+            holder["weak"] = env.NewWeakGlobalRef(obj)
+
+        run_native(vm, nat)
+        vm.gc()
+        out = {}
+
+        def check(env, this):
+            out["cleared"] = env.IsSameObject(holder["weak"], None)
+
+        run_native(vm, check)
+        assert out["cleared"] is True
+
+    def test_weak_ref_kept_while_strongly_reachable(self, vm):
+        holder = {}
+
+        def nat(env, this):
+            obj = env.AllocObject(env.FindClass("java/lang/Object"))
+            holder["strong"] = env.NewGlobalRef(obj)
+            holder["weak"] = env.NewWeakGlobalRef(obj)
+
+        run_native(vm, nat)
+        vm.gc()
+        assert holder["weak"].target is not None
+
+    def test_get_object_ref_type(self, vm):
+        out = {}
+
+        def nat(env, this):
+            local = env.NewStringUTF("x")
+            g = env.NewGlobalRef(local)
+            w = env.NewWeakGlobalRef(local)
+            dead = env.NewStringUTF("y")
+            env.DeleteLocalRef(dead)
+            out["local"] = env.GetObjectRefType(local)
+            out["global"] = env.GetObjectRefType(g)
+            out["weak"] = env.GetObjectRefType(w)
+            out["null"] = env.GetObjectRefType(None)
+            out["dead"] = env.GetObjectRefType(dead)
+            env.DeleteGlobalRef(g)
+            env.DeleteWeakGlobalRef(w)
+
+        run_native(vm, nat)
+        assert out == {
+            "local": JNILocalRefType,
+            "global": JNIGlobalRefType,
+            "weak": JNIWeakGlobalRefType,
+            "null": JNIInvalidRefType,
+            "dead": JNIInvalidRefType,
+        }
+
+    def test_global_ref_of_null_is_null(self, vm):
+        out = {}
+
+        def nat(env, this):
+            out["g"] = env.NewGlobalRef(None)
+
+        run_native(vm, nat)
+        assert out["g"] is None
+
+
+class TestDanglingProduction:
+    def test_dangling_local_use_crashes(self, vm):
+        holder = {}
+
+        def first(env, this):
+            holder["ref"] = env.NewStringUTF("dies")
+
+        def second(env, this):
+            env.GetStringLength(holder["ref"])
+
+        run_native(vm, first)
+        with pytest.raises(SimulatedCrash):
+            run_native(vm, second)
+
+    def test_dangling_global_use_crashes(self, vm):
+        def nat(env, this):
+            obj = env.AllocObject(env.FindClass("java/lang/Object"))
+            g = env.NewGlobalRef(obj)
+            env.DeleteGlobalRef(g)
+            env.GetObjectClass(g)
+
+        with pytest.raises(SimulatedCrash):
+            run_native(vm, nat)
+
+    def test_local_double_free_crashes(self, vm):
+        def nat(env, this):
+            s = env.NewStringUTF("once")
+            env.DeleteLocalRef(s)
+            env.DeleteLocalRef(s)
+
+        with pytest.raises(SimulatedCrash):
+            run_native(vm, nat)
+
+    def test_cross_thread_local_use_crashes(self, vm):
+        holder = {}
+
+        def capture(env, this):
+            holder["ref"] = env.NewStringUTF("mine")
+            # keep the owning frame alive by not returning yet: use a
+            # nested thread switch instead.
+            worker = vm.attach_thread("worker")
+            with vm.run_on_thread(worker):
+                with pytest.raises(SimulatedCrash):
+                    worker.env.GetStringLength(holder["ref"])
+
+        run_native(vm, capture)

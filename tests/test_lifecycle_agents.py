@@ -1,0 +1,110 @@
+"""Lifecycle and agent-dispatch coverage: JVMTI host, interp shutdown."""
+
+import pytest
+
+from repro.jvm import JavaVM
+from repro.jvm.jvmti import AgentHost, JVMTIAgent
+from repro.pyc import PythonInterpreter
+
+
+class _RecordingAgent(JVMTIAgent):
+    def __init__(self, name, log):
+        self.name = name
+        self.log = log
+
+    def on_load(self, vm):
+        self.log.append((self.name, "load"))
+
+    def on_vm_init(self, vm):
+        self.log.append((self.name, "init"))
+
+    def on_thread_start(self, vm, thread):
+        self.log.append((self.name, "thread_start", thread.name))
+
+    def on_thread_end(self, vm, thread):
+        self.log.append((self.name, "thread_end", thread.name))
+
+    def on_native_method_bind(self, vm, method, impl):
+        self.log.append((self.name, "bind", method.name))
+
+        def wrapper(env, this, *args):
+            self.log.append((self.name, "call", method.name))
+            return impl(env, this, *args)
+
+        return wrapper
+
+    def on_vm_death(self, vm):
+        self.log.append((self.name, "death"))
+
+
+class TestJVMTILifecycle:
+    def test_event_order_for_one_agent(self):
+        log = []
+        vm = JavaVM(agents=[_RecordingAgent("a", log)])
+        worker = vm.attach_thread("worker")
+        vm.detach_thread(worker)
+        vm.shutdown()
+        kinds = [entry[1] for entry in log]
+        assert kinds == [
+            "load",
+            "thread_start",  # main
+            "init",
+            "thread_start",  # worker
+            "thread_end",
+            "death",
+        ]
+
+    def test_agents_dispatch_in_load_order(self):
+        log = []
+        vm = JavaVM(agents=[_RecordingAgent("a", log), _RecordingAgent("b", log)])
+        loads = [entry[0] for entry in log if entry[1] == "load"]
+        assert loads == ["a", "b"]
+        vm.shutdown()
+
+    def test_bind_hooks_chain_in_order(self):
+        log = []
+        vm = JavaVM(agents=[_RecordingAgent("a", log), _RecordingAgent("b", log)])
+        vm.define_class("lc/C")
+        vm.register_native("lc/C", "nat", "()I", lambda env, this: 5)
+        assert vm.call_static("lc/C", "nat", "()I") == 5
+        binds = [entry[0] for entry in log if entry[1] == "bind"]
+        assert binds == ["a", "b"]
+        # Outermost wrapper = last agent's, so its "call" logs first.
+        calls = [entry[0] for entry in log if entry[1] == "call"]
+        assert calls == ["b", "a"]
+        vm.shutdown()
+
+    def test_agent_host_rejects_nothing_and_is_reusable(self):
+        host = AgentHost([])
+        host.dispatch("on_vm_init", None)  # no agents: no-op
+        assert host.bind_native(None, None, "impl") == "impl"
+
+
+class TestInterpreterShutdown:
+    def test_shutdown_leaks_lists_live_objects(self):
+        interp = PythonInterpreter()
+        kept = interp.api.PyString_FromString("still referenced")
+        leaks = interp.shutdown_leaks()
+        assert any("still referenced" not in leak for leak in leaks) or leaks
+        assert any(str(kept.serial) in leak or "str" in leak for leak in leaks)
+
+    def test_shutdown_ignores_immortal_singletons(self):
+        interp = PythonInterpreter()
+        assert interp.shutdown_leaks() == []
+
+    def test_shutdown_after_balanced_extension(self):
+        interp = PythonInterpreter()
+
+        def tidy(api, self_obj, args):
+            s = api.PyString_FromString("x")
+            api.Py_DecRef(s)
+            return api.Py_RETURN_NONE()
+
+        interp.register_extension("tidy", tidy)
+        interp.call_extension("tidy")
+        assert interp.shutdown_leaks() == []
+
+    def test_diagnostics_logging(self):
+        interp = PythonInterpreter()
+        interp.log("note")
+        assert interp.diagnostics == ["note"]

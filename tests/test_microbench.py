@@ -1,0 +1,121 @@
+"""Integration tests: the Table 1 matrix and the §6.3 coverage claims."""
+
+import pytest
+
+from repro.workloads.microbench import (
+    EXTRA_SCENARIOS,
+    MICROBENCHMARKS,
+    TABLE1_ROWS,
+    scenario_by_name,
+)
+from repro.workloads.outcomes import (
+    VALID_REPORTS,
+    run_all_configurations,
+    run_scenario,
+)
+
+#: The paper's Table 1 rows (pitfall -> expected outcome per column).
+PAPER_TABLE1 = {
+    1: ("running", "crash", "warning", "error", "exception"),
+    2: ("running", "crash", "running", "crash", "exception"),
+    3: ("crash", "crash", "error", "error", "exception"),
+    6: ("crash", "crash", "error", "error", "exception"),
+    8: ("running", "NPE", "running", "NPE", "running/NPE"),
+    9: ("NPE", "NPE", "NPE", "NPE", "exception"),
+    11: ("leak", "leak", "running", "warning", "exception"),
+    12: ("leak", "leak", "running", "warning", "exception"),
+    13: ("crash", "crash", "error", "error", "exception"),
+    14: ("running", "crash", "error", "crash", "exception"),
+    16: ("deadlock", "deadlock", "warning", "error", "exception"),
+}
+
+_matrix_cache = {}
+
+
+def matrix(scenario_name):
+    if scenario_name not in _matrix_cache:
+        scenario = scenario_by_name(scenario_name)
+        _matrix_cache[scenario_name] = run_all_configurations(scenario.run)
+    return _matrix_cache[scenario_name]
+
+
+class TestTable1:
+    @pytest.mark.parametrize(
+        "pitfall,description,scenario_name", TABLE1_ROWS
+    )
+    def test_row_matches_paper(self, pitfall, description, scenario_name):
+        row = matrix(scenario_name)
+        expected = PAPER_TABLE1[pitfall]
+        observed = (
+            row["HotSpot"],
+            row["J9"],
+            row["HotSpot-xcheck"],
+            row["J9-xcheck"],
+            row["Jinn"],
+        )
+        assert observed == expected, description
+
+
+class TestCoverage:
+    @pytest.fixture(scope="class")
+    def all_rows(self):
+        return {sc.name: run_all_configurations(sc.run) for sc in MICROBENCHMARKS}
+
+    def test_sixteen_microbenchmarks(self):
+        assert len(MICROBENCHMARKS) == 16
+
+    def test_one_micro_per_error_state(self):
+        states = [(sc.machine, sc.error_state) for sc in MICROBENCHMARKS]
+        assert len(set(states)) == 16
+
+    def test_all_eleven_machines_covered(self):
+        machines = {sc.machine for sc in MICROBENCHMARKS}
+        assert len(machines) == 11
+
+    def test_jinn_catches_all_sixteen(self, all_rows):
+        assert all(
+            row["Jinn"] in VALID_REPORTS for row in all_rows.values()
+        )
+
+    def test_hotspot_xcheck_coverage_is_56_percent(self, all_rows):
+        caught = sum(
+            row["HotSpot-xcheck"] in VALID_REPORTS for row in all_rows.values()
+        )
+        assert caught == 9  # 9/16 = 56%
+
+    def test_j9_xcheck_coverage_is_50_percent(self, all_rows):
+        caught = sum(
+            row["J9-xcheck"] in VALID_REPORTS for row in all_rows.values()
+        )
+        assert caught == 8  # 8/16 = 50%
+
+    def test_vendors_inconsistent_on_nine_of_sixteen(self, all_rows):
+        differing = sum(
+            row["HotSpot-xcheck"] != row["J9-xcheck"]
+            for row in all_rows.values()
+        )
+        assert differing == 9
+
+    def test_jinn_reports_name_the_right_machine(self):
+        for scenario in MICROBENCHMARKS:
+            result = run_scenario(scenario.run, checker="jinn")
+            assert result.violations, scenario.name
+            assert scenario.machine in result.violations[0], scenario.name
+
+
+class TestBeyondBoundary:
+    def test_unicode_pitfall_uncatchable_by_jinn(self):
+        scenario = scenario_by_name("UnicodeString")
+        row = run_all_configurations(scenario.run)
+        # Jinn behaves like production: HotSpot runs, J9 NPEs.
+        assert row["Jinn"] == "running/NPE"
+
+    def test_extra_scenarios_registered(self):
+        assert {sc.name for sc in EXTRA_SCENARIOS} == {
+            "IdConfusion",
+            "UnicodeString",
+        }
+
+    def test_unknown_scenario_name_raises(self):
+        with pytest.raises(KeyError):
+            scenario_by_name("Nonexistent")

@@ -1,0 +1,161 @@
+"""The undefined-behaviour contract: one scenario per misuse kind.
+
+For every misuse kind the raw layer can encounter, a concrete triggering
+scenario is run under both vendor personalities and the observed reaction
+is asserted against the vendor profile — a living contract between the
+simulator's hazards and `repro/jvm/vendors.py`.
+"""
+
+import pytest
+
+from repro.jvm import (
+    HOTSPOT,
+    J9,
+    DeadlockError,
+    JavaException,
+    JavaVM,
+    SimulatedCrash,
+)
+
+_counter = [0]
+
+
+def _native(vm, body, descriptor="()V", *args):
+    _counter[0] += 1
+    cls = "mm/C{}".format(_counter[0])
+    vm.define_class(cls)
+    vm.add_method(cls, "go", descriptor, is_static=True, is_native=True)
+    vm.register_native(cls, "go", descriptor, body)
+    return vm.call_static(cls, "go", descriptor, *args)
+
+
+def _trigger(vm, kind):
+    """Run a scenario whose only hazard is ``kind``."""
+    if kind == "env_mismatch":
+        stash = {}
+        _native(vm, lambda env, this: stash.update(env=env))
+        worker = vm.attach_thread("worker")
+        with vm.run_on_thread(worker):
+            _native(vm, lambda env, this: stash["env"].GetVersion())
+    elif kind == "pending_exception_ignored":
+        def nat(env, this):
+            env.ThrowNew(env.FindClass("java/lang/RuntimeException"), "x")
+            env.FindClass("java/lang/Object")  # sensitive call
+            env.ExceptionClear()
+
+        _native(vm, nat)
+    elif kind == "critical_violation":
+        def nat(env, this):
+            arr = env.NewIntArray(1)
+            env.GetPrimitiveArrayCritical(arr)
+            env.FindClass("java/lang/Object")
+
+        _native(vm, nat)
+    elif kind == "fixed_type_confusion":
+        def nat(env, this):
+            obj = env.AllocObject(env.FindClass("java/lang/Object"))
+            env.GetStaticMethodID(obj, "m", "()V")
+
+        _native(vm, nat)
+    elif kind == "entity_type_mismatch":
+        vm.define_class("mm/E")
+        vm.add_method("mm/E", "f", "(I)V", is_static=True, body=lambda *a: None)
+
+        def nat(env, this):
+            cls = env.FindClass("mm/E")
+            mid = env.GetStaticMethodID(cls, "f", "(I)V")
+            env.CallStaticVoidMethodA(cls, mid, [])
+
+        _native(vm, nat)
+    elif kind == "null_argument":
+        _native(vm, lambda env, this: env.GetStringLength(None))
+    elif kind == "final_field_write":
+        vm.define_class("mm/F")
+        vm.add_field("mm/F", "K", "I", is_static=True, is_final=True)
+
+        def nat(env, this):
+            cls = env.FindClass("mm/F")
+            fid = env.GetStaticFieldID(cls, "K", "I")
+            env.SetStaticIntField(cls, fid, 1)
+
+        _native(vm, nat)
+    elif kind == "pinned_double_free":
+        def nat(env, this):
+            arr = env.NewIntArray(1)
+            elems = env.GetIntArrayElements(arr)
+            env.ReleaseIntArrayElements(arr, elems, 0)
+            env.ReleaseIntArrayElements(arr, elems, 0)
+
+        _native(vm, nat)
+    elif kind == "global_dangling":
+        def nat(env, this):
+            obj = env.AllocObject(env.FindClass("java/lang/Object"))
+            g = env.NewGlobalRef(obj)
+            env.DeleteGlobalRef(g)
+            env.GetObjectClass(g)
+
+        _native(vm, nat)
+    elif kind == "local_dangling":
+        stash = {}
+        _native(vm, lambda env, this: stash.update(r=env.NewStringUTF("d")))
+        _native(vm, lambda env, this: env.GetStringLength(stash["r"]))
+    elif kind == "local_double_free":
+        def nat(env, this):
+            s = env.NewStringUTF("x")
+            env.DeleteLocalRef(s)
+            env.DeleteLocalRef(s)
+
+        _native(vm, nat)
+    elif kind == "local_overflow":
+        def nat(env, this):
+            for i in range(20):
+                env.NewStringUTF(str(i))
+
+        _native(vm, nat)
+    else:
+        raise AssertionError("no scenario for " + kind)
+
+
+def _observe(vendor, kind):
+    vm = JavaVM(vendor=vendor)
+    try:
+        _trigger(vm, kind)
+    except SimulatedCrash:
+        return "crash"
+    except DeadlockError:
+        return "deadlock"
+    except JavaException as je:
+        if je.throwable.jclass.name.endswith("NullPointerException"):
+            return "npe"
+        return "exception"
+    finally:
+        if vm.alive:
+            vm.shutdown()
+    return "running"
+
+
+_KINDS = (
+    "env_mismatch",
+    "pending_exception_ignored",
+    "critical_violation",
+    "fixed_type_confusion",
+    "entity_type_mismatch",
+    "null_argument",
+    "final_field_write",
+    "pinned_double_free",
+    "global_dangling",
+    "local_dangling",
+    "local_double_free",
+    "local_overflow",
+)
+
+
+@pytest.mark.parametrize("vendor", [HOTSPOT, J9], ids=lambda v: v.name)
+@pytest.mark.parametrize("kind", _KINDS)
+def test_reaction_matches_vendor_profile(vendor, kind):
+    expected = vendor.reaction(kind)
+    observed = _observe(vendor, kind)
+    if expected in ("running", "leak"):
+        assert observed == "running", (vendor.name, kind, observed)
+    else:
+        assert observed == expected, (vendor.name, kind, observed)

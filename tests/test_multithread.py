@@ -1,0 +1,152 @@
+"""Multi-thread scenarios: per-thread machine state must not bleed."""
+
+import pytest
+
+from repro.jinn import JinnAgent, violation_of
+from repro.jvm import JavaException, JavaVM
+
+
+@pytest.fixture
+def agent():
+    return JinnAgent()
+
+
+@pytest.fixture
+def mt_vm(agent):
+    vm = JavaVM(agents=[agent])
+    vm.define_class("mt/C")
+    yield vm
+    if vm.alive:
+        vm.shutdown()
+
+
+def bind(vm, name, impl, descriptor="()V"):
+    vm.add_method("mt/C", name, descriptor, is_static=True, is_native=True)
+    vm.register_native("mt/C", name, descriptor, impl)
+
+
+class TestCriticalSectionsPerThread:
+    def test_critical_section_confined_to_its_thread(self, mt_vm, agent):
+        def enter_critical(env, this):
+            arr = env.NewIntArray(1)
+            env.GetPrimitiveArrayCritical(arr)
+            # deliberately keeps holding: its own thread is now critical
+
+        def innocent(env, this):
+            env.FindClass("java/lang/Object")
+
+        bind(mt_vm, "enterCritical", enter_critical)
+        bind(mt_vm, "innocent", innocent)
+        mt_vm.call_static("mt/C", "enterCritical", "()V")
+        # The worker thread is not inside a critical section.
+        worker = mt_vm.attach_thread("worker")
+        with mt_vm.run_on_thread(worker):
+            mt_vm.call_static("mt/C", "innocent", "()V")
+        assert agent.rt.violations == []
+
+    def test_sensitive_call_on_critical_thread_still_flagged(self, mt_vm, agent):
+        def bad(env, this):
+            arr = env.NewIntArray(1)
+            env.GetPrimitiveArrayCritical(arr)
+            env.FindClass("java/lang/Object")
+
+        bind(mt_vm, "bad", bad)
+        with pytest.raises(JavaException):
+            mt_vm.call_static("mt/C", "bad", "()V")
+        assert agent.rt.violations[0].machine == "critical_section"
+
+
+class TestFramesPerThread:
+    def test_overflow_is_per_thread(self, mt_vm, agent):
+        def fill_eight(env, this):
+            for i in range(8):
+                env.NewStringUTF(str(i))
+
+        bind(mt_vm, "fillEight", fill_eight)
+        # 8 + 8 across two threads stays under each thread's 16 budget.
+        mt_vm.call_static("mt/C", "fillEight", "()V")
+        worker = mt_vm.attach_thread("worker")
+        with mt_vm.run_on_thread(worker):
+            mt_vm.call_static("mt/C", "fillEight", "()V")
+        assert agent.rt.violations == []
+
+    def test_wrong_thread_local_use_names_the_owner(self, mt_vm, agent):
+        stash = {}
+
+        def producer_outer(env, this):
+            stash["ref"] = env.NewStringUTF("owned by main")
+            worker = mt_vm.attach_thread("worker")
+            with mt_vm.run_on_thread(worker):
+                with pytest.raises(JavaException) as exc_info:
+                    mt_vm.call_static("mt/C", "consumer", "()V")
+                violation = violation_of(exc_info.value.throwable)
+                assert "another thread" in str(violation)
+
+        def consumer(env, this):
+            env.GetStringLength(stash["ref"])
+
+        bind(mt_vm, "producer", producer_outer)
+        bind(mt_vm, "consumer", consumer)
+        mt_vm.call_static("mt/C", "producer", "()V")
+
+
+class TestEnvPerThread:
+    def test_each_thread_checked_against_its_own_env(self, mt_vm, agent):
+        envs = {}
+
+        def record(env, this):
+            envs[mt_vm.current_thread.name] = env
+            env.GetVersion()
+
+        bind(mt_vm, "record", record)
+        mt_vm.call_static("mt/C", "record", "()V")
+        for name in ("w1", "w2", "w3"):
+            worker = mt_vm.attach_thread(name)
+            with mt_vm.run_on_thread(worker):
+                mt_vm.call_static("mt/C", "record", "()V")
+        assert len(set(map(id, envs.values()))) == 4
+        assert agent.rt.violations == []
+
+    def test_stale_env_use_flagged_per_offending_thread(self, mt_vm, agent):
+        stash = {}
+
+        def capture(env, this):
+            stash["env"] = env
+
+        def misuse(env, this):
+            stash["env"].GetVersion()
+
+        bind(mt_vm, "capture", capture)
+        bind(mt_vm, "misuse", misuse)
+        mt_vm.call_static("mt/C", "capture", "()V")
+        worker = mt_vm.attach_thread("worker")
+        with mt_vm.run_on_thread(worker):
+            with pytest.raises(JavaException):
+                mt_vm.call_static("mt/C", "misuse", "()V")
+        assert agent.rt.violations[0].machine == "jnienv_state"
+        assert "worker" in str(agent.rt.violations[0])
+
+
+class TestMonitorsAcrossThreads:
+    def test_contended_monitor_enter_deadlocks_production_style(self, mt_vm):
+        from repro.jvm import DeadlockError
+
+        lock = mt_vm.new_object("java/lang/Object")
+        mt_vm.add_field(
+            "mt/C", "lock", "Ljava/lang/Object;", is_static=True
+        )
+        mt_vm.require_class("mt/C").find_field(
+            "lock", "Ljava/lang/Object;"
+        ).static_value = lock
+
+        def take(env, this):
+            cls = env.FindClass("mt/C")
+            fid = env.GetStaticFieldID(cls, "lock", "Ljava/lang/Object;")
+            env.MonitorEnter(env.GetStaticObjectField(cls, fid))
+
+        bind(mt_vm, "take", take)
+        mt_vm.call_static("mt/C", "take", "()V")
+        worker = mt_vm.attach_thread("worker")
+        with mt_vm.run_on_thread(worker):
+            with pytest.raises(DeadlockError):
+                mt_vm.call_static("mt/C", "take", "()V")

@@ -1,0 +1,260 @@
+"""Tests for the simulated Python/C API."""
+
+import pytest
+
+from repro.pyc import (
+    PY_FUNCTIONS,
+    InterpreterCrash,
+    PythonException,
+    PythonInterpreter,
+    census,
+)
+
+
+@pytest.fixture
+def interp():
+    return PythonInterpreter()
+
+
+@pytest.fixture
+def api(interp):
+    return interp.api
+
+
+class TestBuildValue:
+    def test_single_string(self, api):
+        obj = api.Py_BuildValue("s", "hello")
+        assert obj.type_name == "str"
+        assert obj.read() == "hello"
+
+    def test_single_int_and_float(self, api):
+        assert api.Py_BuildValue("i", 42).read() == 42
+        assert api.Py_BuildValue("d", 2.5).read() == 2.5
+
+    def test_list_of_strings_like_figure11(self, api):
+        obj = api.Py_BuildValue(
+            "[ssssss]", "Eric", "Graham", "John", "Michael", "Terry", "Terry"
+        )
+        assert obj.type_name == "list"
+        assert [o.read() for o in obj.read()] == [
+            "Eric", "Graham", "John", "Michael", "Terry", "Terry",
+        ]
+
+    def test_tuple_format(self, api):
+        obj = api.Py_BuildValue("(si)", "a", 1)
+        assert obj.type_name == "tuple"
+        assert obj.read()[1].read() == 1
+
+    def test_multiple_values_become_tuple(self, api):
+        obj = api.Py_BuildValue("si", "a", 1)
+        assert obj.type_name == "tuple"
+
+    def test_O_increfs(self, api):
+        inner = api.PyLong_FromLong(5)
+        before = inner.ob_refcnt
+        api.Py_BuildValue("O", inner)
+        assert inner.ob_refcnt == before + 1
+
+    def test_empty_dict(self, api):
+        assert api.Py_BuildValue("{}").type_name == "dict"
+
+    def test_nested_list(self, api):
+        obj = api.Py_BuildValue("[[i]]", 3)
+        assert obj.read()[0].read()[0].read() == 3
+
+    def test_too_many_args_crashes(self, api):
+        with pytest.raises(InterpreterCrash):
+            api.Py_BuildValue("s", "a", "b")
+
+    def test_unknown_code_crashes(self, api):
+        with pytest.raises(InterpreterCrash):
+            api.Py_BuildValue("q", 1)
+
+
+class TestScalars:
+    def test_long_roundtrip(self, api):
+        assert api.PyLong_AsLong(api.PyLong_FromLong(7)) == 7
+
+    def test_long_type_error(self, api, interp):
+        assert api.PyLong_AsLong(api.PyString_FromString("x")) == -1
+        assert interp.exc_info[0] == "TypeError"
+
+    def test_float_roundtrip(self, api):
+        assert api.PyFloat_AsDouble(api.PyFloat_FromDouble(1.5)) == 1.5
+
+    def test_bool_singletons(self, api, interp):
+        assert api.PyBool_FromLong(1) is interp.true
+        assert api.PyBool_FromLong(0) is interp.false
+
+    def test_string_helpers(self, api):
+        s = api.PyString_FromString("abc")
+        assert api.PyString_AsString(s) == "abc"
+        assert api.PyString_Size(s) == 3
+
+    def test_object_str_and_repr(self, api):
+        n = api.PyLong_FromLong(9)
+        assert api.PyObject_Str(n).read() == "9"
+        assert api.PyObject_Repr(n).read() == "9"
+
+    def test_truthiness_and_length(self, api):
+        lst = api.Py_BuildValue("[i]", 1)
+        assert api.PyObject_IsTrue(lst) == 1
+        assert api.PyObject_Length(lst) == 1
+        assert api.PyObject_Length(api.PyLong_FromLong(1)) == -1
+
+
+class TestContainers:
+    def test_list_new_get_set(self, api):
+        lst = api.PyList_New(2)
+        item = api.PyString_FromString("x")
+        assert api.PyList_SetItem(lst, 0, item) == 0  # steals
+        got = api.PyList_GetItem(lst, 0)
+        assert got is item
+
+    def test_list_set_replaces_and_decrefs_old(self, api):
+        lst = api.PyList_New(1)
+        old = api.PyString_FromString("old")
+        api.PyList_SetItem(lst, 0, old)
+        new = api.PyString_FromString("new")
+        api.PyList_SetItem(lst, 0, new)
+        assert old.freed
+
+    def test_list_append_increfs(self, api):
+        lst = api.PyList_New(0)
+        item = api.PyString_FromString("x")
+        before = item.ob_refcnt
+        api.PyList_Append(lst, item)
+        assert item.ob_refcnt == before + 1
+        assert api.PyList_Size(lst) == 1
+
+    def test_list_index_error(self, api, interp):
+        lst = api.PyList_New(1)
+        assert api.PyList_GetItem(lst, 5) is None
+        assert interp.exc_info[0] == "IndexError"
+
+    def test_tuple_ops(self, api):
+        tup = api.PyTuple_New(2)
+        api.PyTuple_SetItem(tup, 0, api.PyLong_FromLong(1))
+        assert api.PyTuple_Size(tup) == 2
+        assert api.PyTuple_GetItem(tup, 0).read() == 1
+
+    def test_dict_ops(self, api):
+        d = api.PyDict_New()
+        v = api.PyString_FromString("v")
+        api.PyDict_SetItemString(d, "k", v)
+        assert api.PyDict_GetItemString(d, "k") is v
+        assert api.PyDict_GetItemString(d, "missing") is None
+        assert api.PyDict_Size(d) == 1
+
+    def test_sequence_getitem_returns_new_reference(self, api):
+        lst = api.Py_BuildValue("[s]", "x")
+        borrowed = api.PyList_GetItem(lst, 0)
+        before = borrowed.ob_refcnt
+        new_ref = api.PySequence_GetItem(lst, 0)
+        assert new_ref is borrowed
+        assert borrowed.ob_refcnt == before + 1
+
+    def test_number_add(self, api):
+        result = api.PyNumber_Add(api.PyLong_FromLong(2), api.PyLong_FromLong(3))
+        assert result.read() == 5
+
+    def test_number_add_strings(self, api):
+        result = api.PyNumber_Add(
+            api.PyString_FromString("a"), api.PyString_FromString("b")
+        )
+        assert result.read() == "ab"
+
+    def test_attrs_via_dict_payload(self, api):
+        obj = api.PyDict_New()
+        api.PyObject_SetAttrString(obj, "name", api.PyString_FromString("n"))
+        assert api.PyObject_GetAttrString(obj, "name").read() == "n"
+        assert api.PyObject_GetAttrString(obj, "ghost") is None
+
+
+class TestErrorsAndGIL:
+    def test_err_set_occurred_clear(self, api, interp):
+        api.PyErr_SetString("ValueError", "bad")
+        assert api.PyErr_Occurred() is not None
+        api.PyErr_Clear()
+        assert api.PyErr_Occurred() is None
+
+    def test_err_fetch_clears_and_returns(self, api, interp):
+        api.PyErr_SetString("ValueError", "bad")
+        fetched = api.PyErr_Fetch()
+        assert interp.exc_info is None
+        assert fetched.read()[0].read() == "ValueError"
+
+    def test_gil_save_restore(self, api, interp):
+        token = api.PyEval_SaveThread()
+        assert interp.gil_holder is None
+        api.PyEval_RestoreThread(token)
+        assert interp.gil_holder == "main"
+
+    def test_gilstate_ensure_release_nested(self, api, interp):
+        handle = api.PyGILState_Ensure()  # already held: nested
+        api.PyGILState_Release(handle)
+        assert interp.gil_holder == "main"
+
+    def test_double_acquire_from_other_thread_deadlocks(self, api, interp):
+        interp.current_thread = "worker"
+        with pytest.raises(InterpreterCrash):
+            api.PyGILState_Ensure()
+
+
+class TestExtensions:
+    def test_extension_receives_args_tuple(self, interp):
+        seen = {}
+
+        def ext(api, self_obj, args):
+            seen["len"] = api.PyTuple_Size(args)
+            seen["first"] = api.PyString_AsString(api.PyTuple_GetItem(args, 0))
+            return api.Py_RETURN_NONE()
+
+        interp.register_extension("probe", ext)
+        result = interp.call_extension("probe", interp.new_str("arg0"))
+        assert result is interp.none
+        assert seen == {"len": 1, "first": "arg0"}
+
+    def test_pending_exception_propagates(self, interp):
+        def ext(api, self_obj, args):
+            api.PyErr_SetString("ValueError", "from C")
+            return None
+
+        interp.register_extension("boom", ext)
+        with pytest.raises(PythonException) as exc_info:
+            interp.call_extension("boom")
+        assert exc_info.value.exc_type == "ValueError"
+
+    def test_null_return_without_exception_crashes(self, interp):
+        interp.register_extension("bad", lambda api, s, a: None)
+        with pytest.raises(InterpreterCrash):
+            interp.call_extension("bad")
+
+    def test_transition_counting(self, interp):
+        def ext(api, self_obj, args):
+            api.PyLong_FromLong(1)
+            return api.Py_RETURN_NONE()
+
+        interp.register_extension("count", ext)
+        before = interp.transition_count
+        interp.call_extension("count")
+        # 2 boundary crossings + 2 API calls x 2 crossings each.
+        assert interp.transition_count == before + 2 + 4
+
+
+class TestSpecTable:
+    def test_every_function_has_raw_impl(self, api):
+        table = api.function_table()
+        assert set(table) == set(PY_FUNCTIONS)
+
+    def test_census_shape(self):
+        counts = census()
+        assert counts["borrowed_references"] >= 4
+        assert counts["new_references"] >= 10
+        assert counts["steals"] == 2
+        assert counts["gil_state"] > counts["steals"]
+
+    def test_borrow_sources_are_object_params(self):
+        for meta in PY_FUNCTIONS.values():
+            if meta.ref_kind == "borrowed" and meta.borrow_from is not None:
+                assert meta.borrow_from in meta.object_params

@@ -1,0 +1,273 @@
+"""Tests for the synthesized Python/C checker (paper §7.2)."""
+
+import pytest
+
+from repro.fsm.errors import FFIViolation
+from repro.pyc import PyCChecker, PythonInterpreter
+from repro.pyc.machines import build_pyc_registry
+
+
+@pytest.fixture
+def checker():
+    return PyCChecker()
+
+
+@pytest.fixture
+def interp(checker):
+    return PythonInterpreter(agents=[checker])
+
+
+def run_ext(interp, body, *args):
+    """Register and call a one-off extension."""
+    name = "ext{}".format(run_ext.counter)
+    run_ext.counter += 1
+    interp.register_extension(name, body)
+    return interp.call_extension(name, *args)
+
+
+run_ext.counter = 0
+
+
+class TestRegistry:
+    def test_five_machines(self):
+        registry = build_pyc_registry()
+        assert registry.names() == [
+            "gil_state",
+            "py_exception_state",
+            "py_fixed_typing",
+            "borrowed_ref",
+            "owned_ref",
+        ]
+
+    def test_all_validate(self):
+        for spec in build_pyc_registry():
+            spec.validate()
+            assert spec.error_states()
+
+
+class TestBorrowedRefs:
+    def test_figure11_dangling_borrow_detected(self, interp):
+        def dangle(api, self_obj, args):
+            pythons = api.Py_BuildValue("[ss]", "Eric", "Graham")
+            first = api.PyList_GetItem(pythons, 0)
+            api.Py_DecRef(pythons)
+            api.PyString_AsString(first)  # dangling borrow
+            return api.Py_RETURN_NONE()
+
+        with pytest.raises(FFIViolation) as exc_info:
+            run_ext(interp, dangle)
+        assert exc_info.value.machine == "borrowed_ref"
+        assert "PyString_AsString" in str(exc_info.value)
+
+    def test_borrow_valid_while_owner_alive(self, interp):
+        def fine(api, self_obj, args):
+            lst = api.Py_BuildValue("[s]", "ok")
+            item = api.PyList_GetItem(lst, 0)
+            api.PyString_AsString(item)
+            api.Py_DecRef(lst)
+            return api.Py_RETURN_NONE()
+
+        run_ext(interp, fine)
+
+    def test_promoted_borrow_is_safe(self, interp):
+        def promote(api, self_obj, args):
+            lst = api.Py_BuildValue("[s]", "kept")
+            item = api.PyList_GetItem(lst, 0)
+            api.Py_IncRef(item)  # promote the borrow to co-ownership
+            api.Py_DecRef(lst)
+            api.PyString_AsString(item)  # safe: C co-owns the object now
+            api.Py_DecRef(item)
+            return api.Py_RETURN_NONE()
+
+        run_ext(interp, promote)
+
+    def test_tuple_and_dict_borrows_tracked(self, interp):
+        def tuple_borrow(api, self_obj, args):
+            tup = api.Py_BuildValue("(s)", "x")
+            item = api.PyTuple_GetItem(tup, 0)
+            api.Py_DecRef(tup)
+            api.PyObject_IsTrue(item)
+            return api.Py_RETURN_NONE()
+
+        with pytest.raises(FFIViolation):
+            run_ext(interp, tuple_borrow)
+
+    def test_freed_object_use_detected(self, interp):
+        def use_freed(api, self_obj, args):
+            s = api.PyString_FromString("gone")
+            api.Py_DecRef(s)
+            api.PyString_AsString(s)
+            return api.Py_RETURN_NONE()
+
+        with pytest.raises(FFIViolation) as exc_info:
+            run_ext(interp, use_freed)
+        assert "freed" in str(exc_info.value).lower() or "dangling" in str(
+            exc_info.value
+        )
+
+
+class TestOwnedRefs:
+    def test_leak_reported_at_termination(self, interp, checker):
+        def leak(api, self_obj, args):
+            api.PyString_FromString("never released")
+            return api.Py_RETURN_NONE()
+
+        run_ext(interp, leak)
+        leaks = checker.termination_report()
+        assert leaks
+        assert leaks[0].machine == "owned_ref"
+
+    def test_balanced_code_has_no_leaks(self, interp, checker):
+        def balanced(api, self_obj, args):
+            s = api.PyString_FromString("tidy")
+            api.Py_DecRef(s)
+            return api.Py_RETURN_NONE()
+
+        run_ext(interp, balanced)
+        assert checker.termination_report() == []
+
+    def test_over_release_detected(self, interp):
+        def over(api, self_obj, args):
+            lst = api.Py_BuildValue("[s]", "x")
+            item = api.PyList_GetItem(lst, 0)  # borrowed: C does not own
+            api.Py_DecRef(item)  # classic bug: releasing a borrow
+            return api.Py_RETURN_NONE()
+
+        with pytest.raises(FFIViolation) as exc_info:
+            run_ext(interp, over)
+        assert exc_info.value.machine == "owned_ref"
+
+    def test_steal_transfers_ownership(self, interp, checker):
+        def steal(api, self_obj, args):
+            lst = api.PyList_New(1)
+            item = api.PyString_FromString("stolen")
+            api.PyList_SetItem(lst, 0, item)  # list owns item now
+            api.Py_DecRef(lst)
+            return api.Py_RETURN_NONE()
+
+        run_ext(interp, steal)
+        assert checker.termination_report() == []
+
+    def test_returned_result_not_a_leak(self, interp, checker):
+        def produce(api, self_obj, args):
+            return api.PyString_FromString("the result")
+
+        result = run_ext(interp, produce)
+        assert result.read() == "the result"
+        assert checker.termination_report() == []
+
+    def test_singletons_never_leak(self, interp, checker):
+        def nones(api, self_obj, args):
+            api.Py_IncRef(api.Py_None)
+            return api.Py_RETURN_NONE()
+
+        run_ext(interp, nones)
+        assert checker.termination_report() == []
+
+
+class TestStateMachines:
+    def test_api_call_without_gil_detected(self, interp):
+        def no_gil(api, self_obj, args):
+            token = api.PyEval_SaveThread()
+            try:
+                api.PyLong_FromLong(1)  # no GIL!
+            finally:
+                api.PyEval_RestoreThread(token)
+            return api.Py_RETURN_NONE()
+
+        with pytest.raises(FFIViolation) as exc_info:
+            run_ext(interp, no_gil)
+        assert exc_info.value.machine == "gil_state"
+
+    def test_gil_free_functions_allowed_without_gil(self, interp):
+        def fine(api, self_obj, args):
+            token = api.PyEval_SaveThread()
+            api.PyEval_RestoreThread(token)
+            return api.Py_RETURN_NONE()
+
+        run_ext(interp, fine)
+
+    def test_pending_exception_sensitive_call_detected(self, interp):
+        def pending(api, self_obj, args):
+            api.PyErr_SetString("ValueError", "oops")
+            api.PyLong_FromLong(1)  # sensitive with exception pending
+            return api.Py_RETURN_NONE()
+
+        with pytest.raises(FFIViolation) as exc_info:
+            run_ext(interp, pending)
+        assert exc_info.value.machine == "py_exception_state"
+
+    def test_oblivious_calls_allowed_with_pending(self, interp):
+        def pending_ok(api, self_obj, args):
+            api.PyErr_SetString("ValueError", "oops")
+            assert api.PyErr_Occurred() is not None
+            api.PyErr_Clear()
+            return api.Py_RETURN_NONE()
+
+        run_ext(interp, pending_ok)
+
+    def test_checker_records_violations(self, interp, checker):
+        def bad(api, self_obj, args):
+            s = api.PyString_FromString("x")
+            api.Py_DecRef(s)
+            api.PyString_AsString(s)
+            return api.Py_RETURN_NONE()
+
+        with pytest.raises(FFIViolation):
+            run_ext(interp, bad)
+        assert checker.rt.violations
+        assert any(
+            d.startswith("pyc-checker:") for d in interp.diagnostics
+        )
+
+    def test_type_mismatch_detected(self, interp):
+        def mistyped(api, self_obj, args):
+            number = api.PyLong_FromLong(3)
+            api.PyList_GetItem(number, 0)  # an int where a list is due
+            return api.Py_RETURN_NONE()
+
+        with pytest.raises(FFIViolation) as exc_info:
+            run_ext(interp, mistyped)
+        assert exc_info.value.machine == "py_fixed_typing"
+
+    def test_conforming_types_pass(self, interp):
+        def typed(api, self_obj, args):
+            lst = api.Py_BuildValue("[s]", "x")
+            api.PyList_Size(lst)
+            api.PyLong_AsLong(api.PyLong_FromLong(1))
+            api.Py_DecRef(lst)
+            return api.Py_RETURN_NONE()
+
+        run_ext(interp, typed)
+
+    def test_parse_tuple_borrows_from_args(self, interp):
+        stash = {}
+
+        def stash_arg(api, self_obj, args):
+            (obj,) = api.PyArg_ParseTuple(args, "O")
+            stash["borrowed"] = obj  # borrowed from the args tuple!
+            return api.Py_RETURN_NONE()
+
+        def use_stale(api, self_obj, args):
+            # The args tuple of the previous call is gone: dangling.
+            api.PyString_AsString(stash["borrowed"])
+            return api.Py_RETURN_NONE()
+
+        interp.register_extension("stash_arg", stash_arg)
+        interp.register_extension("use_stale", use_stale)
+        interp.call_extension("stash_arg", interp.new_str("transient"))
+        with pytest.raises(FFIViolation) as exc_info:
+            interp.call_extension("use_stale")
+        assert exc_info.value.machine == "borrowed_ref"
+
+    def test_unchecked_interpreter_is_silent(self):
+        plain = PythonInterpreter()
+
+        def bad(api, self_obj, args):
+            s = api.PyString_FromString("x")
+            api.Py_DecRef(s)
+            api.PyString_AsString(s)  # stale read, no checker
+            return api.Py_RETURN_NONE()
+
+        plain.register_extension("bad", bad)
+        plain.call_extension("bad")  # no exception

@@ -1,0 +1,33 @@
+"""Coverage tests for the Python/C microbenchmark suite."""
+
+import pytest
+
+from repro.workloads.pyc_micro import (
+    PYC_MICROBENCHMARKS,
+    run_pyc_scenario,
+)
+
+
+class TestPycCoverage:
+    def test_six_scenarios_cover_five_machines(self):
+        machines = {sc.machine for sc in PYC_MICROBENCHMARKS}
+        assert machines == {
+            "borrowed_ref",
+            "owned_ref",
+            "gil_state",
+            "py_exception_state",
+            "py_fixed_typing",
+        }
+
+    @pytest.mark.parametrize("scenario", PYC_MICROBENCHMARKS, ids=lambda s: s.name)
+    def test_checker_catches_each_with_right_machine(self, scenario):
+        record = run_pyc_scenario(scenario, checked=True)
+        assert record["outcome"] == "violation", scenario.name
+        assert record["machine"] == scenario.machine
+
+    @pytest.mark.parametrize("scenario", PYC_MICROBENCHMARKS, ids=lambda s: s.name)
+    def test_unchecked_runs_are_silent_or_undefined(self, scenario):
+        record = run_pyc_scenario(scenario, checked=False)
+        # Without the checker nothing reports a *violation* — the bug
+        # either stays latent or degenerates into interpreter behaviour.
+        assert record["outcome"] != "violation"

@@ -1,0 +1,101 @@
+"""Tests for the simulated CPython object world."""
+
+import pytest
+
+from repro.pyc.objects import GARBAGE, Allocator, InterpreterCrash, PyObj
+
+
+class TestRefcounting:
+    def test_new_object_starts_at_one(self):
+        obj = Allocator().new("int", 5)
+        assert obj.ob_refcnt == 1
+        assert not obj.freed
+
+    def test_incref_decref_balance(self):
+        obj = Allocator().new("int", 5)
+        obj.incref()
+        obj.decref()
+        assert obj.ob_refcnt == 1
+        assert not obj.freed
+
+    def test_decref_to_zero_frees(self):
+        obj = Allocator().new("int", 5)
+        obj.decref()
+        assert obj.freed
+        assert obj.ob_refcnt == 0
+
+    def test_incref_on_freed_crashes(self):
+        obj = Allocator().new("int", 5)
+        obj.decref()
+        with pytest.raises(InterpreterCrash):
+            obj.incref()
+
+    def test_decref_on_freed_crashes(self):
+        obj = Allocator().new("int", 5)
+        obj.decref()
+        with pytest.raises(InterpreterCrash):
+            obj.decref()
+
+    def test_container_dealloc_decrefs_children(self):
+        allocator = Allocator()
+        child = allocator.new("str", "x")
+        child.incref()  # the list's reference
+        container = allocator.new("list", [child])
+        child.decref()  # our reference gone; list still owns it
+        assert not child.freed
+        container.decref()
+        assert child.freed
+
+    def test_shared_child_survives_one_container(self):
+        allocator = Allocator()
+        child = allocator.new("str", "x")
+        child.incref()
+        child.incref()
+        a = allocator.new("list", [child])
+        b = allocator.new("list", [child])
+        child.decref()
+        a.decref()
+        assert not child.freed
+        b.decref()
+        assert child.freed
+
+    def test_dict_dealloc_decrefs_values(self):
+        allocator = Allocator()
+        value = allocator.new("str", "v")
+        value.incref()
+        d = allocator.new("dict", {"k": value})
+        value.decref()
+        d.decref()
+        assert value.freed
+
+
+class TestMemoryReuse:
+    def test_stale_read_without_reuse_returns_old_value(self):
+        obj = Allocator(reuse_memory=False).new("str", "Eric")
+        obj.decref()
+        assert obj.read() == "Eric"
+
+    def test_stale_read_with_reuse_returns_garbage(self):
+        obj = Allocator(reuse_memory=True).new("str", "Eric")
+        obj.decref()
+        assert obj.read() == GARBAGE
+
+    def test_describe_marks_freed(self):
+        obj = Allocator().new("str", "x")
+        obj.decref()
+        assert "(freed)" in obj.describe()
+
+
+class TestAllocatorAccounting:
+    def test_counts(self):
+        allocator = Allocator()
+        a = allocator.new("int", 1)
+        allocator.new("int", 2)
+        a.decref()
+        assert allocator.allocated == 2
+        assert allocator.freed == 1
+        assert len(allocator.live_objects()) == 1
+
+    def test_serials_unique(self):
+        allocator = Allocator()
+        assert allocator.new("int", 1).serial != allocator.new("int", 2).serial

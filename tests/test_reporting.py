@@ -1,0 +1,79 @@
+"""Tests for Jinn's failure reporting (Figure 9 rendering)."""
+
+import pytest
+
+from repro.jinn import (
+    ASSERTION_FAILURE_CLASS,
+    JinnAgent,
+    render_uncaught,
+    summarize_violations,
+    violation_of,
+)
+from repro.jvm import JavaException, JavaVM
+from repro.jvm.exceptions import StackFrame
+
+
+@pytest.fixture
+def jvm():
+    vm = JavaVM(agents=[JinnAgent()])
+    yield vm
+    if vm.alive:
+        vm.shutdown()
+
+
+def _assertion(vm, message, cause=None):
+    t = vm.new_throwable(ASSERTION_FAILURE_CLASS, message, cause)
+    t.fill_in_stack_trace([StackFrame("App", "native", is_native=True)])
+    return t
+
+
+class TestRenderUncaught:
+    def test_header_names_thread_and_class(self, jvm):
+        text = render_uncaught(_assertion(jvm, "boom"), thread_name="worker")
+        assert text.startswith(
+            'Exception in thread "worker" jinn.JNIAssertionFailure: boom'
+        )
+
+    def test_synthetic_assert_frame_present(self, jvm):
+        text = render_uncaught(_assertion(jvm, "boom"))
+        assert "\tat jinn.JNIAssertionFailure.assertFail" in text
+
+    def test_cause_chain_rendered_with_ellipsis(self, jvm):
+        root = jvm.new_throwable("java/lang/RuntimeException", "root cause")
+        root.fill_in_stack_trace([StackFrame("App", "foo", "App.java:9")])
+        mid = _assertion(jvm, "second", root)
+        top = _assertion(jvm, "first", mid)
+        text = render_uncaught(top)
+        assert "Caused by: jinn.JNIAssertionFailure: second" in text
+        assert "... " in text  # elided frames for intermediate failures
+        assert "Caused by: java.lang.RuntimeException: root cause" in text
+        assert "\tat App.foo(App.java:9)" in text
+
+    def test_non_jinn_throwable_renders_without_synthetic_frame(self, jvm):
+        t = jvm.new_throwable("java/lang/NullPointerException", "npe")
+        text = render_uncaught(t)
+        assert "assertFail" not in text
+
+
+class TestSummaries:
+    def test_summaries_walk_the_chain(self, jvm):
+        vm = jvm
+        vm.define_class("rp/C")
+        vm.add_method("rp/C", "nat", "()V", is_static=True, is_native=True)
+
+        def nat(env, this):
+            env.GetStringLength(None)  # violation 1
+            env.GetStringLength(None)  # violation 2 (chained)
+
+        vm.register_native("rp/C", "nat", "()V", nat)
+        with pytest.raises(JavaException) as exc_info:
+            vm.call_static("rp/C", "nat", "()V")
+        summaries = summarize_violations(exc_info.value.throwable)
+        # chain: nullness + the exception-state violation(s) in between
+        assert len(summaries) >= 2
+        assert any("nullness" in s for s in summaries)
+
+    def test_violation_of_plain_throwable_is_none(self, jvm):
+        t = jvm.new_throwable("java/lang/RuntimeException")
+        assert violation_of(t) is None
+        assert violation_of(None) is None

@@ -1,0 +1,150 @@
+"""Stateful property-based tests (hypothesis RuleBasedStateMachine)."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.jinn import JinnAgent
+from repro.jvm import JavaVM
+from repro.pyc import PythonInterpreter
+
+
+class RefcountMachine(RuleBasedStateMachine):
+    """Model-checks the simulated CPython refcounting.
+
+    A shadow model keeps expected counts; the simulated allocator must
+    agree after every operation.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.interp = PythonInterpreter()
+        self.api = self.interp.api
+        self.objects = []  # (PyObj, expected_count)
+
+    @rule()
+    def allocate(self):
+        obj = self.api.PyString_FromString("payload")
+        self.objects.append([obj, 1])
+
+    @rule(data=st.data())
+    def incref(self, data):
+        live = [entry for entry in self.objects if entry[1] > 0]
+        if not live:
+            return
+        entry = data.draw(st.sampled_from(live))
+        self.api.Py_IncRef(entry[0])
+        entry[1] += 1
+
+    @rule(data=st.data())
+    def decref(self, data):
+        live = [entry for entry in self.objects if entry[1] > 0]
+        if not live:
+            return
+        entry = data.draw(st.sampled_from(live))
+        self.api.Py_DecRef(entry[0])
+        entry[1] -= 1
+
+    @invariant()
+    def counts_agree(self):
+        for obj, expected in self.objects:
+            if expected > 0:
+                assert obj.ob_refcnt == expected
+                assert not obj.freed
+            else:
+                assert obj.freed
+
+
+class LegalJNISessionMachine(RuleBasedStateMachine):
+    """Random legal JNI sessions under Jinn must stay violation-free.
+
+    Each rule performs a *legal* sequence of JNI operations inside a
+    native method; the invariant is Jinn's silence (the no-false-positive
+    claim) plus agreement between Jinn's local-reference mirror and the
+    JVM's own tables.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.agent = JinnAgent()
+        self.vm = JavaVM(agents=[self.agent])
+        self.vm.define_class("st/S")
+        self.vm.add_field("st/S", "slot", "I", is_static=True)
+        self.calls = 0
+
+    def _run(self, body):
+        self.calls += 1
+        name = "nat{}".format(self.calls)
+        self.vm.add_method("st/S", name, "()V", is_static=True, is_native=True)
+        self.vm.register_native("st/S", name, "()V", body)
+        self.vm.call_static("st/S", name, "()V")
+
+    @rule(count=st.integers(min_value=1, max_value=10))
+    def strings(self, count):
+        def nat(env, this):
+            for i in range(count):
+                s = env.NewStringUTF(str(i))
+                env.DeleteLocalRef(s)
+
+        self._run(nat)
+
+    @rule(capacity=st.integers(min_value=1, max_value=32))
+    def framed(self, capacity):
+        def nat(env, this):
+            env.PushLocalFrame(capacity)
+            for i in range(min(capacity, 8)):
+                env.NewStringUTF(str(i))
+            env.PopLocalFrame(None)
+
+        self._run(nat)
+
+    @rule(value=st.integers(min_value=-100, max_value=100))
+    def fields(self, value):
+        def nat(env, this):
+            cls = env.FindClass("st/S")
+            fid = env.GetStaticFieldID(cls, "slot", "I")
+            env.SetStaticIntField(cls, fid, value)
+            assert env.GetStaticIntField(cls, fid) == value
+
+        self._run(nat)
+
+    @rule()
+    def globals_roundtrip(self):
+        def nat(env, this):
+            obj = env.AllocObject(env.FindClass("java/lang/Object"))
+            g = env.NewGlobalRef(obj)
+            env.GetObjectClass(g)
+            env.DeleteGlobalRef(g)
+
+        self._run(nat)
+
+    @rule()
+    def collect(self):
+        self.vm.gc()
+
+    @invariant()
+    def jinn_is_silent(self):
+        assert self.agent.rt is None or self.agent.rt.violations == []
+
+    @invariant()
+    def no_stray_local_refs_between_calls(self):
+        # Between native invocations all implicit frames are gone.
+        assert self.vm.main_thread.env.refs.live_local_count() == 0
+
+    def teardown(self):
+        self.vm.shutdown()
+
+
+TestRefcountMachine = RefcountMachine.TestCase
+TestRefcountMachine.settings = settings(max_examples=30, deadline=None)
+
+TestLegalJNISession = LegalJNISessionMachine.TestCase
+TestLegalJNISession.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)

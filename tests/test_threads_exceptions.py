@@ -1,0 +1,110 @@
+"""Tests for thread state, Java throwables, and stack traces."""
+
+import pytest
+
+from repro.jvm import JavaVM, JavaException
+from repro.jvm.exceptions import StackFrame
+from repro.jvm.threads import JThread
+
+
+class TestJThread:
+    def test_distinct_ids(self):
+        assert JThread("a").thread_id != JThread("b").thread_id
+
+    def test_throw_and_clear(self, vm):
+        thread = vm.main_thread
+        t = vm.new_throwable("java/lang/RuntimeException", "boom")
+        thread.throw(t)
+        assert thread.pending_exception is t
+        assert thread.clear_exception() is t
+        assert thread.pending_exception is None
+
+    def test_throw_fills_stack_trace(self, vm):
+        thread = vm.main_thread
+        thread.push_frame(StackFrame("A", "m"))
+        t = vm.new_throwable("java/lang/RuntimeException")
+        thread.throw(t)
+        assert t.stack_trace
+        thread.pop_frame()
+
+    def test_critical_tally(self, vm):
+        thread = vm.main_thread
+        resource = vm.new_object("java/lang/Object")
+        assert not thread.in_critical_section()
+        thread.acquire_critical(resource)
+        thread.acquire_critical(resource)
+        assert thread.in_critical_section()
+        assert thread.release_critical(resource)
+        assert thread.in_critical_section()
+        assert thread.release_critical(resource)
+        assert not thread.in_critical_section()
+
+    def test_release_unheld_critical_fails(self, vm):
+        resource = vm.new_object("java/lang/Object")
+        assert not vm.main_thread.release_critical(resource)
+
+    def test_stack_snapshot_is_innermost_first(self):
+        thread = JThread("t")
+        thread.push_frame(StackFrame("Outer", "o"))
+        thread.push_frame(StackFrame("Inner", "i"))
+        snapshot = thread.stack_snapshot()
+        assert snapshot[0].method_name == "i"
+        assert snapshot[1].method_name == "o"
+
+    def test_gc_roots_include_pending_exception(self, vm):
+        thread = vm.main_thread
+        t = vm.new_throwable("java/lang/RuntimeException")
+        thread.pending_exception = t
+        assert t in thread.gc_roots()
+        thread.pending_exception = None
+
+    def test_attach_thread_creates_env(self, vm):
+        worker = vm.attach_thread("worker")
+        assert worker.env is not None
+        assert worker.env is not vm.main_thread.env
+
+    def test_run_on_thread_switches_current(self, vm):
+        worker = vm.attach_thread("worker")
+        assert vm.current_thread is vm.main_thread
+        with vm.run_on_thread(worker):
+            assert vm.current_thread is worker
+        assert vm.current_thread is vm.main_thread
+
+    def test_detach_thread_marks_dead(self, vm):
+        worker = vm.attach_thread("worker")
+        vm.detach_thread(worker)
+        assert not worker.alive
+
+
+class TestThrowables:
+    def test_describe_with_message(self, vm):
+        t = vm.new_throwable("java/lang/NullPointerException", "oops")
+        assert t.describe() == "java.lang.NullPointerException: oops"
+
+    def test_describe_without_message(self, vm):
+        t = vm.new_throwable("java/lang/NullPointerException")
+        assert t.describe() == "java.lang.NullPointerException"
+
+    def test_render_stack_trace_with_cause(self, vm):
+        cause = vm.new_throwable("java/lang/RuntimeException", "root")
+        outer = vm.new_throwable("java/lang/Error", "wrapper", cause)
+        outer.fill_in_stack_trace([StackFrame("A", "m", "A.java:1")])
+        text = outer.render_stack_trace()
+        assert text.splitlines()[0] == "java.lang.Error: wrapper"
+        assert "Caused by: java.lang.RuntimeException: root" in text
+        assert "\tat A.m(A.java:1)" in text
+
+    def test_native_frame_rendering(self):
+        frame = StackFrame("App", "greet", is_native=True)
+        assert frame.render() == "\tat App.greet(Native Method)"
+
+    def test_cause_is_gc_reference(self, vm):
+        cause = vm.new_throwable("java/lang/RuntimeException")
+        outer = vm.new_throwable("java/lang/Error", None, cause)
+        assert cause in outer.references()
+
+    def test_java_exception_wraps_throwable(self, vm):
+        t = vm.new_throwable("java/lang/RuntimeException", "x")
+        exc = JavaException(t)
+        assert exc.throwable is t
+        assert "RuntimeException" in str(exc)

@@ -1,0 +1,170 @@
+"""Tests for vendor personalities: production undefined behaviour."""
+
+import pytest
+
+from repro.jvm import HOTSPOT, J9, VENDORS, JavaException, JavaVM, SimulatedCrash
+from repro.jvm.vendors import MISUSE_KINDS, XCHECK_KINDS
+from tests.conftest import call_native
+
+_counter = [0]
+
+
+def run_native(vm, body, descriptor="()V", *args):
+    _counter[0] += 1
+    return call_native(
+        vm, "tv/Host{}".format(_counter[0]), "go", descriptor, body, *args
+    )
+
+
+class TestVendorSpecs:
+    def test_registry_contains_both(self):
+        assert set(VENDORS) == {"HotSpot", "J9"}
+
+    def test_policies_cover_all_misuse_kinds(self):
+        for vendor in (HOTSPOT, J9):
+            for kind in MISUSE_KINDS:
+                assert vendor.reaction(kind) in (
+                    "running",
+                    "crash",
+                    "npe",
+                    "deadlock",
+                    "leak",
+                )
+
+    def test_xcheck_kinds_are_known(self):
+        for vendor in (HOTSPOT, J9):
+            assert set(vendor.xcheck) <= set(XCHECK_KINDS)
+            for kind in vendor.xcheck:
+                assert vendor.check_response(kind) in ("warning", "error")
+
+    def test_unknown_misuse_defaults_to_running(self):
+        assert HOTSPOT.reaction("something-new") == "running"
+
+    def test_vendors_disagree_on_env_mismatch(self):
+        assert HOTSPOT.reaction("env_mismatch") == "running"
+        assert J9.reaction("env_mismatch") == "crash"
+
+    def test_vendors_agree_on_memory_corruption(self):
+        for kind in ("fixed_type_confusion", "local_dangling", "global_dangling"):
+            assert HOTSPOT.reaction(kind) == "crash"
+            assert J9.reaction(kind) == "crash"
+
+    def test_nul_termination_differs(self):
+        assert HOTSPOT.nul_terminates_strings
+        assert not J9.nul_terminates_strings
+
+
+class TestProductionReactions:
+    def test_hotspot_tolerates_pending_exception(self, vm):
+        out = {}
+
+        def nat(env, this):
+            env.ThrowNew(env.FindClass("java/lang/RuntimeException"), "x")
+            # A sensitive call with the exception pending: HotSpot
+            # shrugs and keeps going.
+            out["result"] = env.GetVersion()
+            env.ExceptionClear()
+
+        run_native(vm, nat)
+        assert out["result"] == 0x00010006
+
+    def test_j9_crashes_on_pending_exception(self, j9_vm):
+        def nat(env, this):
+            env.ThrowNew(env.FindClass("java/lang/RuntimeException"), "x")
+            env.FindClass("java/lang/Object")
+
+        with pytest.raises(SimulatedCrash):
+            run_native(j9_vm, nat)
+
+    def test_hotspot_returns_default_on_null_argument(self, vm):
+        out = {}
+
+        def nat(env, this):
+            out["result"] = env.GetStringLength(None)
+
+        run_native(vm, nat)
+        assert out["result"] == 0
+
+    def test_j9_crashes_on_null_argument(self, j9_vm):
+        def nat(env, this):
+            env.GetStringLength(None)
+
+        with pytest.raises(SimulatedCrash):
+            run_native(j9_vm, nat)
+
+    def test_hotspot_runs_on_entity_mismatch(self, vm):
+        vm.define_class("tv/M")
+        vm.add_method(
+            "tv/M", "f", "(I)V", is_static=True, body=lambda *a: None
+        )
+        out = {}
+
+        def nat(env, this):
+            cls = env.FindClass("tv/M")
+            mid = env.GetStaticMethodID(cls, "f", "(I)V")
+            env.CallStaticVoidMethodA(cls, mid, [])  # missing argument
+            out["survived"] = True
+
+        run_native(vm, nat)
+        assert out["survived"]
+
+    def test_j9_crashes_on_entity_mismatch(self, j9_vm):
+        j9_vm.define_class("tv/M")
+        j9_vm.add_method(
+            "tv/M", "f", "(I)V", is_static=True, body=lambda *a: None
+        )
+
+        def nat(env, this):
+            cls = env.FindClass("tv/M")
+            mid = env.GetStaticMethodID(cls, "f", "(I)V")
+            env.CallStaticVoidMethodA(cls, mid, [])
+
+        with pytest.raises(SimulatedCrash):
+            run_native(j9_vm, nat)
+
+    def test_both_npe_on_final_field_write(self, vm, j9_vm):
+        for machine in (vm, j9_vm):
+            machine.define_class("tv/Final")
+            machine.add_field(
+                "tv/Final", "K", "I", is_static=True, is_final=True
+            )
+
+            def nat(env, this):
+                cls = env.FindClass("tv/Final")
+                fid = env.GetStaticFieldID(cls, "K", "I")
+                env.SetStaticIntField(cls, fid, 1)
+
+            with pytest.raises(JavaException) as exc_info:
+                run_native(machine, nat)
+            assert "NullPointerException" in str(exc_info.value)
+
+    def test_env_mismatch_hotspot_runs_j9_crashes(self):
+        for vendor, expect_crash in ((HOTSPOT, False), (J9, True)):
+            machine = JavaVM(vendor=vendor)
+            stash = {}
+
+            def capture(env, this):
+                stash["env"] = env
+
+            run_native(machine, capture)
+            worker = machine.attach_thread("worker")
+
+            def misuse_env(env, this):
+                stash["env"].GetVersion()
+
+            with machine.run_on_thread(worker):
+                if expect_crash:
+                    with pytest.raises(SimulatedCrash):
+                        run_native(machine, misuse_env)
+                else:
+                    run_native(machine, misuse_env)
+            machine.shutdown()
+
+    def test_overflow_is_silent_leak_in_production(self, vm):
+        def nat(env, this):
+            for i in range(20):
+                env.NewStringUTF(str(i))
+
+        run_native(vm, nat)
+        leaks = vm.shutdown()
+        assert any("overflowed" in leak for leak in leaks)

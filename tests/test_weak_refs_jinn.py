@@ -1,0 +1,93 @@
+"""Weak global references under Jinn: cleared-vs-deleted distinction.
+
+JNI semantics: using a weak reference whose referent was collected is
+*legal* (the reference reads as null and ``IsSameObject(w, NULL)`` is the
+idiom); using a weak reference that was *deleted* is dangling.  Jinn must
+distinguish the two.
+"""
+
+import pytest
+
+from repro.jinn import JinnAgent, violation_of
+from repro.jvm import JavaException, JavaVM
+
+
+@pytest.fixture
+def agent():
+    return JinnAgent()
+
+
+@pytest.fixture
+def wvm(agent):
+    vm = JavaVM(agents=[agent])
+    vm.define_class("wk/C")
+    yield vm
+    if vm.alive:
+        vm.shutdown()
+
+
+def bind(vm, name, impl):
+    vm.add_method("wk/C", name, "()V", is_static=True, is_native=True)
+    vm.register_native("wk/C", name, "()V", impl)
+
+
+class TestWeakUnderJinn:
+    def test_cleared_weak_is_legal_to_probe(self, wvm, agent):
+        holder = {}
+
+        def make(env, this):
+            obj = env.AllocObject(env.FindClass("java/lang/Object"))
+            holder["w"] = env.NewWeakGlobalRef(obj)
+
+        def probe(env, this):
+            assert env.IsSameObject(holder["w"], None)
+            env.DeleteWeakGlobalRef(holder["w"])
+
+        bind(wvm, "make", make)
+        bind(wvm, "probe", probe)
+        wvm.call_static("wk/C", "make", "()V")
+        wvm.gc()  # referent dies; the weak ref is cleared, not dangling
+        wvm.call_static("wk/C", "probe", "()V")
+        assert agent.rt.violations == []
+
+    def test_deleted_weak_use_is_dangling(self, wvm, agent):
+        holder = {}
+
+        def make_and_delete(env, this):
+            obj = env.AllocObject(env.FindClass("java/lang/Object"))
+            holder["w"] = env.NewWeakGlobalRef(obj)
+            env.DeleteWeakGlobalRef(holder["w"])
+
+        def misuse(env, this):
+            env.GetObjectClass(holder["w"])
+
+        bind(wvm, "makeAndDelete", make_and_delete)
+        bind(wvm, "misuse", misuse)
+        wvm.call_static("wk/C", "makeAndDelete", "()V")
+        with pytest.raises(JavaException) as exc_info:
+            wvm.call_static("wk/C", "misuse", "()V")
+        assert violation_of(exc_info.value.throwable).machine == "global_ref"
+
+    def test_weak_deleted_with_wrong_function_flagged(self, wvm, agent):
+        def nat(env, this):
+            obj = env.AllocObject(env.FindClass("java/lang/Object"))
+            w = env.NewWeakGlobalRef(obj)
+            env.DeleteGlobalRef(w)  # wrong Delete function for a weak ref
+
+        bind(wvm, "nat", nat)
+        with pytest.raises(JavaException) as exc_info:
+            wvm.call_static("wk/C", "nat", "()V")
+        violation = violation_of(exc_info.value.throwable)
+        assert violation.machine == "global_ref"
+        assert "weak" in str(violation)
+
+    def test_weak_leak_reported_at_termination(self, wvm, agent):
+        def nat(env, this):
+            obj = env.AllocObject(env.FindClass("java/lang/Object"))
+            env.NewWeakGlobalRef(obj)  # never deleted
+
+        bind(wvm, "nat", nat)
+        wvm.call_static("wk/C", "nat", "()V")
+        wvm.shutdown()
+        assert agent.termination_violations
+        assert "weak" in str(agent.termination_violations[0])

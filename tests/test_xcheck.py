@@ -1,0 +1,185 @@
+"""Tests for the built-in -Xcheck:jni baselines (HotSpot and J9 styles)."""
+
+import pytest
+
+from repro.jvm import HOTSPOT, J9, FatalJNIError, JavaVM
+from tests.conftest import call_native
+
+_counter = [0]
+
+
+def run_native(vm, body, descriptor="()V", *args):
+    _counter[0] += 1
+    return call_native(
+        vm, "tx/Host{}".format(_counter[0]), "go", descriptor, body, *args
+    )
+
+
+@pytest.fixture
+def hs_checked():
+    vm = JavaVM(vendor=HOTSPOT, check_jni=True)
+    yield vm
+    if vm.alive:
+        vm.shutdown()
+
+
+@pytest.fixture
+def j9_checked():
+    vm = JavaVM(vendor=J9, check_jni=True)
+    yield vm
+    if vm.alive:
+        vm.shutdown()
+
+
+def _pending_exception_scenario(vm):
+    def nat(env, this):
+        env.ThrowNew(env.FindClass("java/lang/RuntimeException"), "x")
+        env.FindClass("java/lang/Object")
+        env.ExceptionClear()
+
+    run_native(vm, nat)
+
+
+class TestHotSpotStyle:
+    def test_pending_exception_warns_and_continues(self, hs_checked):
+        _pending_exception_scenario(hs_checked)
+        warnings = [
+            d for d in hs_checked.diagnostics if d.startswith("WARNING")
+        ]
+        assert warnings
+        assert "exception pending" in warnings[0]
+
+    def test_warning_includes_stack_frames(self, hs_checked):
+        _pending_exception_scenario(hs_checked)
+        warning = next(
+            d for d in hs_checked.diagnostics if d.startswith("WARNING")
+        )
+        assert "Native Method" in warning
+
+    def test_dangling_local_aborts_with_error(self, hs_checked):
+        holder = {}
+
+        def first(env, this):
+            holder["ref"] = env.NewStringUTF("dies")
+
+        def second(env, this):
+            env.GetStringLength(holder["ref"])
+
+        run_native(hs_checked, first)
+        with pytest.raises(FatalJNIError):
+            run_native(hs_checked, second)
+
+    def test_type_confusion_aborts(self, hs_checked):
+        def nat(env, this):
+            obj = env.AllocObject(env.FindClass("java/lang/Object"))
+            env.GetStaticMethodID(obj, "x", "()V")
+
+        with pytest.raises(FatalJNIError) as exc_info:
+            run_native(hs_checked, nat)
+        assert "fixed_type_confusion" in str(exc_info.value)
+
+    def test_leaked_frame_warns_at_native_return(self, hs_checked):
+        def nat(env, this):
+            env.PushLocalFrame(8)
+
+        run_native(hs_checked, nat)
+        assert any(
+            "unpopped local frame" in d for d in hs_checked.diagnostics
+        )
+
+    def test_critical_violation_warns_and_defuses_deadlock(self, hs_checked):
+        def nat(env, this):
+            arr = env.NewIntArray(1)
+            carray = env.GetPrimitiveArrayCritical(arr)
+            env.GetVersion()  # sensitive; warned, then defused
+            env.ReleasePrimitiveArrayCritical(arr, carray, 0)
+
+        run_native(hs_checked, nat)  # no DeadlockError
+        assert any("critical" in d for d in hs_checked.diagnostics)
+
+    def test_no_reports_on_clean_run(self, hs_checked):
+        def nat(env, this):
+            s = env.NewStringUTF("fine")
+            env.GetStringLength(s)
+            env.DeleteLocalRef(s)
+
+        run_native(hs_checked, nat)
+        assert hs_checked.agent_host.agents[0].reports == 0
+
+
+class TestJ9Style:
+    def test_pending_exception_aborts_with_codes(self, j9_checked):
+        with pytest.raises(FatalJNIError):
+            _pending_exception_scenario(j9_checked)
+        text = "\n".join(j9_checked.diagnostics)
+        assert "JVMJNCK028E" in text
+        assert "JVMJNCK024E JNI error detected. Aborting." in text
+
+    def test_error_report_names_function(self, j9_checked):
+        with pytest.raises(FatalJNIError):
+            _pending_exception_scenario(j9_checked)
+        assert any("FindClass" in d for d in j9_checked.diagnostics)
+
+    def test_local_overflow_warns(self, j9_checked):
+        def nat(env, this):
+            for i in range(20):
+                env.NewStringUTF(str(i))
+
+        run_native(j9_checked, nat)
+        assert any(
+            "more than 16 local references" in d.lower()
+            for d in j9_checked.diagnostics
+        )
+
+    def test_pinned_leak_warns_at_vm_death(self, j9_checked):
+        def nat(env, this):
+            js = env.NewStringUTF("pinned")
+            env.GetStringUTFChars(js)
+
+        run_native(j9_checked, nat)
+        j9_checked.shutdown()
+        assert any(
+            "never released" in d for d in j9_checked.diagnostics
+        )
+
+    def test_env_mismatch_not_checked_crashes_instead(self, j9_checked):
+        from repro.jvm import SimulatedCrash
+
+        stash = {}
+
+        def capture(env, this):
+            stash["env"] = env
+
+        run_native(j9_checked, capture)
+        worker = j9_checked.attach_thread("worker")
+
+        def misuse(env, this):
+            stash["env"].GetVersion()
+
+        with j9_checked.run_on_thread(worker):
+            with pytest.raises(SimulatedCrash):
+                run_native(j9_checked, misuse)
+
+    def test_local_double_free_aborts(self, j9_checked):
+        def nat(env, this):
+            s = env.NewStringUTF("x")
+            env.DeleteLocalRef(s)
+            env.DeleteLocalRef(s)
+
+        with pytest.raises(FatalJNIError):
+            run_native(j9_checked, nat)
+
+
+class TestInconsistency:
+    """The motivating observation: the two checkers disagree."""
+
+    def test_pending_exception_responses_differ(self):
+        assert HOTSPOT.check_response("pending_exception") == "warning"
+        assert J9.check_response("pending_exception") == "error"
+
+    def test_coverage_sets_differ(self):
+        assert set(HOTSPOT.xcheck) != set(J9.xcheck)
+
+    def test_hotspot_checks_nine_kinds_j9_eight(self):
+        assert len(HOTSPOT.xcheck) == 9
+        assert len(J9.xcheck) == 8
