@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: tests, bytecode compilation, and the dispatch-index
+# benchmark smoke gate (writes BENCH_interpretive_dispatch.json).
+#
+# Usage: scripts/check.sh [--no-bench]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src:."
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== compileall =="
+python -m compileall -q src
+
+if [[ "${1:-}" != "--no-bench" ]]; then
+    echo "== dispatch-index bench gate (quick) =="
+    python benchmarks/bench_table3_overhead.py --quick
+fi
+
+echo "OK"

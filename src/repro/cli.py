@@ -10,7 +10,8 @@ Gives downstream users the paper's artifacts without writing code:
 - ``fig9``       — the three error-message styles;
 - ``fig10``      — the local-reference time series (original vs fixed);
 - ``fig11``      — the Python/C dangling-borrow demonstration;
-- ``demo``       — run one microbenchmark under a chosen configuration.
+- ``demo``       — run one microbenchmark under a chosen configuration;
+- ``dispatch``   — the (function, direction) dispatch-index statistics.
 """
 
 from __future__ import annotations
@@ -175,6 +176,36 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_dispatch(args) -> int:
+    from repro.core.dispatch import DispatchIndex
+
+    if args.substrate == "pyc":
+        from repro.pyc.machines import build_pyc_registry
+        from repro.pyc.spec import PY_FUNCTIONS
+
+        registry, table = build_pyc_registry(), PY_FUNCTIONS
+    else:
+        from repro.jinn.machines import build_registry
+        from repro.jni.functions import FUNCTIONS
+
+        registry, table = build_registry(), FUNCTIONS
+
+    index = DispatchIndex.build(registry, table)
+    print("substrate:         " + args.substrate)
+    print("machines:          {}".format(len(registry.names())))
+    print("functions:         {}".format(len(table)))
+    print("non-empty buckets: {}".format(index.bucket_count()))
+    print("indexed handlers:  {}".format(index.handler_count()))
+    print("fan-out handlers:  {}".format(index.fanout_handler_count()))
+    print("sparsity:          {:.1%} of fan-out work skipped".format(
+        index.sparsity()
+    ))
+    print("per machine (function,direction) pairs:")
+    for name, count in index.per_machine_counts().items():
+        print("  {:<18} {}".format(name, count))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -206,6 +237,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--checker", choices=("none", "xcheck", "jinn"), default="jinn"
     )
     demo.add_argument("--vendor", choices=("HotSpot", "J9"), default="HotSpot")
+
+    dispatch = sub.add_parser(
+        "dispatch", help="dispatch-index statistics (core)"
+    )
+    dispatch.add_argument(
+        "--substrate", choices=("jni", "pyc"), default="jni"
+    )
     return parser
 
 
@@ -219,6 +257,7 @@ _COMMANDS = {
     "fig10": _cmd_fig10,
     "fig11": _cmd_fig11,
     "demo": _cmd_demo,
+    "dispatch": _cmd_dispatch,
 }
 
 

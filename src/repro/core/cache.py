@@ -1,0 +1,114 @@
+"""Process-wide caches keyed on full specification identity.
+
+Synthesis is deterministic: the same specs against the same function
+table always generate the same wrapper module, so agents for the same
+specification reuse one compiled module instead of re-synthesizing at
+every VM start — and the Python/C checker reuses one instead of
+re-synthesizing at every interpreter construction.
+
+Correctness hinges on the key.  The historic cache keyed on *machine
+names*, so a custom registry reusing a builtin machine name silently got
+the builtin's generated wrappers.  :class:`WrapperCache` keys on
+:meth:`repro.fsm.registry.SpecRegistry.fingerprint` — a hash of every
+spec's transitions, mappings, and emit-plan identity — plus the function
+table and mode, so behaviourally different registries never collide.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.dispatch import DispatchIndex
+from repro.fsm.registry import SpecRegistry
+
+
+def _table_key(function_table) -> Tuple[str, ...]:
+    """Identity of a static function table: its ordered name tuple."""
+    if function_table is None:
+        return ("<jni>",)
+    return tuple(function_table)
+
+
+class WrapperCache:
+    """Compiled wrapper modules and dispatch indexes by spec identity."""
+
+    def __init__(self):
+        self._wrappers: Dict[tuple, Callable] = {}
+        self._indexes: Dict[tuple, DispatchIndex] = {}
+
+    def wrappers_for(
+        self,
+        registry: SpecRegistry,
+        *,
+        function_table=None,
+        checking: bool = True,
+    ) -> Callable:
+        """The compiled ``build_wrappers`` for one full specification.
+
+        Synthesizes on first use; every later request with a
+        fingerprint-identical registry (and the same table and mode)
+        reuses the compiled module.
+        """
+        key = (registry.fingerprint(), _table_key(function_table), checking)
+        built = self._wrappers.get(key)
+        if built is None:
+            # Imported lazily: the synthesizer sits one layer above the
+            # core in the dependency order (specs -> synthesizer -> core
+            # consumers), so the core package must not import it at load
+            # time.
+            from repro.jinn.synthesizer import Synthesizer
+
+            synthesizer = Synthesizer(registry, function_table=function_table)
+            built = synthesizer.build(checking=checking)
+            self._wrappers[key] = built
+        return built
+
+    def dispatch_for(
+        self, registry: SpecRegistry, function_table=None
+    ) -> DispatchIndex:
+        """The (function, direction) dispatch index for one spec set."""
+        if function_table is None:
+            from repro.jni import functions
+
+            function_table = functions.FUNCTIONS
+            key = (registry.fingerprint(), ("<jni>",))
+        else:
+            key = (registry.fingerprint(), _table_key(function_table))
+        index = self._indexes.get(key)
+        if index is None:
+            index = DispatchIndex.build(registry, function_table)
+            self._indexes[key] = index
+        return index
+
+    def clear(self) -> None:
+        self._wrappers.clear()
+        self._indexes.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "wrapper_modules": len(self._wrappers),
+            "dispatch_indexes": len(self._indexes),
+        }
+
+
+#: The process-wide shared instance, used by the Jinn agent and the
+#: Python/C checker alike.
+WRAPPER_CACHE: WrapperCache = WrapperCache()
+
+
+def wrappers_for(
+    registry: SpecRegistry,
+    *,
+    function_table=None,
+    checking: bool = True,
+) -> Callable:
+    """Module-level convenience over :data:`WRAPPER_CACHE`."""
+    return WRAPPER_CACHE.wrappers_for(
+        registry, function_table=function_table, checking=checking
+    )
+
+
+def dispatch_for(
+    registry: SpecRegistry, function_table=None
+) -> DispatchIndex:
+    return WRAPPER_CACHE.dispatch_for(registry, function_table)

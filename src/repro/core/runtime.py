@@ -1,0 +1,116 @@
+"""The language-neutral checker runtime core.
+
+The paper's generality claim (§7) is that one synthesizer plus
+per-language specifications yields checkers for *any* FFI.  The runtime
+side of that claim lives here: everything a checker needs at run time —
+encoding instantiation, the violation log, the termination leak sweep,
+and reset — is identical across substrates.  Only the *failure
+protocol* differs: Jinn pends a Java ``JNIAssertionFailure`` and
+returns the type's zero value; the Python/C checker raises at the
+faulting call.  That difference is a pluggable :class:`FailurePolicy`,
+so :class:`~repro.jinn.runtime.JinnRuntime` and
+:class:`~repro.pyc.checker.PyCRuntime` are thin policy subclasses of
+:class:`CheckerRuntime`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.fsm.errors import FFIViolation
+from repro.fsm.registry import SpecRegistry
+
+
+class FailurePolicy:
+    """How a substrate surfaces a detected violation.
+
+    ``handle`` receives the runtime, the foreign environment of the
+    faulting call, the violation, and the wrapper's default result; what
+    it returns is what the (generated or interpretive) wrapper hands back
+    to the caller instead of performing the unsafe raw call.
+    """
+
+    def handle(self, runtime: "CheckerRuntime", env, violation, default):
+        raise NotImplementedError
+
+
+class RaiseViolationPolicy(FailurePolicy):
+    """Stop the foreign caller at the exact faulting call by raising.
+
+    The Python/C checker's protocol (§7.2): there is no managed
+    exception to pend, so the violation propagates as a host exception.
+    """
+
+    def handle(self, runtime, env, violation, default):
+        raise violation
+
+
+class CheckerRuntime:
+    """Encodings + violation bookkeeping shared by every substrate.
+
+    Subclasses provide a :class:`FailurePolicy`, a ``log`` sink, and the
+    two substrate-specific strings (``log_prefix`` for diagnostics and
+    ``termination_site`` for the ``function`` recorded on leak
+    violations found by the termination sweep).
+    """
+
+    #: Prefix on diagnostic log lines, e.g. ``"jinn"``.
+    log_prefix = "checker"
+    #: ``function`` recorded on termination-sweep leak violations.
+    termination_site = "termination"
+
+    def __init__(self, host, registry: SpecRegistry, policy: FailurePolicy):
+        #: The substrate the encodings observe (a JavaVM, a
+        #: PythonInterpreter, ...).
+        self.host = host
+        self.registry = registry
+        self.policy = policy
+        self.encodings: Dict[str, object] = {}
+        for spec in registry:
+            encoding = spec.make_encoding(host)
+            self.encodings[spec.name] = encoding
+            setattr(self, spec.name, encoding)
+        #: Every violation detected, in order (including termination leaks).
+        self.violations: List[FFIViolation] = []
+
+    # -- substrate hook --------------------------------------------------
+
+    def log(self, message: str) -> None:
+        """Append one line to the substrate's diagnostics stream."""
+        raise NotImplementedError
+
+    # -- the shared protocol ---------------------------------------------
+
+    def fail(self, env, violation: FFIViolation, default=None):
+        """Record a violation and apply the substrate's failure policy.
+
+        Wrappers call this instead of the raw function when a pre-check
+        fails; whatever the policy returns (the type's zero value, for
+        Jinn) is handed back so the undefined behaviour never executes.
+        """
+        self.violations.append(violation)
+        self.log("{}: {}".format(self.log_prefix, violation.report()))
+        return self.policy.handle(self, env, violation, default)
+
+    def at_termination(self) -> List[FFIViolation]:
+        """Collect leak violations from every encoding at host death."""
+        found: List[FFIViolation] = []
+        for spec in self.registry:
+            encoding = self.encodings[spec.name]
+            for message in encoding.at_termination():
+                leak = FFIViolation(
+                    message,
+                    machine=spec.name,
+                    error_state="Error: leak",
+                    function=self.termination_site,
+                )
+                self.violations.append(leak)
+                self.log("{}: {}".format(self.log_prefix, leak.report()))
+                found.append(leak)
+        return found
+
+    def reset(self) -> None:
+        """Drop all per-entity machine state and the violation log."""
+        for encoding in self.encodings.values():
+            encoding.reset()
+        self.violations.clear()

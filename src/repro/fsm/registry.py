@@ -10,6 +10,7 @@ Section 4 lists them.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterator, List, Optional
 
 from repro.fsm.errors import SpecificationError
@@ -54,6 +55,36 @@ class SpecRegistry:
     def by_class(self, constraint_class: str) -> List[StateMachineSpec]:
         """Machines in one of the paper's three constraint classes."""
         return [s for s in self._specs if s.constraint_class == constraint_class]
+
+    def fingerprint(self) -> str:
+        """Hash of the full specification identity, in registration order.
+
+        Covers, per machine: its name, its constraint class, every state
+        transition, every language-transition mapping (direction,
+        function-selector description, entity selector), and the
+        identity of the class providing the runtime encoding and the
+        emit plan.  Two registries with the same machine *names* but
+        different specifications therefore fingerprint differently —
+        the property the shared wrapper cache keys on.
+        """
+        digest = hashlib.sha256()
+        for spec in self._specs:
+            cls = type(spec)
+            digest.update(
+                "\x1f".join(
+                    (
+                        spec.name,
+                        spec.constraint_class,
+                        cls.__module__,
+                        cls.__qualname__,
+                    )
+                ).encode()
+            )
+            for st in spec.state_transitions():
+                digest.update(str(st).encode())
+                for lt in spec.language_transitions_for(st):
+                    digest.update(str(lt).encode())
+        return digest.hexdigest()
 
     def without(self, *names: str) -> "SpecRegistry":
         """A new registry excluding the named machines (for ablations)."""

@@ -12,7 +12,11 @@ from repro.jinn.agent import JinnAgent
 from repro.jinn.catalog import interposition_count, render_catalog
 from repro.jinn.debugger import DebuggerAgent, FailureSnapshot
 from repro.jinn.machines import SPEC_CLASSES, build_registry
-from repro.jinn.reporting import render_uncaught, summarize_violations
+from repro.jinn.reporting import (
+    render_uncaught,
+    render_violation_log,
+    summarize_violations,
+)
 from repro.jinn.runtime import (
     ASSERTION_FAILURE_CLASS,
     JinnRuntime,
@@ -33,6 +37,7 @@ __all__ = [
     "build_registry",
     "count_noncomment_lines",
     "render_uncaught",
+    "render_violation_log",
     "summarize_violations",
     "violation_of",
 ]

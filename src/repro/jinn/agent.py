@@ -15,43 +15,31 @@ Three modes support the paper's measurements: ``generated`` (full Jinn),
 ``interpose`` (empty wrappers — Table 3's framework-overhead column), and
 ``interpretive`` (no code generation; every event walks the machine
 specifications — the codegen-vs-interpretation ablation).
+
+Interpretive mode dispatches through the core's
+:class:`~repro.core.dispatch.DispatchIndex`: each JNI function's
+interpretive wrapper consults only the machines whose language
+transitions match that (function, direction) pair, mirroring the
+specialization the generated wrappers get from Algorithm 1.  The
+pre-index fan-out (every event visits every machine) is retained as
+``dispatch="fanout"`` so the overhead benchmark can quantify the win.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.core.cache import WRAPPER_CACHE
+from repro.core.defaults import default_value
 from repro.fsm.errors import FFIViolation
 from repro.fsm.events import Direction, EventContext, LanguageEvent
 from repro.fsm.registry import SpecRegistry
 from repro.jinn.machines import build_registry
 from repro.jinn.runtime import ASSERTION_FAILURE_CLASS, JinnRuntime
-from repro.jinn.synthesizer import Synthesizer
-from repro.jni import functions
 from repro.jvm.jvmti import JVMTIAgent
 
 _MODES = ("generated", "interpose", "interpretive")
-
-#: Compiled wrapper-module cache.  Generation is deterministic per
-#: (machine set, mode) — see the property test — so agents for the same
-#: specification reuse one compiled module instead of re-synthesizing at
-#: every VM start.
-_WRAPPER_CACHE = {}
-
-#: Runtime default values per return kind (interpretive mode).
-_DEFAULTS = {
-    "void": None,
-    "jboolean": False,
-    "jint": 0,
-    "jsize": 0,
-    "jlong": 0,
-    "jbyte": 0,
-    "jchar": "\0",
-    "jshort": 0,
-    "jfloat": 0.0,
-    "jdouble": 0.0,
-    "jobjectRefType": 0,
-}
+_DISPATCHES = ("index", "fanout")
 
 
 class JinnAgent(JVMTIAgent):
@@ -64,15 +52,20 @@ class JinnAgent(JVMTIAgent):
         registry: Optional[SpecRegistry] = None,
         *,
         mode: str = "generated",
+        dispatch: str = "index",
     ):
         if mode not in _MODES:
             raise ValueError("mode must be one of {}".format(_MODES))
+        if dispatch not in _DISPATCHES:
+            raise ValueError("dispatch must be one of {}".format(_DISPATCHES))
         self.registry = registry if registry is not None else build_registry()
         self.mode = mode
+        self.dispatch = dispatch
         self.rt: Optional[JinnRuntime] = None
         self.vm = None
         self._build_wrappers = None
         self._native_factory: Optional[Callable] = None
+        self._index = None
         #: Leak violations found at VM death.
         self.termination_violations: List[FFIViolation] = []
 
@@ -88,13 +81,14 @@ class JinnAgent(JVMTIAgent):
             vm.define_class(ASSERTION_FAILURE_CLASS, superclass="java/lang/Error")
         self.rt = JinnRuntime(vm, self.registry)
         if self.mode in ("generated", "interpose"):
-            cache_key = (tuple(self.registry.names()), self.mode)
-            if cache_key not in _WRAPPER_CACHE:
-                synthesizer = Synthesizer(self.registry)
-                _WRAPPER_CACHE[cache_key] = synthesizer.build(
-                    checking=(self.mode == "generated")
-                )
-            self._build_wrappers = _WRAPPER_CACHE[cache_key]
+            # The shared cache keys on the registry fingerprint (full
+            # spec identity), so agents for the same specification reuse
+            # one compiled module instead of re-synthesizing per VM.
+            self._build_wrappers = WRAPPER_CACHE.wrappers_for(
+                self.registry, checking=(self.mode == "generated")
+            )
+        elif self.dispatch == "index":
+            self._index = WRAPPER_CACHE.dispatch_for(self.registry)
 
     def on_thread_start(self, vm, thread) -> None:
         env_machine = self.rt.encodings.get("jnienv_state")
@@ -129,46 +123,67 @@ class JinnAgent(JVMTIAgent):
     # ------------------------------------------------------------------
 
     def _interpretive_table(self, env) -> Dict[str, Callable]:
+        from repro.jni import functions
+
         rt = self.rt
-        encodings = [rt.encodings[spec.name] for spec in self.registry]
         table = {}
+        if self._index is not None:
+            for name, raw_fn in env.function_table().items():
+                meta = functions.FUNCTIONS[name]
+                pre = self._index.encodings(
+                    rt, name, Direction.CALL_NATIVE_TO_MANAGED
+                )
+                post = self._index.encodings(
+                    rt, name, Direction.RETURN_MANAGED_TO_NATIVE
+                )
+                table[name] = self._interp_wrapper(
+                    rt, pre, post, name, meta, raw_fn
+                )
+            return table
+        # Seed fan-out, kept for the dispatch-index ablation: every
+        # event walks every machine.
+        encodings = [rt.encodings[spec.name] for spec in self.registry]
         for name, raw_fn in env.function_table().items():
             meta = functions.FUNCTIONS[name]
-            table[name] = self._interp_wrapper(rt, encodings, name, meta, raw_fn)
+            table[name] = self._interp_wrapper(
+                rt, encodings, encodings, name, meta, raw_fn
+            )
         return table
 
     @staticmethod
-    def _interp_wrapper(rt, encodings, name, meta, raw_fn):
-        default = _DEFAULTS.get(meta.returns)
+    def _interp_wrapper(rt, pre_encodings, post_encodings, name, meta, raw_fn):
+        default = default_value(meta.returns)
 
         def interp(env, *args):
             thread = rt.vm.current_thread
-            ctx = EventContext(
-                LanguageEvent(Direction.CALL_NATIVE_TO_MANAGED, name),
-                env,
-                thread,
-                args=args,
-                meta=meta,
-            )
-            try:
-                for encoding in encodings:
-                    encoding.on_event(ctx)
-            except FFIViolation as v:
-                return rt.fail(env, v, default)
+            if pre_encodings:
+                ctx = EventContext(
+                    LanguageEvent(Direction.CALL_NATIVE_TO_MANAGED, name),
+                    env,
+                    thread,
+                    args=args,
+                    meta=meta,
+                )
+                try:
+                    for encoding in pre_encodings:
+                        encoding.on_event(ctx)
+                except FFIViolation as v:
+                    return rt.fail(env, v, default)
             result = raw_fn(env, *args)
-            ctx = EventContext(
-                LanguageEvent(Direction.RETURN_MANAGED_TO_NATIVE, name),
-                env,
-                thread,
-                args=args,
-                result=result,
-                meta=meta,
-            )
-            try:
-                for encoding in encodings:
-                    encoding.on_event(ctx)
-            except FFIViolation as v:
-                rt.fail(env, v)
+            if post_encodings:
+                ctx = EventContext(
+                    LanguageEvent(Direction.RETURN_MANAGED_TO_NATIVE, name),
+                    env,
+                    thread,
+                    args=args,
+                    result=result,
+                    meta=meta,
+                )
+                try:
+                    for encoding in post_encodings:
+                        encoding.on_event(ctx)
+                except FFIViolation as v:
+                    rt.fail(env, v)
             return result
 
         interp.__name__ = "interp_" + name
@@ -176,7 +191,15 @@ class JinnAgent(JVMTIAgent):
 
     def _interpretive_native(self, method, impl: Callable) -> Callable:
         rt = self.rt
-        encodings = [rt.encodings[spec.name] for spec in self.registry]
+        if self._index is not None:
+            pre = self._index.native_encodings(
+                rt, Direction.CALL_MANAGED_TO_NATIVE
+            )
+            post = self._index.native_encodings(
+                rt, Direction.RETURN_NATIVE_TO_MANAGED
+            )
+        else:
+            pre = post = [rt.encodings[spec.name] for spec in self.registry]
         method_name = method.mangled_name()
 
         def interp_native(env, this, *args):
@@ -190,7 +213,7 @@ class JinnAgent(JVMTIAgent):
                 args=(this,) + args,
             )
             try:
-                for encoding in encodings:
+                for encoding in pre:
                     encoding.on_event(ctx)
             except FFIViolation as v:
                 rt.fail(env, v)
@@ -205,7 +228,7 @@ class JinnAgent(JVMTIAgent):
                 result=result,
             )
             try:
-                for encoding in encodings:
+                for encoding in post:
                     encoding.on_event(ctx)
             except FFIViolation as v:
                 rt.fail(env, v)
@@ -216,6 +239,7 @@ class JinnAgent(JVMTIAgent):
 
 def _raw_stub() -> Dict[str, Callable]:
     """A placeholder raw table for factory-only builds."""
+    from repro.jni import functions
 
     def missing(env, *args):
         raise RuntimeError("raw stub called")

@@ -35,6 +35,19 @@ def render_uncaught(throwable: JThrowable, thread_name: str = "main") -> str:
     return "\n".join(lines)
 
 
+def render_violation_log(runtime) -> List[str]:
+    """One prefixed line per violation a checker runtime recorded.
+
+    Substrate-neutral: works for any :class:`repro.core.CheckerRuntime`
+    (Jinn's or the Python/C checker's), using the runtime's own log
+    prefix so the rendering matches what the host saw in its log.
+    """
+    return [
+        "{}: {}".format(runtime.log_prefix, violation.report())
+        for violation in runtime.violations
+    ]
+
+
 def summarize_violations(throwable: JThrowable) -> List[str]:
     """One line per violation along the throwable's cause chain."""
     summaries: List[str] = []

@@ -1,17 +1,23 @@
-"""Jinn's runtime: encoding instances and the failure protocol.
+"""Jinn's runtime: the JNI failure protocol over the shared checker core.
 
 The generated wrappers (and the interpretive engine) call semantic
 methods on ``rt.<machine_name>``; when a machine reaches an error state it
 raises :class:`~repro.fsm.errors.FFIViolation`, and the wrapper hands it
-to :meth:`JinnRuntime.fail`, which converts it into a pending Java
-``jinn/JNIAssertionFailure`` — cause-chained onto whatever exception was
-already pending, which is how Figure 9's ``Caused by:`` chain arises.
+to :meth:`CheckerRuntime.fail`.  Everything up to that point — encoding
+instantiation, the violation log, the termination leak sweep, reset — is
+substrate-neutral and lives in :class:`repro.core.CheckerRuntime`; this
+module contributes only Jinn's failure *policy*: convert the violation
+into a pending Java ``jinn/JNIAssertionFailure`` — cause-chained onto
+whatever exception was already pending, which is how Figure 9's
+``Caused by:`` chain arises — and return the type's zero value so the
+unsafe raw call never executes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
+from repro.core.runtime import CheckerRuntime, FailurePolicy
 from repro.fsm.errors import FFIViolation
 from repro.fsm.registry import SpecRegistry
 
@@ -22,29 +28,16 @@ ASSERTION_FAILURE_CLASS = "jinn/JNIAssertionFailure"
 VIOLATION_SLOT = ("jinn$violation", "X")
 
 
-class JinnRuntime:
-    """Holds one encoding per machine plus violation bookkeeping."""
+class PendJavaExceptionPolicy(FailurePolicy):
+    """Pend a ``JNIAssertionFailure`` and return the zero value.
 
-    def __init__(self, vm, registry: SpecRegistry):
-        self.vm = vm
-        self.registry = registry
-        self.encodings: Dict[str, object] = {}
-        for spec in registry:
-            encoding = spec.make_encoding(vm)
-            self.encodings[spec.name] = encoding
-            setattr(self, spec.name, encoding)
-        #: Every violation detected, in order (including termination leaks).
-        self.violations: List[FFIViolation] = []
+    Returning ``default`` lets a generated wrapper skip the raw call and
+    hand back the type's zero value — Jinn prevents the undefined
+    behaviour instead of merely observing it.
+    """
 
-    def fail(self, env, violation: FFIViolation, default=None):
-        """Record a violation and pend a ``JNIAssertionFailure``.
-
-        Returns ``default`` so a generated wrapper can skip the raw call
-        and hand back the type's zero value — Jinn prevents the
-        undefined behaviour instead of merely observing it.
-        """
-        self.violations.append(violation)
-        vm = self.vm
+    def handle(self, runtime, env, violation, default):
+        vm = runtime.vm
         thread = vm.current_thread
         cause = thread.pending_exception
         throwable = vm.new_throwable(
@@ -53,30 +46,21 @@ class JinnRuntime:
         throwable.fill_in_stack_trace(thread.stack_snapshot())
         throwable.fields[VIOLATION_SLOT] = violation
         thread.pending_exception = throwable
-        vm.log("jinn: " + violation.report())
         return default
 
-    def at_termination(self) -> List[FFIViolation]:
-        """Collect leak violations from every encoding at VM death."""
-        found: List[FFIViolation] = []
-        for spec in self.registry:
-            encoding = self.encodings[spec.name]
-            for message in encoding.at_termination():
-                leak = FFIViolation(
-                    message,
-                    machine=spec.name,
-                    error_state="Error: leak",
-                    function="VM shutdown",
-                )
-                self.violations.append(leak)
-                self.vm.log("jinn: " + leak.report())
-                found.append(leak)
-        return found
 
-    def reset(self) -> None:
-        for encoding in self.encodings.values():
-            encoding.reset()
-        self.violations.clear()
+class JinnRuntime(CheckerRuntime):
+    """The shared checker core bound to a JavaVM with Jinn's policy."""
+
+    log_prefix = "jinn"
+    termination_site = "VM shutdown"
+
+    def __init__(self, vm, registry: SpecRegistry):
+        self.vm = vm
+        super().__init__(vm, registry, PendJavaExceptionPolicy())
+
+    def log(self, message: str) -> None:
+        self.vm.log(message)
 
 
 def violation_of(throwable) -> Optional[FFIViolation]:

@@ -2,66 +2,44 @@
 
 Structurally identical to Jinn: the same synthesizer (Algorithm 1)
 consumes the Python/C machine specifications and generates wrappers for
-every API function plus a factory for extension-function wrappers.  The
-differences the paper discusses are reflected here: there is no JVMTI
-analogue, so the checker is "statically linked" — handed to the
-interpreter at construction — and reference-count macros are functions
-(``Py_IncRef``/``Py_DecRef``) so interposition can see them.
+every API function plus a factory for extension-function wrappers, and
+the same runtime core (:class:`repro.core.CheckerRuntime`) owns the
+encodings and violation bookkeeping.  The differences the paper
+discusses are reflected here: there is no JVMTI analogue, so the checker
+is "statically linked" — handed to the interpreter at construction — and
+reference-count macros are functions (``Py_IncRef``/``Py_DecRef``) so
+interposition can see them.
 
-On a violation the checker *raises* — the C caller is stopped at the
-exact faulting call, and the harness observes an
+On a violation the checker *raises* (:class:`repro.core.runtime.
+RaiseViolationPolicy`) — the C caller is stopped at the exact faulting
+call, and the harness observes an
 :class:`~repro.fsm.errors.FFIViolation`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
+from repro.core.cache import WRAPPER_CACHE
+from repro.core.runtime import CheckerRuntime, RaiseViolationPolicy
 from repro.fsm.errors import FFIViolation
 from repro.fsm.registry import SpecRegistry
-from repro.jinn.synthesizer import Synthesizer
 from repro.pyc.machines import build_pyc_registry
 from repro.pyc.spec import PY_FUNCTIONS
 
 
-class PyCRuntime:
-    """Encoding instances plus the (raising) failure protocol."""
+class PyCRuntime(CheckerRuntime):
+    """The shared checker core bound to an interpreter, raising at fault."""
+
+    log_prefix = "pyc-checker"
+    termination_site = "interpreter exit"
 
     def __init__(self, interp, registry: SpecRegistry):
         self.interp = interp
-        self.registry = registry
-        self.encodings: Dict[str, object] = {}
-        for spec in registry:
-            encoding = spec.make_encoding(interp)
-            self.encodings[spec.name] = encoding
-            setattr(self, spec.name, encoding)
-        self.violations: List[FFIViolation] = []
+        super().__init__(interp, registry, RaiseViolationPolicy())
 
-    def fail(self, api, violation: FFIViolation, default=None):
-        """Record and re-raise: the Python/C checker stops the program."""
-        self.violations.append(violation)
-        self.interp.log("pyc-checker: " + violation.report())
-        raise violation
-
-    def at_termination(self) -> List[FFIViolation]:
-        found: List[FFIViolation] = []
-        for spec in self.registry:
-            for message in self.encodings[spec.name].at_termination():
-                leak = FFIViolation(
-                    message,
-                    machine=spec.name,
-                    error_state="Error: leak",
-                    function="interpreter exit",
-                )
-                self.violations.append(leak)
-                self.interp.log("pyc-checker: " + leak.report())
-                found.append(leak)
-        return found
-
-    def reset(self) -> None:
-        for encoding in self.encodings.values():
-            encoding.reset()
-        self.violations.clear()
+    def log(self, message: str) -> None:
+        self.interp.log(message)
 
 
 class PyCChecker:
@@ -74,15 +52,23 @@ class PyCChecker:
 
     def on_api_created(self, interp, api) -> None:
         self.rt = PyCRuntime(interp, self.registry)
-        synthesizer = Synthesizer(self.registry, function_table=PY_FUNCTIONS)
-        build_wrappers = synthesizer.build()
+        # Synthesis is deterministic per specification: the shared cache
+        # reuses one compiled module per spec fingerprint instead of
+        # re-synthesizing at every interpreter construction.
+        build_wrappers = WRAPPER_CACHE.wrappers_for(
+            self.registry, function_table=PY_FUNCTIONS
+        )
         wrappers, native_factory = build_wrappers(self.rt, api.function_table())
         api.install_function_table(wrappers)
         self._native_factory = native_factory
 
     def on_extension_bind(self, interp, name: str, impl: Callable) -> Callable:
         if self._native_factory is None:
-            return impl
+            # Bound before on_api_created: wrap lazily so checking is
+            # never silently disabled for early-bound extensions.  The
+            # entry resolves the factory at first call and fails loudly
+            # if the checker still has not been attached to an API.
+            return self._deferred_entry(name, impl)
         wrapped = self._native_factory(name, impl)
 
         def extension_entry(api, self_obj, args_tuple):
@@ -90,6 +76,23 @@ class PyCChecker:
             return wrapped(api, self_obj, args_tuple)
 
         return extension_entry
+
+    def _deferred_entry(self, name: str, impl: Callable) -> Callable:
+        state = {"wrapped": None}
+
+        def deferred_entry(api, self_obj, args_tuple):
+            if state["wrapped"] is None:
+                if self._native_factory is None:
+                    raise RuntimeError(
+                        "PyCChecker: extension {!r} was bound before the "
+                        "checker was attached to an API (on_api_created "
+                        "never ran); checking would be silently "
+                        "disabled".format(name)
+                    )
+                state["wrapped"] = self._native_factory(name, impl)
+            return state["wrapped"](api, self_obj, args_tuple)
+
+        return deferred_entry
 
     def termination_report(self) -> List[FFIViolation]:
         if self.rt is None:

@@ -177,15 +177,23 @@ def run_workload(
     vendor: VendorSpec = HOTSPOT,
     scale: int = 1000,
     iterations: Optional[int] = None,
+    agents: Optional[List] = None,
 ) -> WorkloadResult:
-    """Run one benchmark under one Table 3 configuration, timed."""
+    """Run one benchmark under one Table 3 configuration, timed.
+
+    ``agents`` overrides the config's default agent set — used by the
+    dispatch-index benchmark to time custom JinnAgent variants (e.g.
+    interpretive mode with index vs fan-out dispatch) on the same
+    kernels.  ``config`` still controls ``-Xcheck:jni``.
+    """
     if config not in CONFIGS:
         raise ValueError("unknown config " + config)
-    agents = []
-    if config == "jinn":
-        agents.append(JinnAgent(mode="generated"))
-    elif config == "interpose":
-        agents.append(JinnAgent(mode="interpose"))
+    if agents is None:
+        agents = []
+        if config == "jinn":
+            agents.append(JinnAgent(mode="generated"))
+        elif config == "interpose":
+            agents.append(JinnAgent(mode="interpose"))
     vm = JavaVM(vendor=vendor, agents=agents, check_jni=(config == "xcheck"))
     build_workload(vm, name)
     rounds = iterations if iterations is not None else iterations_for(name, scale)

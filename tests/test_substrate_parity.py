@@ -1,0 +1,141 @@
+"""Substrate and mode parity over the shared checker core.
+
+The refactor's contract: the generated wrappers, the interpretive engine
+with the dispatch index, and the interpretive engine with the historic
+fan-out all implement the *same* specifications, so any misuse scenario
+must yield the identical violation stream — same machines, same error
+states, same faulting functions, in the same order.  And moving the
+Python/C checker onto :class:`repro.core.CheckerRuntime` must not change
+its raise-at-the-faulting-call protocol.
+"""
+
+import pytest
+
+from repro.fsm.errors import FFIViolation
+from repro.jinn.agent import JinnAgent
+from repro.jvm import (
+    HOTSPOT,
+    DeadlockError,
+    FatalJNIError,
+    JavaException,
+    JavaVM,
+    SimulatedCrash,
+)
+from repro.workloads.microbench import MICROBENCHMARKS, scenario_by_name
+
+
+def violation_stream(scenario, mode, dispatch="index"):
+    """(machine, error_state, function) triples one configuration saw."""
+    agent = JinnAgent(mode=mode, dispatch=dispatch)
+    vm = JavaVM(vendor=HOTSPOT, agents=[agent])
+    try:
+        scenario(vm)
+    except (DeadlockError, SimulatedCrash, FatalJNIError, JavaException):
+        pass
+    vm.shutdown()  # triggers the termination sweep
+    return [
+        (v.machine, v.error_state, v.function) for v in agent.rt.violations
+    ]
+
+
+class TestModeParity:
+    @pytest.mark.parametrize(
+        "scenario", MICROBENCHMARKS, ids=lambda s: s.name
+    )
+    def test_generated_and_interpretive_streams_identical(self, scenario):
+        generated = violation_stream(scenario.run, "generated")
+        interpretive = violation_stream(scenario.run, "interpretive")
+        assert generated == interpretive, scenario.name
+        assert generated, scenario.name  # every micro demonstrates a bug
+
+    @pytest.mark.parametrize(
+        "scenario", MICROBENCHMARKS, ids=lambda s: s.name
+    )
+    def test_dispatch_index_matches_fanout(self, scenario):
+        """The index is an optimization, not a semantics change: it must
+        reach exactly the machines the full fan-out reached."""
+        indexed = violation_stream(scenario.run, "interpretive", "index")
+        fanout = violation_stream(scenario.run, "interpretive", "fanout")
+        assert indexed == fanout, scenario.name
+
+    def test_interpose_mode_sees_nothing(self):
+        scenario = scenario_by_name("Nullness")
+        assert violation_stream(scenario.run, "interpose") == []
+
+    def test_violating_machine_matches_scenario_label(self):
+        for scenario in MICROBENCHMARKS:
+            stream = violation_stream(scenario.run, "generated")
+            assert stream[0][0] == scenario.machine, scenario.name
+
+
+class TestPyCOverCore:
+    """The Python/C checker through the shared core keeps its protocol."""
+
+    def test_raises_at_the_exact_faulting_call(self):
+        from repro.pyc import PyCChecker, PythonInterpreter
+
+        checker = PyCChecker()
+        interp = PythonInterpreter(agents=[checker])
+        reached = []
+
+        def dangle(api, self_obj, args):
+            pythons = api.Py_BuildValue("[ss]", "Eric", "Graham")
+            first = api.PyList_GetItem(pythons, 0)
+            api.Py_DecRef(pythons)
+            api.PyString_AsString(first)  # dangling borrow: raises here
+            reached.append("past the fault")
+            return api.Py_RETURN_NONE()
+
+        interp.register_extension("dangle", dangle)
+        with pytest.raises(FFIViolation) as exc_info:
+            interp.call_extension("dangle")
+        assert exc_info.value.machine == "borrowed_ref"
+        assert reached == []  # the C caller was stopped at the fault
+        assert [v.machine for v in checker.rt.violations] == ["borrowed_ref"]
+
+    def test_both_substrates_share_one_runtime_core(self):
+        from repro.core.runtime import CheckerRuntime
+        from repro.pyc import PyCChecker, PythonInterpreter
+
+        checker = PyCChecker()
+        PythonInterpreter(agents=[checker])
+        agent = JinnAgent()
+        JavaVM(vendor=HOTSPOT, agents=[agent])
+        assert isinstance(checker.rt, CheckerRuntime)
+        assert isinstance(agent.rt, CheckerRuntime)
+        assert type(checker.rt).fail is CheckerRuntime.fail
+        assert type(agent.rt).fail is CheckerRuntime.fail
+
+
+class TestEarlyExtensionBind:
+    """Regression: extensions bound before ``on_api_created`` used to be
+    returned unwrapped — checking silently disabled."""
+
+    @staticmethod
+    def _dangle(api, self_obj, args):
+        pythons = api.Py_BuildValue("[ss]", "Eric", "Graham")
+        first = api.PyList_GetItem(pythons, 0)
+        api.Py_DecRef(pythons)
+        api.PyString_AsString(first)
+        return api.Py_RETURN_NONE()
+
+    def test_bind_then_attach_still_checks(self):
+        from repro.pyc import PyCChecker, PythonInterpreter
+
+        checker = PyCChecker()
+        # Bind through the hook *before* any interpreter exists.
+        entry = checker.on_extension_bind(None, "early", self._dangle)
+        interp = PythonInterpreter(agents=[checker])  # runs on_api_created
+        with pytest.raises(FFIViolation) as exc_info:
+            entry(interp.api, None, None)
+        assert exc_info.value.machine == "borrowed_ref"
+
+    def test_bind_without_attach_fails_loudly(self):
+        from repro.pyc import PyCChecker, PythonInterpreter
+
+        checker = PyCChecker()
+        entry = checker.on_extension_bind(None, "orphan", self._dangle)
+        # An API the checker was never attached to.
+        interp = PythonInterpreter()
+        with pytest.raises(RuntimeError, match="orphan"):
+            entry(interp.api, None, None)
