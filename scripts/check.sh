@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 gate: tests, bytecode compilation, and the dispatch-index
-# benchmark smoke gate (writes BENCH_interpretive_dispatch.json).
+# Tier-1 gate: tests, bytecode compilation, and the quick benchmark
+# gates (write BENCH_interpretive_dispatch.json and
+# BENCH_trace_replay.json).
 #
 # Usage: scripts/check.sh [--no-bench]
 set -euo pipefail
@@ -11,12 +12,18 @@ export PYTHONPATH="src:."
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== trace round-trip parity =="
+python -m pytest -q tests/test_trace_replay.py
+
 echo "== compileall =="
 python -m compileall -q src
 
 if [[ "${1:-}" != "--no-bench" ]]; then
     echo "== dispatch-index bench gate (quick) =="
     python benchmarks/bench_table3_overhead.py --quick
+
+    echo "== trace replay bench gate (quick) =="
+    python benchmarks/bench_trace_replay.py --quick
 fi
 
 echo "OK"

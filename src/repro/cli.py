@@ -11,7 +11,9 @@ Gives downstream users the paper's artifacts without writing code:
 - ``fig10``      — the local-reference time series (original vs fixed);
 - ``fig11``      — the Python/C dangling-borrow demonstration;
 - ``demo``       — run one microbenchmark under a chosen configuration;
-- ``dispatch``   — the (function, direction) dispatch-index statistics.
+- ``dispatch``   — the (function, direction) dispatch-index statistics;
+- ``trace``      — FFI event record/replay: ``record``, ``replay``,
+  ``diff``, and ``corpus`` subcommands.
 """
 
 from __future__ import annotations
@@ -177,7 +179,7 @@ def _cmd_demo(args) -> int:
 
 
 def _cmd_dispatch(args) -> int:
-    from repro.core.dispatch import DispatchIndex
+    from repro.core.cache import WRAPPER_CACHE
 
     if args.substrate == "pyc":
         from repro.pyc.machines import build_pyc_registry
@@ -190,7 +192,7 @@ def _cmd_dispatch(args) -> int:
 
         registry, table = build_registry(), FUNCTIONS
 
-    index = DispatchIndex.build(registry, table)
+    index = WRAPPER_CACHE.dispatch_for(registry, table)
     print("substrate:         " + args.substrate)
     print("machines:          {}".format(len(registry.names())))
     print("functions:         {}".format(len(table)))
@@ -203,7 +205,114 @@ def _cmd_dispatch(args) -> int:
     print("per machine (function,direction) pairs:")
     for name, count in index.per_machine_counts().items():
         print("  {:<18} {}".format(name, count))
+    print("wrapper cache:")
+    for key, value in WRAPPER_CACHE.stats().items():
+        print("  {:<18} {}".format(key, value))
     return 0
+
+
+def _trace_record_one(target: str, observer):
+    """Run one recordable target under its live checker.
+
+    Targets: ``dacapo/<benchmark>``, ``pyc/<PyScenario>``, or a JNI
+    microbenchmark name (optionally prefixed ``micro/``).  Returns the
+    live checker's violation reports.
+    """
+    if target.startswith("dacapo/"):
+        from repro.jinn.agent import JinnAgent
+        from repro.workloads.dacapo import run_workload
+
+        agent = JinnAgent(mode="generated", observer=observer)
+        run_workload(target[len("dacapo/"):], config="jinn", agents=[agent])
+        return [v.report() for v in agent.rt.violations]
+    if target.startswith("pyc/"):
+        from repro.workloads.pyc_micro import (
+            PYC_MICROBENCHMARKS,
+            run_pyc_scenario,
+        )
+
+        name = target[len("pyc/"):]
+        scenario = next(s for s in PYC_MICROBENCHMARKS if s.name == name)
+        return run_pyc_scenario(scenario, observer=observer)["violations"]
+    from repro.workloads.microbench import scenario_by_name
+    from repro.workloads.outcomes import run_scenario
+
+    name = target[len("micro/"):] if target.startswith("micro/") else target
+    result = run_scenario(
+        scenario_by_name(name).run, checker="jinn", observer=observer
+    )
+    return result.violations
+
+
+def _cmd_trace_record(args) -> int:
+    from repro.trace import TraceRecorder
+
+    recorder = TraceRecorder(args.output, workload=args.target)
+    live = _trace_record_one(args.target, recorder)
+    events = recorder.close()
+    print("recorded {} events to {}".format(events, args.output))
+    print("live violations: {}".format(len(live)))
+    for report in live:
+        print("  " + report)
+    return 0
+
+
+def _cmd_trace_replay(args) -> int:
+    from repro.trace.replay import replay_path, replay_sharded
+
+    if len(args.paths) > 1 or args.shards > 1:
+        result = replay_sharded(
+            args.paths, shards=args.shards, force=args.force
+        )
+    else:
+        result = replay_path(args.paths[0], force=args.force)
+    print(
+        "replayed {} events from {} trace(s)".format(
+            result.event_count, len(args.paths)
+        )
+    )
+    violations = result.violations
+    print("violations: {}".format(len(violations)))
+    for report in violations:
+        print("  " + report)
+    recorded = getattr(result, "recorded_reports", None)
+    if recorded:
+        status = "match" if recorded == violations else "DRIFT"
+        print("recorded stream: {} ({} violations)".format(
+            status, len(recorded)
+        ))
+    return 0
+
+
+def _cmd_trace_diff(args) -> int:
+    from repro.trace.diff import diff_reports, render_diff
+    from repro.trace.replay import replay_path
+
+    old = replay_path(args.old, force=args.force)
+    new = replay_path(args.new, force=args.force)
+    diff = diff_reports(old.violations, new.violations)
+    print(render_diff(diff))
+    return 1 if diff["drift"] else 0
+
+
+def _cmd_trace_corpus(args) -> int:
+    from repro.trace.corpus import build_corpus
+
+    manifest = build_corpus(
+        args.output,
+        benchmarks=args.benchmarks or None,
+        scale=args.scale,
+    )
+    print(
+        "recorded {} traces, {} events -> {}/".format(
+            len(manifest["traces"]), manifest["total_events"], args.output
+        )
+    )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    return _TRACE_COMMANDS[args.trace_command](args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -244,7 +353,47 @@ def build_parser() -> argparse.ArgumentParser:
     dispatch.add_argument(
         "--substrate", choices=("jni", "pyc"), default="jni"
     )
+
+    trace = sub.add_parser("trace", help="FFI event record/replay")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_sub.add_parser("record", help="record one workload")
+    record.add_argument(
+        "target", help="dacapo/<name>, pyc/<name>, or a JNI micro name"
+    )
+    record.add_argument("-o", "--output", required=True, help="trace file")
+
+    replay = trace_sub.add_parser("replay", help="re-check recorded traces")
+    replay.add_argument("paths", nargs="+", help="trace files")
+    replay.add_argument(
+        "--shards", type=int, default=1, help="parallel replay processes"
+    )
+    replay.add_argument(
+        "--force",
+        action="store_true",
+        help="replay despite a registry fingerprint mismatch",
+    )
+
+    diff = trace_sub.add_parser("diff", help="compare two replays")
+    diff.add_argument("old", help="baseline trace")
+    diff.add_argument("new", help="candidate trace")
+    diff.add_argument("--force", action="store_true")
+
+    corpus = trace_sub.add_parser("corpus", help="record the benchmark corpus")
+    corpus.add_argument("-o", "--output", default="traces")
+    corpus.add_argument("--scale", type=int, default=1000)
+    corpus.add_argument(
+        "--benchmarks", nargs="*", help="subset of dacapo benchmark names"
+    )
     return parser
+
+
+_TRACE_COMMANDS = {
+    "record": _cmd_trace_record,
+    "replay": _cmd_trace_replay,
+    "diff": _cmd_trace_diff,
+    "corpus": _cmd_trace_corpus,
+}
 
 
 _COMMANDS = {
@@ -258,6 +407,7 @@ _COMMANDS = {
     "fig11": _cmd_fig11,
     "demo": _cmd_demo,
     "dispatch": _cmd_dispatch,
+    "trace": _cmd_trace,
 }
 
 

@@ -16,10 +16,16 @@ table and mode, so behaviourally different registries never collide.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.dispatch import DispatchIndex
 from repro.fsm.registry import SpecRegistry
+
+#: Default entry cap per cache map.  Long-lived processes that sweep
+#: many perturbed registries (ablation studies, spec fuzzing) would
+#: otherwise retain every compiled module forever.
+DEFAULT_MAX_ENTRIES = 64
 
 
 def _table_key(function_table) -> Tuple[str, ...]:
@@ -30,11 +36,36 @@ def _table_key(function_table) -> Tuple[str, ...]:
 
 
 class WrapperCache:
-    """Compiled wrapper modules and dispatch indexes by spec identity."""
+    """Compiled wrapper modules and dispatch indexes by spec identity.
 
-    def __init__(self):
-        self._wrappers: Dict[tuple, Callable] = {}
-        self._indexes: Dict[tuple, DispatchIndex] = {}
+    Both maps are bounded LRU caches: a hit refreshes the entry, an
+    insert past ``max_entries`` evicts the least recently used one.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._wrappers: "OrderedDict[tuple, Callable]" = OrderedDict()
+        self._indexes: "OrderedDict[tuple, DispatchIndex]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def _get(self, cache: OrderedDict, key: tuple):
+        entry = cache.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        cache.move_to_end(key)
+        return entry
+
+    def _put(self, cache: OrderedDict, key: tuple, entry) -> None:
+        cache[key] = entry
+        if len(cache) > self.max_entries:
+            cache.popitem(last=False)
+            self._evictions += 1
 
     def wrappers_for(
         self,
@@ -50,7 +81,7 @@ class WrapperCache:
         reuses the compiled module.
         """
         key = (registry.fingerprint(), _table_key(function_table), checking)
-        built = self._wrappers.get(key)
+        built = self._get(self._wrappers, key)
         if built is None:
             # Imported lazily: the synthesizer sits one layer above the
             # core in the dependency order (specs -> synthesizer -> core
@@ -60,7 +91,7 @@ class WrapperCache:
 
             synthesizer = Synthesizer(registry, function_table=function_table)
             built = synthesizer.build(checking=checking)
-            self._wrappers[key] = built
+            self._put(self._wrappers, key, built)
         return built
 
     def dispatch_for(
@@ -74,20 +105,27 @@ class WrapperCache:
             key = (registry.fingerprint(), ("<jni>",))
         else:
             key = (registry.fingerprint(), _table_key(function_table))
-        index = self._indexes.get(key)
+        index = self._get(self._indexes, key)
         if index is None:
             index = DispatchIndex.build(registry, function_table)
-            self._indexes[key] = index
+            self._put(self._indexes, key, index)
         return index
 
     def clear(self) -> None:
         self._wrappers.clear()
         self._indexes.clear()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     def stats(self) -> Dict[str, int]:
         return {
             "wrapper_modules": len(self._wrappers),
             "dispatch_indexes": len(self._indexes),
+            "max_entries": self.max_entries,
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
         }
 
 

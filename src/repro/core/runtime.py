@@ -72,6 +72,13 @@ class CheckerRuntime:
             setattr(self, spec.name, encoding)
         #: Every violation detected, in order (including termination leaks).
         self.violations: List[FFIViolation] = []
+        #: Optional event-stream observer (e.g. a trace recorder).  When
+        #: None — the common case — the runtime pays a single identity
+        #: check on the rare failure path and nothing anywhere else:
+        #: interposition layers consult this attribute once, at
+        #: table-install time, and install untapped wrappers when it is
+        #: unset (guard, don't wrap).
+        self.observer = None
 
     # -- substrate hook --------------------------------------------------
 
@@ -89,6 +96,8 @@ class CheckerRuntime:
         Jinn) is handed back so the undefined behaviour never executes.
         """
         self.violations.append(violation)
+        if self.observer is not None:
+            self.observer.on_violation(violation)
         self.log("{}: {}".format(self.log_prefix, violation.report()))
         return self.policy.handle(self, env, violation, default)
 
@@ -105,6 +114,8 @@ class CheckerRuntime:
                     function=self.termination_site,
                 )
                 self.violations.append(leak)
+                if self.observer is not None:
+                    self.observer.on_violation(leak)
                 self.log("{}: {}".format(self.log_prefix, leak.report()))
                 found.append(leak)
         return found

@@ -53,6 +53,7 @@ class JinnAgent(JVMTIAgent):
         *,
         mode: str = "generated",
         dispatch: str = "index",
+        observer=None,
     ):
         if mode not in _MODES:
             raise ValueError("mode must be one of {}".format(_MODES))
@@ -61,6 +62,10 @@ class JinnAgent(JVMTIAgent):
         self.registry = registry if registry is not None else build_registry()
         self.mode = mode
         self.dispatch = dispatch
+        #: Optional event-stream observer (a ``repro.trace.TraceRecorder``).
+        #: When None the agent installs untapped wrapper tables — the
+        #: recording layer costs nothing unless a recorder is attached.
+        self.observer = observer
         self.rt: Optional[JinnRuntime] = None
         self.vm = None
         self._build_wrappers = None
@@ -80,6 +85,8 @@ class JinnAgent(JVMTIAgent):
             # their own exceptions must not swallow Jinn's reports.
             vm.define_class(ASSERTION_FAILURE_CLASS, superclass="java/lang/Error")
         self.rt = JinnRuntime(vm, self.registry)
+        if self.observer is not None:
+            self.observer.attach_jinn(self.rt, vm)
         if self.mode in ("generated", "interpose"):
             # The shared cache keys on the registry fingerprint (full
             # spec identity), so agents for the same specification reuse
@@ -95,27 +102,44 @@ class JinnAgent(JVMTIAgent):
         if env_machine is not None:  # may be ablated away
             env_machine.record_thread(thread)
         env = thread.env
+        observer = self.rt.observer
+        if observer is not None:
+            observer.on_thread_start(thread)
         if self.mode == "interpretive":
-            env.install_function_table(self._interpretive_table(env))
-            return
-        wrappers, native_factory = self._build_wrappers(
-            self.rt, env.function_table()
-        )
+            wrappers = self._interpretive_table(env)
+        else:
+            wrappers, native_factory = self._build_wrappers(
+                self.rt, env.function_table()
+            )
+            if self._native_factory is None:
+                self._native_factory = native_factory
+        if observer is not None:
+            wrappers = observer.instrument_table(wrappers)
         env.install_function_table(wrappers)
-        if self._native_factory is None:
-            self._native_factory = native_factory
 
     def on_native_method_bind(self, vm, method, impl: Callable) -> Callable:
         if self.mode == "interpretive":
-            return self._interpretive_native(method, impl)
-        if self._native_factory is None:
-            # No thread started yet: build the factory against the raw
-            # table of the (not yet existing) env; the factory itself is
-            # table-independent.
-            _, self._native_factory = self._build_wrappers(self.rt, _raw_stub())
-        return self._native_factory(method.mangled_name(), impl)
+            wrapped = self._interpretive_native(method, impl)
+        else:
+            if self._native_factory is None:
+                # No thread started yet: build the factory against the raw
+                # table of the (not yet existing) env; the factory itself is
+                # table-independent.
+                _, self._native_factory = self._build_wrappers(
+                    self.rt, _raw_stub()
+                )
+            wrapped = self._native_factory(method.mangled_name(), impl)
+        observer = self.rt.observer
+        if observer is not None:
+            wrapped = observer.instrument_native(method.mangled_name(), wrapped)
+        return wrapped
 
     def on_vm_death(self, vm) -> None:
+        observer = self.rt.observer
+        if observer is not None:
+            # The end-of-trace marker must precede the leak sweep so the
+            # replayed sweep sees the same final object states.
+            observer.on_termination()
         self.termination_violations = self.rt.at_termination()
 
     # ------------------------------------------------------------------

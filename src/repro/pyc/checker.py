@@ -45,13 +45,19 @@ class PyCRuntime(CheckerRuntime):
 class PyCChecker:
     """Bind-time interposer handed to :class:`PythonInterpreter`."""
 
-    def __init__(self, registry: Optional[SpecRegistry] = None):
+    def __init__(
+        self, registry: Optional[SpecRegistry] = None, *, observer=None
+    ):
         self.registry = registry if registry is not None else build_pyc_registry()
         self.rt: Optional[PyCRuntime] = None
         self._native_factory: Optional[Callable] = None
+        #: Optional event-stream observer (a ``repro.trace.TraceRecorder``).
+        self.observer = observer
 
     def on_api_created(self, interp, api) -> None:
         self.rt = PyCRuntime(interp, self.registry)
+        if self.observer is not None:
+            self.observer.attach_pyc(self.rt, interp)
         # Synthesis is deterministic per specification: the shared cache
         # reuses one compiled module per spec fingerprint instead of
         # re-synthesizing at every interpreter construction.
@@ -59,8 +65,18 @@ class PyCChecker:
             self.registry, function_table=PY_FUNCTIONS
         )
         wrappers, native_factory = build_wrappers(self.rt, api.function_table())
+        observer = self.rt.observer
+        if observer is not None:
+            wrappers = observer.instrument_table(wrappers)
         api.install_function_table(wrappers)
         self._native_factory = native_factory
+
+    def _wrap_extension(self, name: str, impl: Callable) -> Callable:
+        wrapped = self._native_factory(name, impl)
+        observer = self.rt.observer if self.rt is not None else None
+        if observer is not None:
+            wrapped = observer.instrument_native(name, wrapped)
+        return wrapped
 
     def on_extension_bind(self, interp, name: str, impl: Callable) -> Callable:
         if self._native_factory is None:
@@ -69,7 +85,7 @@ class PyCChecker:
             # entry resolves the factory at first call and fails loudly
             # if the checker still has not been attached to an API.
             return self._deferred_entry(name, impl)
-        wrapped = self._native_factory(name, impl)
+        wrapped = self._wrap_extension(name, impl)
 
         def extension_entry(api, self_obj, args_tuple):
             # The factory's wrapper signature is (env, this, *args).
@@ -89,7 +105,7 @@ class PyCChecker:
                         "never ran); checking would be silently "
                         "disabled".format(name)
                     )
-                state["wrapped"] = self._native_factory(name, impl)
+                state["wrapped"] = self._wrap_extension(name, impl)
             return state["wrapped"](api, self_obj, args_tuple)
 
         return deferred_entry
@@ -97,4 +113,7 @@ class PyCChecker:
     def termination_report(self) -> List[FFIViolation]:
         if self.rt is None:
             return []
+        observer = self.rt.observer
+        if observer is not None:
+            observer.on_termination()
         return self.rt.at_termination()

@@ -1,0 +1,84 @@
+"""Compare two replays' violation streams.
+
+The unit of comparison is the one-line violation report.  Two streams
+drift when one contains reports the other lacks (``added`` /
+``missing``) or when the shared reports appear in a different order
+(``reordered``).  Diffing a trace replayed under two checker versions
+is the intended workflow for spec changes — pair it with ``--force`` on
+the mismatched-fingerprint side.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+
+def diff_reports(
+    old: Sequence[str], new: Sequence[str]
+) -> Dict[str, object]:
+    """Drift between two violation streams (old -> new)."""
+    old_counts = Counter(old)
+    new_counts = Counter(new)
+    added: List[str] = []
+    for report, count in new_counts.items():
+        added.extend([report] * (count - old_counts.get(report, 0)))
+    missing: List[str] = []
+    for report, count in old_counts.items():
+        missing.extend([report] * (count - new_counts.get(report, 0)))
+    # Order drift among the reports both streams share: drop each side's
+    # surplus, then compare position by position.
+    shared = old_counts & new_counts
+    old_shared = _filtered(old, shared)
+    new_shared = _filtered(new, shared)
+    reordered: List[Tuple[int, str, str]] = [
+        (index, a, b)
+        for index, (a, b) in enumerate(zip(old_shared, new_shared))
+        if a != b
+    ]
+    return {
+        "added": added,
+        "missing": missing,
+        "reordered": reordered,
+        "drift": bool(added or missing or reordered),
+        "old_total": len(old),
+        "new_total": len(new),
+    }
+
+
+def _filtered(stream: Sequence[str], budget: Counter) -> List[str]:
+    remaining = Counter(budget)
+    out: List[str] = []
+    for report in stream:
+        if remaining.get(report, 0) > 0:
+            remaining[report] -= 1
+            out.append(report)
+    return out
+
+
+def render_diff(diff: Dict[str, object]) -> str:
+    """Human-readable rendering for the CLI."""
+    lines: List[str] = []
+    if not diff["drift"]:
+        lines.append(
+            "zero drift: {} violations, identical streams".format(
+                diff["old_total"]
+            )
+        )
+        return "\n".join(lines)
+    lines.append(
+        "DRIFT: {} -> {} violations (+{} / -{} / {} reordered)".format(
+            diff["old_total"],
+            diff["new_total"],
+            len(diff["added"]),
+            len(diff["missing"]),
+            len(diff["reordered"]),
+        )
+    )
+    for report in diff["added"]:
+        lines.append("  + " + report)
+    for report in diff["missing"]:
+        lines.append("  - " + report)
+    for index, a, b in diff["reordered"]:
+        lines.append("  ~ [{}] {}  <->  {}".format(index, a, b))
+    return "\n".join(lines)

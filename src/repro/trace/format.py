@@ -1,0 +1,177 @@
+"""The versioned JSONL trace schema and its value codec.
+
+A trace file is one JSON object per line.  The first line is the
+header; every following line is a compact JSON array whose first
+element is the record kind:
+
+``["k", name, super, ifaces, methods, fields, class_object_id]``
+    a class known to the recorded VM, in definition order (methods are
+    ``[name, descriptor, is_static, is_native]``, fields are
+    ``[name, descriptor, is_static, is_final]``);
+``["t", thread_id, name, env_token]``
+    a thread attach (JNI only);
+``["c", seq, function, is_native, ctx, args]``
+    a call crossing (``Call:C->Java`` for FFI functions,
+    ``Call:Java->C`` when ``is_native``);
+``["r", seq, call_seq, function, is_native, ctx, args, result]``
+    the matching return crossing (``call_seq`` pairs it with its call);
+``["v", report]``
+    a violation the live checker reported (metadata — replay re-detects
+    violations, it never trusts these);
+``["e", sync]``
+    host termination: ``sync`` lists each interned object's final
+    mutable state, so the leak sweep sees end-of-run truth.
+
+``ctx`` is the host state the machines may consult at the crossing:
+``[thread_id, env_token, pending_exception]`` for JNI,
+``[current_thread, gil_holder, exc_info]`` for Python/C.
+
+Values use a tagged encoding.  Scalars are themselves; containers are
+``["T"|"L", items]`` (tuple/list); an opaque host value is
+``["X", type_name]``.  A model object is interned: its first occurrence
+is ``["O", token, kind, static, mut]`` carrying the immutable fields
+and the event-time mutable fields; every later occurrence is
+``["U", token, mut]``, refreshing only the mutable fields.  The decoder
+rebuilds *real* model instances (``JRef``, ``JObject``, ``PyObj``, ...)
+so the machine encodings run unchanged against replayed events.
+
+The header pins the trace to a specification: it records
+:meth:`repro.fsm.registry.SpecRegistry.fingerprint`, and
+:func:`require_fingerprint` refuses to replay against a registry with a
+different fingerprint unless forced.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Bump on any incompatible schema change.
+TRACE_VERSION = 1
+
+#: Object-snapshot kinds.
+KIND_REF = "ref"
+KIND_OBJ = "obj"
+KIND_STR = "str"
+KIND_ARR = "arr"
+KIND_THR = "thr"
+KIND_MID = "mid"
+KIND_FID = "fid"
+KIND_BUF = "buf"
+KIND_PYO = "pyo"
+
+
+class TraceFormatError(Exception):
+    """The trace file is not a readable trace of this version."""
+
+
+class TraceFingerprintError(TraceFormatError):
+    """The trace was recorded against a different specification."""
+
+
+def make_header(
+    *,
+    substrate: str,
+    fingerprint: str,
+    termination_site: str,
+    local_frame_capacity: Optional[int] = None,
+    workload: Optional[str] = None,
+) -> Dict[str, object]:
+    header: Dict[str, object] = {
+        "jinn_trace": TRACE_VERSION,
+        "substrate": substrate,
+        "fingerprint": fingerprint,
+        "termination_site": termination_site,
+    }
+    if local_frame_capacity is not None:
+        header["local_frame_capacity"] = local_frame_capacity
+    if workload is not None:
+        header["workload"] = workload
+    return header
+
+
+def parse_header(line: str) -> Dict[str, object]:
+    try:
+        header = json.loads(line)
+    except ValueError:
+        raise TraceFormatError("trace header is not valid JSON")
+    if not isinstance(header, dict) or "jinn_trace" not in header:
+        raise TraceFormatError("not a trace file (missing header)")
+    if header["jinn_trace"] != TRACE_VERSION:
+        raise TraceFormatError(
+            "trace version {} is not the supported version {}".format(
+                header["jinn_trace"], TRACE_VERSION
+            )
+        )
+    return header
+
+
+def require_fingerprint(header: Dict[str, object], registry, force: bool = False) -> None:
+    """Refuse to replay a trace against a mismatched specification.
+
+    The machines' behaviour is a function of the full spec identity; a
+    trace recorded under different specs has no parity guarantee.
+    ``force`` overrides — useful when diffing checker versions, which is
+    precisely a deliberate spec mismatch.
+    """
+    recorded = header.get("fingerprint")
+    current = registry.fingerprint()
+    if recorded != current and not force:
+        raise TraceFingerprintError(
+            "trace was recorded against specification fingerprint {} but "
+            "the replay registry has fingerprint {}; pass force=True "
+            "(--force) to replay anyway".format(recorded, current)
+        )
+
+
+def dump_record(record) -> str:
+    return json.dumps(record, separators=(",", ":"))
+
+
+def write_trace(path: str, header: Dict[str, object], records) -> int:
+    """Write a complete trace file; returns the record count."""
+    count = 0
+    with open(path, "w") as f:
+        f.write(dump_record(header))
+        f.write("\n")
+        for record in records:
+            f.write(dump_record(record))
+            f.write("\n")
+            count += 1
+    return count
+
+
+def read_trace(path: str) -> Tuple[Dict[str, object], List[list]]:
+    """Read a whole trace into memory: (header, records)."""
+    with open(path) as f:
+        first = f.readline()
+        if not first:
+            raise TraceFormatError("empty trace file: " + path)
+        header = parse_header(first)
+        records = [json.loads(line) for line in f if line.strip()]
+    return header, records
+
+
+def iter_batches(path: str, batch_size: int = 4096) -> Iterator[List[list]]:
+    """Decode a trace's records in batches (header line skipped).
+
+    Each batch is parsed with *one* ``json.loads`` call — the lines are
+    joined into a JSON array — so large corpus traces pay C-level parse
+    cost per batch, not per line, without holding the whole file.
+    """
+    with open(path) as f:
+        first = f.readline()
+        if not first:
+            raise TraceFormatError("empty trace file: " + path)
+        parse_header(first)
+        loads = json.loads
+        lines: List[str] = []
+        for line in f:
+            if not line.strip():
+                continue
+            lines.append(line)
+            if len(lines) >= batch_size:
+                yield loads("[" + ",".join(lines) + "]")
+                lines = []
+        if lines:
+            yield loads("[" + ",".join(lines) + "]")

@@ -1,0 +1,578 @@
+"""The live trace tap.
+
+A :class:`TraceRecorder` attaches to a checker through the observer
+hook on :class:`repro.core.runtime.CheckerRuntime`.  The interposition
+layers (:class:`repro.jinn.agent.JinnAgent`,
+:class:`repro.pyc.checker.PyCChecker`) consult ``rt.observer`` once, at
+table-install time: with no recorder attached they install the plain
+wrapper table and the steady-state cost is zero — no shim frame, no
+conditional per call (guard, don't wrap).
+
+Recording is two-phase to keep the live tap cheap.  At event time the
+recorder appends small capture tuples holding *strong references* to
+the model objects plus only their event-time mutable state (a
+reference's liveness, an object's address, a Python object's refcount);
+full JSONL serialization — interning, class-table emission, encoding —
+is deferred to :meth:`TraceRecorder.close`.  The strong references also
+pin the objects so interning by identity is sound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.trace import format as tfmt
+
+# -- event-time value capture ------------------------------------------------
+#
+# A capture is either a scalar (stored as-is) or a tuple whose first
+# element is the snapshot kind.  Object captures carry the live object
+# (strong reference) and the event-time values of its mutable fields;
+# the immutable fields are read once, at encode time.
+
+_SCALARS = frozenset((type(None), bool, int, float, str))
+
+
+def _snap_slow(value):
+    """Classify a value the fast-path type table has not seen yet."""
+    from repro.jni.types import JFieldID, JMethodID, JRef, NativeBuffer
+    from repro.jvm.exceptions import JThrowable
+    from repro.jvm.model import JArray, JObject, JString
+    from repro.pyc.objects import PyObj
+
+    if isinstance(value, JRef):
+        return (tfmt.KIND_REF, value, value.alive, _snap(value.target))
+    if isinstance(value, JThrowable):
+        return (tfmt.KIND_THR, value, value.address, value.reclaimed)
+    if isinstance(value, JString):
+        return (tfmt.KIND_STR, value, value.address, value.reclaimed)
+    if isinstance(value, JArray):
+        return (tfmt.KIND_ARR, value, value.address, value.reclaimed)
+    if isinstance(value, JObject):
+        return (tfmt.KIND_OBJ, value, value.address, value.reclaimed)
+    if isinstance(value, JMethodID):
+        return (tfmt.KIND_MID, value)
+    if isinstance(value, JFieldID):
+        return (tfmt.KIND_FID, value)
+    if isinstance(value, NativeBuffer):
+        return (tfmt.KIND_BUF, value, value.freed, _snap(value.source))
+    if isinstance(value, PyObj):
+        return (tfmt.KIND_PYO, value, value.ob_refcnt, value.freed)
+    if isinstance(value, tuple):
+        return ("T", [_snap(x) for x in value])
+    if isinstance(value, list):
+        return ("L", [_snap(x) for x in value])
+    return ("X", type(value).__name__)
+
+
+#: type -> capture function, filled lazily so the common exact types hit
+#: one dict lookup instead of an isinstance chain.
+_SNAPPERS: Dict[type, object] = {}
+
+
+def _snap(value):
+    snapper = _SNAPPERS.get(type(value))
+    if snapper is not None:
+        return snapper(value)
+    if type(value) in _SCALARS:
+        return value
+    capture = _snap_slow(value)
+    _register_snapper(type(value), capture[0] if isinstance(capture, tuple) else None)
+    return capture
+
+
+def _register_snapper(tp: type, kind: Optional[str]) -> None:
+    if kind == tfmt.KIND_REF:
+        _SNAPPERS[tp] = lambda v: (tfmt.KIND_REF, v, v.alive, _snap(v.target))
+    elif kind in (tfmt.KIND_THR, tfmt.KIND_STR, tfmt.KIND_ARR, tfmt.KIND_OBJ):
+        _SNAPPERS[tp] = lambda v, _k=kind: (_k, v, v.address, v.reclaimed)
+    elif kind in (tfmt.KIND_MID, tfmt.KIND_FID):
+        _SNAPPERS[tp] = lambda v, _k=kind: (_k, v)
+    elif kind == tfmt.KIND_BUF:
+        _SNAPPERS[tp] = lambda v: (tfmt.KIND_BUF, v, v.freed, _snap(v.source))
+    elif kind == tfmt.KIND_PYO:
+        _SNAPPERS[tp] = lambda v: (tfmt.KIND_PYO, v, v.ob_refcnt, v.freed)
+    # Containers and opaques stay on the slow path: their capture shape
+    # depends on the payload, not just the type.
+
+
+for _scalar in _SCALARS:
+    _SNAPPERS[_scalar] = lambda v: v
+
+
+_OBJECT_KINDS = frozenset(
+    (
+        tfmt.KIND_REF,
+        tfmt.KIND_OBJ,
+        tfmt.KIND_STR,
+        tfmt.KIND_ARR,
+        tfmt.KIND_THR,
+        tfmt.KIND_MID,
+        tfmt.KIND_FID,
+        tfmt.KIND_BUF,
+        tfmt.KIND_PYO,
+    )
+)
+
+
+def _walk_objects(capture, seen: Dict[int, object], out: List[object]) -> None:
+    """Collect the distinct model objects a capture references."""
+    if not isinstance(capture, tuple):
+        return
+    kind = capture[0]
+    if kind in ("T", "L"):
+        for item in capture[1]:
+            _walk_objects(item, seen, out)
+        return
+    if kind == "X":
+        return
+    obj = capture[1]
+    if id(obj) not in seen:
+        seen[id(obj)] = obj
+        out.append(capture)
+    if kind == tfmt.KIND_REF:
+        _walk_objects(capture[3], seen, out)
+    elif kind == tfmt.KIND_BUF:
+        _walk_objects(capture[3], seen, out)
+
+
+class _Encoder:
+    """Capture tuples -> tagged JSON values, interning objects."""
+
+    def __init__(self, class_object_names: Dict[int, str]):
+        self._tokens: Dict[int, int] = {}
+        self._next = 0
+        self._class_object_names = class_object_names
+
+    def encode(self, capture):
+        if not isinstance(capture, tuple):
+            return capture
+        kind = capture[0]
+        if kind in ("T", "L"):
+            return [kind, [self.encode(item) for item in capture[1]]]
+        if kind == "X":
+            return ["X", capture[1]]
+        obj = capture[1]
+        mut = self._mutable(kind, capture)
+        token = self._tokens.get(id(obj))
+        if token is not None:
+            return ["U", token, mut]
+        token = self._next
+        self._next += 1
+        self._tokens[id(obj)] = token
+        return ["O", token, kind, self._static(kind, obj, capture), mut]
+
+    def _mutable(self, kind, capture):
+        if kind == tfmt.KIND_REF:
+            return [capture[2], self.encode(capture[3])]
+        if kind in (tfmt.KIND_OBJ, tfmt.KIND_STR, tfmt.KIND_ARR, tfmt.KIND_THR):
+            return [capture[2], capture[3]]
+        if kind == tfmt.KIND_BUF:
+            return [capture[2]]
+        if kind == tfmt.KIND_PYO:
+            return [capture[2], capture[3]]
+        return []
+
+    def _static(self, kind, obj, capture):
+        if kind == tfmt.KIND_REF:
+            return [obj.kind, obj.serial]
+        if kind == tfmt.KIND_OBJ:
+            return [
+                obj.jclass.name,
+                obj.object_id,
+                self._class_object_names.get(id(obj)),
+            ]
+        if kind == tfmt.KIND_STR:
+            return [obj.jclass.name, obj.object_id, obj.value]
+        if kind == tfmt.KIND_ARR:
+            return [
+                obj.jclass.name,
+                obj.object_id,
+                obj.element_descriptor,
+                len(obj.elements),
+            ]
+        if kind == tfmt.KIND_THR:
+            return [obj.jclass.name, obj.object_id, obj.message]
+        if kind == tfmt.KIND_MID:
+            method = obj.method
+            return [
+                method.declaring_class.name,
+                method.name,
+                method.descriptor,
+                method.is_static,
+                method.is_native,
+            ]
+        if kind == tfmt.KIND_FID:
+            field = obj.field
+            return [
+                field.declaring_class.name,
+                field.name,
+                field.descriptor,
+                field.is_static,
+                field.is_final,
+            ]
+        if kind == tfmt.KIND_BUF:
+            return [
+                self.encode(capture[3]),
+                len(obj.data),
+                obj.is_copy,
+                obj.critical,
+                obj.nul_terminated,
+            ]
+        if kind == tfmt.KIND_PYO:
+            return [obj.serial, obj.type_name]
+        raise tfmt.TraceFormatError("unknown capture kind " + repr(kind))
+
+
+class TraceRecorder:
+    """Observer that captures the FFI event stream to a trace file."""
+
+    def __init__(self, path: Optional[str] = None, *, workload: Optional[str] = None):
+        self.path = path
+        self.workload = workload
+        self._records: List[tuple] = []
+        # Shared sequence counter; a one-slot list so every recording
+        # closure bumps the same cell without an attribute round-trip.
+        self._seq = [0]
+        self._rt = None
+        self._host = None
+        self._substrate: Optional[str] = None
+        self._terminated = False
+        self._closed = False
+        #: Encoded trace lines, available after :meth:`close`.
+        self.lines: Optional[List[str]] = None
+        #: Number of event records captured (calls + returns).
+        self.event_count = 0
+        self._gc_threshold = None
+
+    # -- attachment ------------------------------------------------------
+
+    def attach_jinn(self, rt, vm) -> None:
+        """Bind to a JinnRuntime; called by the agent at ``on_load``."""
+        self._attach(rt, vm, "jni")
+
+    def attach_pyc(self, rt, interp) -> None:
+        """Bind to a PyCRuntime; called at ``on_api_created``."""
+        self._attach(rt, interp, "pyc")
+
+    def _attach(self, rt, host, substrate: str) -> None:
+        if self._rt is not None and self._rt is not rt:
+            raise RuntimeError("TraceRecorder is already attached")
+        self._rt = rt
+        self._host = host
+        self._substrate = substrate
+        rt.observer = self
+        # Capture allocates a steady stream of long-lived tuples; at the
+        # default gen-0 threshold the collector runs every few hundred
+        # events and rescans the growing record list each time.  Raise
+        # the threshold while attached (restored in close()).
+        import gc
+
+        self._gc_threshold = gc.get_threshold()
+        gc.set_threshold(100000, self._gc_threshold[1], self._gc_threshold[2])
+
+    # -- the tap ---------------------------------------------------------
+
+    def instrument_table(self, table: Dict[str, object]) -> Dict[str, object]:
+        """Wrap an installed wrapper table with the recording layer."""
+        return {
+            name: self._make_entry(name, fn, False) for name, fn in table.items()
+        }
+
+    def instrument_native(self, name: str, fn):
+        """Wrap one bound native-method (or extension) wrapper."""
+        return self._make_entry(name, fn, True)
+
+    def _make_entry(self, name: str, fn, native: bool):
+        # The event-time budget rules here: everything a closure can
+        # pre-bind is pre-bound, the common scalar argument types (int,
+        # str) skip the snapper table, and the context tuple is built
+        # inline per substrate instead of through a method call.
+        if self._substrate == "jni":
+            entry = self._make_jni_entry(name, fn, native)
+        else:
+            entry = self._make_pyc_entry(name, fn, native)
+        entry.__name__ = "rec_" + name
+        return entry
+
+    def _make_jni_entry(self, name: str, fn, native: bool):
+        records_append = self._records.append
+        seq_cell = self._seq
+        host = self._host
+        classes = host.classes  # mutated in place, never rebound
+        snappers_get = _SNAPPERS.get
+        snap = _snap
+
+        def recording_entry(env, *args):
+            thread = host.current_thread
+            pending = thread.pending_exception
+            ctx = (
+                thread.thread_id,
+                id(env),
+                None if pending is None else pending.describe(),
+                len(classes),
+            )
+            snaps = []
+            snaps_append = snaps.append
+            for a in args:
+                cls = a.__class__
+                if cls is int or cls is str:
+                    snaps_append(a)
+                else:
+                    s = snappers_get(cls)
+                    snaps_append(s(a) if s is not None else snap(a))
+            seq_cell[0] = seq = seq_cell[0] + 1
+            records_append(("c", seq, name, native, ctx, snaps))
+            # If the inner wrapper raises (a propagating Java exception),
+            # the live post-checks did not run either: leave the call
+            # record unmatched and let the replay engine skip the return
+            # site the same way.
+            result = fn(env, *args)
+            thread = host.current_thread
+            pending = thread.pending_exception
+            ctx = (
+                thread.thread_id,
+                id(env),
+                None if pending is None else pending.describe(),
+                len(classes),
+            )
+            snaps = []
+            snaps_append = snaps.append
+            for a in args:
+                cls = a.__class__
+                if cls is int or cls is str:
+                    snaps_append(a)
+                else:
+                    s = snappers_get(cls)
+                    snaps_append(s(a) if s is not None else snap(a))
+            rcls = result.__class__
+            if rcls is int or rcls is str:
+                rsnap = result
+            else:
+                s = snappers_get(rcls)
+                rsnap = s(result) if s is not None else snap(result)
+            seq_cell[0] = seq2 = seq_cell[0] + 1
+            records_append(("r", seq2, seq, name, native, ctx, snaps, rsnap))
+            return result
+
+        return recording_entry
+
+    def _make_pyc_entry(self, name: str, fn, native: bool):
+        records_append = self._records.append
+        seq_cell = self._seq
+        interp = self._host
+        snappers_get = _SNAPPERS.get
+        snap = _snap
+
+        def recording_entry(env, *args):
+            exc = interp.exc_info
+            ctx = (
+                interp.current_thread,
+                interp.gil_holder,
+                None if exc is None else list(exc),
+            )
+            snaps = []
+            snaps_append = snaps.append
+            for a in args:
+                cls = a.__class__
+                if cls is int or cls is str:
+                    snaps_append(a)
+                else:
+                    s = snappers_get(cls)
+                    snaps_append(s(a) if s is not None else snap(a))
+            seq_cell[0] = seq = seq_cell[0] + 1
+            records_append(("c", seq, name, native, ctx, snaps))
+            # A raised pyc violation aborts the extension: the call
+            # record stays unmatched, mirroring the skipped post-checks.
+            result = fn(env, *args)
+            exc = interp.exc_info
+            ctx = (
+                interp.current_thread,
+                interp.gil_holder,
+                None if exc is None else list(exc),
+            )
+            snaps = []
+            snaps_append = snaps.append
+            for a in args:
+                cls = a.__class__
+                if cls is int or cls is str:
+                    snaps_append(a)
+                else:
+                    s = snappers_get(cls)
+                    snaps_append(s(a) if s is not None else snap(a))
+            rcls = result.__class__
+            if rcls is int or rcls is str:
+                rsnap = result
+            else:
+                s = snappers_get(rcls)
+                rsnap = s(result) if s is not None else snap(result)
+            seq_cell[0] = seq2 = seq_cell[0] + 1
+            records_append(("r", seq2, seq, name, native, ctx, snaps, rsnap))
+            return result
+
+        return recording_entry
+
+    # -- non-event hooks -------------------------------------------------
+
+    def on_thread_start(self, thread) -> None:
+        self._records.append(
+            ("t", thread.thread_id, thread.name, id(thread.env))
+        )
+
+    def on_violation(self, violation) -> None:
+        """Called by ``CheckerRuntime.fail`` — metadata, not replayed."""
+        self._records.append(("v", violation.report()))
+
+    def on_termination(self) -> None:
+        """Mark host death.
+
+        The leak sweep reads end-of-run object state (a never-deleted
+        global's target, a never-released buffer's source address), so
+        the trace closes with a sync record carrying each interned
+        object's final mutable fields.  Building that sync record means
+        walking every capture in the trace — deferred to
+        :meth:`close`, off the live run's clock: the host is dead, no
+        further events fire, and the strong references in the captures
+        pin each object's state until it is read.
+        """
+        self._terminated = True
+
+    def _sync_record(self) -> tuple:
+        """The end-of-trace ("e") record: every object's final state."""
+        seen: Dict[int, object] = {}
+        captures: List[object] = []
+        for record in self._records:
+            if record[0] == "c":
+                for capture in record[5]:
+                    _walk_objects(capture, seen, captures)
+            elif record[0] == "r":
+                for capture in record[6]:
+                    _walk_objects(capture, seen, captures)
+                _walk_objects(record[7], seen, captures)
+        return ("e", [_snap(capture[1]) for capture in captures])
+
+    # -- serialization ---------------------------------------------------
+
+    def header(self) -> Dict[str, object]:
+        if self._rt is None:
+            raise RuntimeError("TraceRecorder was never attached")
+        return tfmt.make_header(
+            substrate=self._substrate,
+            fingerprint=self._rt.registry.fingerprint(),
+            termination_site=self._rt.termination_site,
+            local_frame_capacity=(
+                self._host.local_frame_capacity
+                if self._substrate == "jni"
+                else None
+            ),
+            workload=self.workload,
+        )
+
+    def close(self) -> int:
+        """Encode the captured stream; returns the event-record count.
+
+        Writes the trace to ``self.path`` when one was given; the
+        encoded lines stay on ``self.lines`` either way.
+        """
+        if self._closed:
+            return self.event_count
+        self._closed = True
+        if self._gc_threshold is not None:
+            import gc
+
+            gc.set_threshold(*self._gc_threshold)
+            self._gc_threshold = None
+        if self._terminated:
+            self._records.append(self._sync_record())
+        records = self._encode()
+        self.event_count = sum(1 for r in records if r[0] in ("c", "r"))
+        lines = [tfmt.dump_record(self.header())]
+        lines.extend(tfmt.dump_record(record) for record in records)
+        self.lines = lines
+        if self.path is not None:
+            with open(self.path, "w") as f:
+                f.write("\n".join(lines))
+                f.write("\n")
+        return self.event_count
+
+    def _encode(self) -> List[list]:
+        class_list: List = []
+        class_object_names: Dict[int, str] = {}
+        if self._substrate == "jni":
+            class_list = list(self._host.classes.values())
+            for jclass in class_list:
+                if jclass.class_object is not None:
+                    class_object_names[id(jclass.class_object)] = jclass.name
+        encoder = _Encoder(class_object_names)
+        out: List[list] = []
+        emitted_classes = 0
+        for record in self._records:
+            kind = record[0]
+            if kind in ("c", "r"):
+                ctx = record[4] if kind == "c" else record[5]
+                epoch = ctx[3] if self._substrate == "jni" else 0
+                while emitted_classes < min(epoch, len(class_list)):
+                    out.append(self._class_record(class_list[emitted_classes]))
+                    emitted_classes += 1
+            if kind == "c":
+                _, seq, name, native, ctx, args = record
+                out.append(
+                    [
+                        "c",
+                        seq,
+                        name,
+                        native,
+                        self._encode_ctx(ctx),
+                        [encoder.encode(a) for a in args],
+                    ]
+                )
+            elif kind == "r":
+                _, seq, callseq, name, native, ctx, args, result = record
+                out.append(
+                    [
+                        "r",
+                        seq,
+                        callseq,
+                        name,
+                        native,
+                        self._encode_ctx(ctx),
+                        [encoder.encode(a) for a in args],
+                        encoder.encode(result),
+                    ]
+                )
+            elif kind == "e":
+                # Classes defined after the last event still matter to
+                # the sweep (and to late snapshots): flush the rest.
+                while emitted_classes < len(class_list):
+                    out.append(self._class_record(class_list[emitted_classes]))
+                    emitted_classes += 1
+                out.append(["e", [encoder.encode(c) for c in record[1]]])
+            else:  # "t", "v"
+                out.append(list(record))
+        return out
+
+    def _encode_ctx(self, ctx) -> list:
+        if self._substrate == "jni":
+            return [ctx[0], ctx[1], ctx[2]]
+        return list(ctx)
+
+    def _class_record(self, jclass) -> list:
+        return [
+            "k",
+            jclass.name,
+            jclass.superclass.name if jclass.superclass is not None else None,
+            [iface.name for iface in jclass.interfaces],
+            [
+                [m.name, m.descriptor, m.is_static, m.is_native]
+                for m in jclass.methods.values()
+            ],
+            [
+                [f.name, f.descriptor, f.is_static, f.is_final]
+                for f in jclass.fields.values()
+            ],
+            (
+                jclass.class_object.object_id
+                if jclass.class_object is not None
+                else None
+            ),
+        ]

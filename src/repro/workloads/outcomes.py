@@ -71,7 +71,9 @@ def run_scenario(
     vendor: VendorSpec = HOTSPOT,
     checker: str = "none",
     jinn_mode: str = "generated",
+    jinn_dispatch: str = "index",
     local_frame_capacity: int = 16,
+    observer=None,
 ) -> RunResult:
     """Run ``scenario`` on a fresh VM under one configuration.
 
@@ -81,13 +83,18 @@ def run_scenario(
         checker: "none" (production), "xcheck" (the vendor's built-in
             ``-Xcheck:jni``), or "jinn".
         jinn_mode: Jinn's mode when ``checker == "jinn"``.
+        jinn_dispatch: Jinn's interpretive dispatch strategy.
+        observer: optional event-stream observer (a
+            ``repro.trace.TraceRecorder``) attached to the Jinn agent.
     """
     if checker not in ("none", "xcheck", "jinn"):
         raise ValueError("unknown checker " + checker)
     jinn_agent: Optional[JinnAgent] = None
     agents = []
     if checker == "jinn":
-        jinn_agent = JinnAgent(mode=jinn_mode)
+        jinn_agent = JinnAgent(
+            mode=jinn_mode, dispatch=jinn_dispatch, observer=observer
+        )
         agents.append(jinn_agent)
     vm = JavaVM(
         vendor=vendor,

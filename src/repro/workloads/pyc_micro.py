@@ -81,9 +81,16 @@ PYC_MICROBENCHMARKS: Tuple[PyScenario, ...] = (
 )
 
 
-def run_pyc_scenario(scenario: PyScenario, *, checked: bool = True) -> dict:
-    """Run one Python/C microbenchmark; returns an outcome record."""
-    checker = PyCChecker() if checked else None
+def run_pyc_scenario(
+    scenario: PyScenario, *, checked: bool = True, observer=None
+) -> dict:
+    """Run one Python/C microbenchmark; returns an outcome record.
+
+    ``observer`` (a ``repro.trace.TraceRecorder``) taps the checker's
+    event stream; the returned record then also carries ``violations``,
+    the live checker's reports in detection order.
+    """
+    checker = PyCChecker(observer=observer) if checked else None
     interp = PythonInterpreter(agents=[checker] if checker else [])
     interp.register_extension(scenario.name, scenario.run)
     record = {"outcome": "completed", "machine": None}
@@ -99,4 +106,6 @@ def run_pyc_scenario(scenario: PyScenario, *, checked: bool = True) -> dict:
         if leaks:
             record["outcome"] = "violation"
             record["machine"] = leaks[0].machine
+    if checker is not None and checker.rt is not None:
+        record["violations"] = [v.report() for v in checker.rt.violations]
     return record

@@ -148,6 +148,56 @@ class TestWrapperCache:
     def test_shared_instance_exists(self):
         assert isinstance(WRAPPER_CACHE, WrapperCache)
 
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WrapperCache(max_entries=0)
+
+    def test_insert_past_cap_evicts_least_recently_used(self):
+        cache = WrapperCache(max_entries=2)
+        registries = [
+            build_registry(),
+            build_registry().without("nullness"),
+            build_registry().without("exception_state"),
+        ]
+        first = cache.dispatch_for(registries[0])
+        cache.dispatch_for(registries[1])
+        cache.dispatch_for(registries[2])  # evicts registries[0]
+        stats = cache.stats()
+        assert stats["dispatch_indexes"] == 2
+        assert stats["evictions"] == 1
+        # The evicted entry is rebuilt — a fresh object, a new miss.
+        assert cache.dispatch_for(registries[0]) is not first
+
+    def test_a_hit_refreshes_recency(self):
+        cache = WrapperCache(max_entries=2)
+        registries = [
+            build_registry(),
+            build_registry().without("nullness"),
+            build_registry().without("exception_state"),
+        ]
+        oldest = cache.dispatch_for(registries[0])
+        cache.dispatch_for(registries[1])
+        refreshed = cache.dispatch_for(registries[0])  # hit: refresh
+        assert refreshed is oldest
+        cache.dispatch_for(registries[2])  # evicts registries[1], not [0]
+        assert cache.dispatch_for(registries[0]) is oldest
+
+    def test_stats_count_hits_misses_and_evictions(self):
+        cache = WrapperCache(max_entries=2)
+        registry = build_registry()
+        cache.dispatch_for(registry)  # miss
+        cache.dispatch_for(registry)  # hit
+        cache.dispatch_for(registry)  # hit
+        stats = cache.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert stats["evictions"] == 0
+        assert stats["max_entries"] == 2
+        cache.clear()
+        cleared = cache.stats()
+        assert cleared["hits"] == cleared["misses"] == 0
+        assert cleared["dispatch_indexes"] == 0
+
 
 # ----------------------------------------------------------------------
 # Dispatch index vs Algorithm 1's targeting

@@ -1,0 +1,115 @@
+"""Trace schema: header, versioning, fingerprint pinning, batching."""
+
+import json
+
+import pytest
+
+from repro.jinn.machines import build_registry
+from repro.trace import format as tfmt
+
+
+class TestHeader:
+    def test_round_trip(self):
+        header = tfmt.make_header(
+            substrate="jni",
+            fingerprint="abc",
+            termination_site="VM shutdown",
+            local_frame_capacity=16,
+            workload="dacapo/luindex",
+        )
+        parsed = tfmt.parse_header(json.dumps(header))
+        assert parsed == header
+        assert parsed["jinn_trace"] == tfmt.TRACE_VERSION
+
+    def test_optional_fields_omitted_when_absent(self):
+        header = tfmt.make_header(
+            substrate="pyc", fingerprint="abc", termination_site="x"
+        )
+        assert "local_frame_capacity" not in header
+        assert "workload" not in header
+
+    def test_non_json_header_rejected(self):
+        with pytest.raises(tfmt.TraceFormatError):
+            tfmt.parse_header("not json {")
+
+    def test_non_trace_json_rejected(self):
+        with pytest.raises(tfmt.TraceFormatError):
+            tfmt.parse_header('{"some": "object"}')
+
+    def test_future_version_rejected(self):
+        header = tfmt.make_header(
+            substrate="jni", fingerprint="f", termination_site="x"
+        )
+        header["jinn_trace"] = tfmt.TRACE_VERSION + 1
+        with pytest.raises(tfmt.TraceFormatError) as excinfo:
+            tfmt.parse_header(json.dumps(header))
+        assert "version" in str(excinfo.value)
+
+
+class TestFingerprintPinning:
+    def _header(self, registry):
+        return tfmt.make_header(
+            substrate="jni",
+            fingerprint=registry.fingerprint(),
+            termination_site="VM shutdown",
+        )
+
+    def test_matching_registry_accepted(self):
+        registry = build_registry()
+        tfmt.require_fingerprint(self._header(registry), registry)
+
+    def test_mismatched_registry_fails_loudly(self):
+        header = self._header(build_registry())
+        perturbed = build_registry().without("nullness")
+        with pytest.raises(tfmt.TraceFingerprintError) as excinfo:
+            tfmt.require_fingerprint(header, perturbed)
+        assert "fingerprint" in str(excinfo.value)
+        assert "--force" in str(excinfo.value)
+
+    def test_force_overrides_mismatch(self):
+        header = self._header(build_registry())
+        perturbed = build_registry().without("nullness")
+        tfmt.require_fingerprint(header, perturbed, force=True)
+
+
+class TestFileRoundTrip:
+    def _write(self, path):
+        header = tfmt.make_header(
+            substrate="jni", fingerprint="f", termination_site="x"
+        )
+        records = [
+            ["t", 1, "main", 7],
+            ["c", 1, "GetVersion", False, [1, 7, None, 0], []],
+            ["r", 2, 1, "GetVersion", False, [1, 7, None, 0], [], 65542],
+            ["v", "some report"],
+            ["e", []],
+        ]
+        count = tfmt.write_trace(path, header, records)
+        assert count == len(records)
+        return header, records
+
+    def test_read_trace_round_trips(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        header, records = self._write(path)
+        read_header, read_records = tfmt.read_trace(path)
+        assert read_header == header
+        assert read_records == records
+
+    def test_iter_batches_matches_read_trace(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        _, records = self._write(path)
+        for batch_size in (1, 2, 100):
+            batched = [
+                record
+                for batch in tfmt.iter_batches(path, batch_size)
+                for record in batch
+            ]
+            assert batched == records
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("")
+        with pytest.raises(tfmt.TraceFormatError):
+            tfmt.read_trace(str(path))
+        with pytest.raises(tfmt.TraceFormatError):
+            list(tfmt.iter_batches(str(path)))
