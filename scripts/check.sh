@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 gate: tests, bytecode compilation, and the quick benchmark
-# gates (write BENCH_interpretive_dispatch.json and
-# BENCH_trace_replay.json).
+# Tier-1 gate: tests, bytecode compilation, the fixed-seed fuzz smoke,
+# and the quick benchmark gates (write BENCH_interpretive_dispatch.json,
+# BENCH_trace_replay.json, and BENCH_fuzz.json).
 #
 # Usage: scripts/check.sh [--no-bench]
 set -euo pipefail
@@ -18,12 +18,19 @@ python -m pytest -q tests/test_trace_replay.py
 echo "== compileall =="
 python -m compileall -q src
 
+echo "== fuzz smoke (fixed seed) =="
+python -m repro.cli fuzz run --smoke
+python -m repro.cli fuzz corpus -o tests/data/fuzz_corpus --check
+
 if [[ "${1:-}" != "--no-bench" ]]; then
     echo "== dispatch-index bench gate (quick) =="
     python benchmarks/bench_table3_overhead.py --quick
 
     echo "== trace replay bench gate (quick) =="
     python benchmarks/bench_trace_replay.py --quick
+
+    echo "== fuzz bench gate (quick) =="
+    python benchmarks/bench_fuzz.py --quick
 fi
 
 echo "OK"

@@ -27,6 +27,7 @@ The central classes are:
 
 from repro.fsm.errors import FFIViolation, SpecificationError
 from repro.fsm.events import Direction, EventContext, LanguageEvent, Site
+from repro.fsm.graph import TransitionGraph
 from repro.fsm.machine import (
     Encoding,
     EntitySelector,
@@ -53,4 +54,5 @@ __all__ = [
     "State",
     "StateMachineSpec",
     "StateTransition",
+    "TransitionGraph",
 ]

@@ -211,6 +211,17 @@ class StateMachineSpec:
                         "{}: mapping for {} yielded {!r}".format(self.name, st, lt)
                     )
 
+    def transition_graph(self):
+        """An adjacency view of this machine's shape.
+
+        Returns a :class:`repro.fsm.graph.TransitionGraph`; the fuzz
+        generators walk it to derive valid call sequences and the fault
+        injectors consult its error profile for targeting.
+        """
+        from repro.fsm.graph import TransitionGraph
+
+        return TransitionGraph(self)
+
     def transitions_by_label(self) -> dict:
         """Index state transitions by label (labels need not be unique)."""
         index = {}

@@ -1,0 +1,199 @@
+"""The seeded, reproducible fuzz loop.
+
+Every run is parameterized by a single integer seed.  Each generation
+or injection step derives its own :func:`task_rng` from the seed plus a
+string tag, so sequences are independent of iteration order and the
+whole report is a pure function of ``(seed, rounds, substrate)`` —
+``repro fuzz run --seed N`` twice produces byte-identical JSON (the
+report carries no timing, and the model's addresses/serials are
+deterministic per VM).
+
+Each sequence is executed once, live, with a trace recorder attached;
+the captured trace is immediately replayed offline and the two
+violation streams are diffed.  That cross-check is the fuzzer's second
+oracle: a *divergence* means the recorder, the replayer, or a machine's
+termination sweep disagrees with live interposition — a checker bug,
+regardless of whether the sequence itself was buggy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.fuzz.faults import faults_for
+from repro.fuzz.gen import generate_sequence, generator_machines
+from repro.fuzz.ops import RunOutcome, run_jni_ops, run_pyc_ops
+
+
+def task_rng(seed: int, *parts) -> random.Random:
+    """A deterministic RNG scoped to one task of one seeded run."""
+    return random.Random("jinn-fuzz:{}:{}".format(seed, ":".join(str(p) for p in parts)))
+
+
+@dataclass
+class ExecutionResult:
+    """One sequence executed live + replayed from its own trace."""
+
+    live: RunOutcome
+    replay_reports: List[str]
+    diff: Dict[str, object]
+    event_count: int
+
+    @property
+    def divergent(self) -> bool:
+        return bool(self.diff["drift"])
+
+
+def run_ops(substrate: str, ops) -> ExecutionResult:
+    """Run ops live under a recorder, replay the trace, diff the streams."""
+    from repro.trace import TraceRecorder, diff_reports, replay_lines
+
+    recorder = TraceRecorder()
+    if substrate == "pyc":
+        live = run_pyc_ops(ops, observer=recorder)
+    else:
+        live = run_jni_ops(ops, observer=recorder)
+    recorder.close()
+    replay = replay_lines(recorder.lines)
+    return ExecutionResult(
+        live=live,
+        replay_reports=replay.violations,
+        diff=diff_reports(live.reports, replay.violations),
+        event_count=replay.event_count,
+    )
+
+
+def _substrates(substrate: str) -> List[str]:
+    if substrate == "both":
+        return ["jni", "pyc"]
+    if substrate in ("jni", "pyc"):
+        return [substrate]
+    raise ValueError("unknown substrate: {!r}".format(substrate))
+
+
+def fuzz_run(
+    seed: int,
+    *,
+    rounds: int = 3,
+    substrate: str = "both",
+    segments: Optional[int] = None,
+) -> Dict[str, object]:
+    """The full fuzz loop; returns the canonical (deterministic) report.
+
+    Per round and substrate: one valid sequence (expected to produce
+    zero violations and zero replay drift), then every registered fault
+    class injected into its own fresh valid sequence (expected to be
+    detected by the tagged machine, again with zero drift).
+    """
+    names = {sub: generator_machines(sub) for sub in _substrates(substrate)}
+    valid = {
+        "sequences": 0,
+        "ops": 0,
+        "violations": 0,
+        "violating_sequences": [],
+        "divergences": 0,
+    }
+    fault_stats: Dict[str, Dict[str, object]] = {}
+    total_runs = 0
+    total_events = 0
+
+    for sub in names:
+        for round_no in range(rounds):
+            sequence = generate_sequence(
+                task_rng(seed, "valid", sub, round_no), sub, segments=segments
+            )
+            result = run_ops(sub, sequence.ops)
+            total_runs += 1
+            total_events += result.event_count
+            valid["sequences"] += 1
+            valid["ops"] += len(sequence.ops)
+            if result.live.reports:
+                valid["violations"] += len(result.live.reports)
+                valid["violating_sequences"].append(
+                    {"substrate": sub, "round": round_no, "reports": result.live.reports}
+                )
+            if result.divergent:
+                valid["divergences"] += 1
+
+        for fault in faults_for(sub):
+            stats = fault_stats.setdefault(
+                fault.name,
+                {
+                    "substrate": fault.substrate,
+                    "machine": fault.machine,
+                    "runs": 0,
+                    "detected": 0,
+                    "divergences": 0,
+                },
+            )
+            for round_no in range(rounds):
+                base = generate_sequence(
+                    task_rng(seed, "gen", fault.name, round_no),
+                    sub,
+                    segments=segments,
+                )
+                injected = fault.inject(
+                    task_rng(seed, "inject", fault.name, round_no), base
+                )
+                result = run_ops(sub, injected.ops)
+                total_runs += 1
+                total_events += result.event_count
+                stats["runs"] += 1
+                if any(v.machine == fault.machine for v in result.live.violations):
+                    stats["detected"] += 1
+                if result.divergent:
+                    stats["divergences"] += 1
+
+    for stats in fault_stats.values():
+        stats["detection_rate"] = (
+            stats["detected"] / stats["runs"] if stats["runs"] else 0.0
+        )
+
+    return {
+        "seed": seed,
+        "rounds": rounds,
+        "substrate": substrate,
+        "machines": names,
+        "valid": valid,
+        "faults": fault_stats,
+        "totals": {"runs": total_runs, "events": total_events},
+    }
+
+
+def fuzz_gate(report: Dict[str, object]) -> List[str]:
+    """Hard-gate failures in a fuzz report; empty list means pass.
+
+    - a valid sequence that produced any violation (generator or
+      checker false-positive bug),
+    - any live-vs-replay divergence anywhere,
+    - any fault class whose tagged machine failed to fire every round.
+    """
+    failures: List[str] = []
+    valid = report["valid"]
+    if valid["violations"]:
+        failures.append(
+            "valid sequences produced {} violations".format(valid["violations"])
+        )
+    if valid["divergences"]:
+        failures.append(
+            "valid sequences diverged from replay {} times".format(
+                valid["divergences"]
+            )
+        )
+    for name in sorted(report["faults"]):
+        stats = report["faults"][name]
+        if stats["detected"] != stats["runs"]:
+            failures.append(
+                "fault {}: machine {} fired in only {}/{} runs".format(
+                    name, stats["machine"], stats["detected"], stats["runs"]
+                )
+            )
+        if stats["divergences"]:
+            failures.append(
+                "fault {}: {} live-vs-replay divergences".format(
+                    name, stats["divergences"]
+                )
+            )
+    return failures

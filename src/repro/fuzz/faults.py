@@ -1,0 +1,592 @@
+"""Fault injection: mutation operators over valid fuzz sequences.
+
+Each :class:`FaultClass` is a *mutation operator* tagged with the state
+machine expected to fire.  ``inject`` searches the valid sequence for
+material it can corrupt — a ``delete_local`` to drop, a method lookup to
+retarget — and mutates it in place; when the sequence offers no such
+material it appends a canned buggy snippet to the end of the main phase
+instead (often one of the :data:`repro.workloads.blocks.SELF_CONTAINED`
+bodies), so every fault class fires on every base sequence.
+
+The fuzz gate (``repro fuzz run``) requires every fault's tagged
+machine to appear among the live violations of the mutated run, and the
+replayed trace to agree exactly — detection *and* record/replay parity,
+per fault class, every round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.fuzz.ops import WORKER_MARKER, FuzzSequence
+
+
+@dataclass(frozen=True)
+class FaultClass:
+    name: str
+    substrate: str  # "jni" | "pyc"
+    machine: str  # the machine expected to fire
+    description: str
+    mutate: Callable[[object, List[tuple]], List[tuple]]
+
+    def inject(self, rng, sequence: FuzzSequence) -> FuzzSequence:
+        ops = self.mutate(rng, [tuple(op) for op in sequence.ops])
+        return FuzzSequence(
+            substrate=self.substrate,
+            ops=tuple(ops),
+            machines=sequence.machines,
+        )
+
+
+# -- shared helpers ----------------------------------------------------------
+
+
+def _main_len(ops: List[tuple]) -> int:
+    """Length of the main phase (insertion point for canned snippets)."""
+    for i, op in enumerate(ops):
+        if tuple(op) == WORKER_MARKER:
+            return i
+    return len(ops)
+
+
+def _append_main(ops: List[tuple], extra: List[tuple]) -> List[tuple]:
+    cut = _main_len(ops)
+    return ops[:cut] + [tuple(op) for op in extra] + ops[cut:]
+
+
+def _fresh(ops: List[tuple], prefix: str) -> str:
+    used = {arg for op in ops for arg in op if isinstance(arg, str)}
+    n = 0
+    while True:
+        n += 1
+        name = "{}{}".format(prefix, n)
+        if name not in used:
+            return name
+
+
+def _indices(ops, kind) -> List[int]:
+    return [i for i, op in enumerate(ops) if op[0] == kind]
+
+
+def _pick(rng, items):
+    return items[rng.randrange(len(items))]
+
+
+# -- JNI mutations -----------------------------------------------------------
+
+
+def _overflow_candidates(ops: List[tuple]) -> List[int]:
+    """delete_local indices whose removal overflows a tight frame.
+
+    Simulates the local-reference live count per frame; a delete is a
+    candidate if, with it removed, some later acquire in the same frame
+    pushes the count past the frame's declared capacity.
+    """
+    candidates = []
+    for di in _indices(ops, "delete_local"):
+        live = 0
+        cap = None
+        overflows = False
+        for i, op in enumerate(ops):
+            if op[0] == "push_frame":
+                cap, live = op[1], 0
+            elif op[0] == "pop_frame":
+                cap = None
+            elif op[0] == "new_local" and cap is not None:
+                live += 1
+                if live > cap and i > di:
+                    overflows = True
+                    break
+            elif op[0] == "delete_local" and cap is not None and i != di:
+                live -= 1
+        if overflows:
+            candidates.append(di)
+    return candidates
+
+
+def _mut_drop_delete_local(rng, ops):
+    candidates = _overflow_candidates(ops)
+    if candidates:
+        drop = _pick(rng, candidates)
+        return [op for i, op in enumerate(ops) if i != drop]
+    slot = _fresh(ops, "X")
+    return _append_main(
+        ops,
+        [
+            ("push_frame", 2),
+            ("new_local", slot + "a", "of-a"),
+            ("new_local", slot + "b", "of-b"),
+            ("new_local", slot + "c", "of-c"),
+            ("pop_frame",),
+        ],
+    )
+
+
+def _mut_double_delete_local(rng, ops):
+    deletes = _indices(ops, "delete_local")
+    if deletes:
+        at = _pick(rng, deletes)
+        return ops[: at + 1] + [ops[at]] + ops[at + 1 :]
+    return _append_main(ops, [("block", "delete_local_ref_twice")])
+
+
+def _mut_use_after_delete(rng, ops):
+    deletes = _indices(ops, "delete_local")
+    if deletes:
+        at = _pick(rng, deletes)
+        return ops[: at + 1] + [("use_local", ops[at][1])] + ops[at + 1 :]
+    slot = _fresh(ops, "X")
+    return _append_main(
+        ops,
+        [("new_local", slot, "uad"), ("delete_local", slot), ("use_local", slot)],
+    )
+
+
+def _mut_drop_pop_frame(rng, ops):
+    pops = _indices(ops, "pop_frame")
+    if pops:
+        drop = _pick(rng, pops)
+        return [op for i, op in enumerate(ops) if i != drop]
+    return _append_main(ops, [("block", "push_frame_without_pop")])
+
+
+def _mut_swap_jclass_jobject(rng, ops):
+    lookups = [
+        i
+        for i in _indices(ops, "get_static_mid")
+        if any(o[0] == "find_class" and o[1] == ops[i][2] for o in ops[:i])
+    ]
+    if lookups:
+        at = _pick(rng, lookups)
+        obj = _fresh(ops, "X")
+        mutated = list(ops)
+        kind, mslot, _cslot, name, desc = mutated[at]
+        mutated[at] = (kind, mslot, obj, name, desc)
+        return mutated[:at] + [("alloc_object", obj)] + mutated[at:]
+    return _append_main(ops, [("block", "jclass_jobject_swap")])
+
+
+def _mut_cross_thread_env(rng, ops):
+    mutated = list(ops)
+    if not _indices(mutated, "stash_env"):
+        mutated.insert(0, ("stash_env",))
+    if WORKER_MARKER not in [tuple(op) for op in mutated]:
+        mutated.append(WORKER_MARKER)
+    mutated.append(("use_stashed_env",))
+    return mutated
+
+
+def _mut_leak_pinned(rng, ops):
+    releases = _indices(ops, "release_string") + _indices(ops, "release_array")
+    if releases:
+        drop = _pick(rng, releases)
+        return [op for i, op in enumerate(ops) if i != drop]
+    return _append_main(ops, [("block", "pin_string_without_release")])
+
+
+def _mut_double_release_pinned(rng, ops):
+    releases = _indices(ops, "release_string") + _indices(ops, "release_array")
+    if releases:
+        at = _pick(rng, releases)
+        return ops[: at + 1] + [ops[at]] + ops[at + 1 :]
+    return _append_main(ops, [("block", "double_release_array")])
+
+
+def _mut_leak_global(rng, ops):
+    deletes = _indices(ops, "delete_global")
+    if deletes:
+        drop = _pick(rng, deletes)
+        return [op for i, op in enumerate(ops) if i != drop]
+    return _append_main(ops, [("block", "leak_global_ref")])
+
+
+def _mut_use_deleted_global(rng, ops):
+    deletes = _indices(ops, "delete_global")
+    if deletes:
+        at = _pick(rng, deletes)
+        return ops[: at + 1] + [("use_global", ops[at][1])] + ops[at + 1 :]
+    return _append_main(ops, [("block", "use_deleted_global_ref")])
+
+
+def _mut_leak_monitor(rng, ops):
+    exits = _indices(ops, "monitor_exit")
+    if exits:
+        drop = _pick(rng, exits)
+        return [op for i, op in enumerate(ops) if i != drop]
+    obj = _fresh(ops, "X")
+    return _append_main(ops, [("alloc_object", obj), ("monitor_enter", obj)])
+
+
+def _mut_call_in_critical(rng, ops):
+    enters = [
+        i
+        for i in _indices(ops, "enter_critical")
+        if any(
+            o[0] == "exit_critical" and o[1] == ops[i][1] for o in ops[i + 1 :]
+        )
+    ]
+    if enters:
+        at = _pick(rng, enters)
+        cls = _fresh(ops, "X")
+        return (
+            ops[: at + 1]
+            + [("find_class", cls, "java/lang/String")]
+            + ops[at + 1 :]
+        )
+    return _append_main(ops, [("block", "jni_call_in_critical")])
+
+
+def _thrower_mids(ops) -> set:
+    return {
+        op[1]
+        for op in ops
+        if op[0] == "get_static_mid" and op[3] == "thrower"
+    }
+
+
+def _mut_ignore_exception(rng, ops):
+    throwers = _thrower_mids(ops)
+    calls = [
+        i
+        for i in _indices(ops, "call_static_void")
+        if ops[i][1] in throwers
+    ]
+    if calls:
+        at = _pick(rng, calls)
+        cls = _fresh(ops, "X")
+        mutated = ops[: at + 1] + [("find_class", cls, "java/lang/Object")]
+        # Drop the clear that followed the throwing call, keep the rest.
+        tail = ops[at + 1 :]
+        cleared = False
+        for op in tail:
+            if op[0] == "exception_clear" and not cleared:
+                cleared = True
+                continue
+            mutated.append(op)
+        return mutated
+    cls = _fresh(ops, "XK")
+    mid = _fresh(ops, "Xm")
+    probe = _fresh(ops, "XP")
+    return _append_main(
+        ops,
+        [
+            ("find_class", cls, "FuzzHost"),
+            ("get_static_mid", mid, cls, "thrower", "()V"),
+            ("call_static_void", mid, cls),
+            ("find_class", probe, "java/lang/Object"),
+            ("exception_clear",),
+        ],
+    )
+
+
+def _mut_null_method_id(rng, ops):
+    lookups = [
+        i
+        for i in _indices(ops, "get_static_mid")
+        if any(
+            o[0] == "call_static_void" and o[1] == ops[i][1]
+            for o in ops[i + 1 :]
+        )
+    ]
+    if lookups:
+        at = _pick(rng, lookups)
+        mutated = list(ops)
+        kind, mslot, cslot = mutated[at][0], mutated[at][1], mutated[at][2]
+        mutated[at] = ("get_missing_mid", mslot, cslot)
+        return mutated
+    cls = _fresh(ops, "XK")
+    mid = _fresh(ops, "Xm")
+    return _append_main(
+        ops,
+        [
+            ("find_class", cls, "FuzzHost"),
+            ("get_missing_mid", mid, cls),
+            ("call_static_void", mid, cls),
+        ],
+    )
+
+
+def _mut_mistyped_actuals(rng, ops):
+    calls = _indices(ops, "call_static_with")
+    bad = _fresh(ops, "X")
+    if calls:
+        at = _pick(rng, calls)
+        mutated = list(ops)
+        kind, mslot, cslot, _args = mutated[at]
+        mutated[at] = (kind, mslot, cslot, [["slot", bad], 42])
+        return mutated[:at] + [("new_local", bad, "not an int")] + mutated[at:]
+    cls = _fresh(ops, "XK")
+    mid = _fresh(ops, "Xm")
+    return _append_main(
+        ops,
+        [
+            ("find_class", cls, "FuzzHost"),
+            ("get_static_mid", mid, cls, "takesInt", "(I)V"),
+            ("new_local", bad, "not an int"),
+            ("call_static_with", mid, cls, [["slot", bad], 42]),
+        ],
+    )
+
+
+def _mut_final_field_write(rng, ops):
+    lookups = [
+        i
+        for i in _indices(ops, "get_static_fid")
+        if any(
+            o[0] == "set_static_int" and o[1] == ops[i][1]
+            for o in ops[i + 1 :]
+        )
+    ]
+    if lookups:
+        at = _pick(rng, lookups)
+        mutated = list(ops)
+        kind, fslot, cslot = mutated[at][0], mutated[at][1], mutated[at][2]
+        mutated[at] = (kind, fslot, cslot, "LIMIT", "I")
+        return mutated
+    cls = _fresh(ops, "XK")
+    fid = _fresh(ops, "Xf")
+    return _append_main(
+        ops,
+        [
+            ("find_class", cls, "FuzzHost"),
+            ("get_static_fid", fid, cls, "LIMIT", "I"),
+            ("set_static_int", fid, cls, 42),
+        ],
+    )
+
+
+# -- Python/C mutations ------------------------------------------------------
+
+
+def _owned_slots(ops) -> set:
+    return {
+        op[1] for op in ops if op[0] in ("py_new_str", "py_new_long", "py_new_list")
+    }
+
+
+def _mut_over_decref(rng, ops):
+    owned = _owned_slots(ops)
+    decrefs = [i for i in _indices(ops, "py_decref") if ops[i][1] in owned]
+    if decrefs:
+        at = _pick(rng, decrefs)
+        return ops[: at + 1] + [ops[at]] + ops[at + 1 :]
+    lst = _fresh(ops, "xl")
+    borrow = _fresh(ops, "xb")
+    return ops + [
+        ("py_new_list", lst, "over"),
+        ("py_get_item", borrow, lst, 0),
+        ("py_decref", borrow),
+        ("py_decref", lst),
+    ]
+
+
+def _mut_under_decref(rng, ops):
+    owned = _owned_slots(ops)
+    decrefs = [i for i in _indices(ops, "py_decref") if ops[i][1] in owned]
+    if decrefs:
+        drop = _pick(rng, decrefs)
+        return [op for i, op in enumerate(ops) if i != drop]
+    slot = _fresh(ops, "x")
+    return ops + [("py_new_str", slot, "kept")]
+
+
+def _mut_dangling_borrow(rng, ops):
+    lists = {op[1] for op in ops if op[0] == "py_new_list"}
+    pairs = []
+    for bi in _indices(ops, "py_get_item"):
+        owner = ops[bi][2]
+        if owner not in lists:
+            continue
+        for di in _indices(ops, "py_decref"):
+            if di > bi and ops[di][1] == owner:
+                pairs.append((di, ops[bi][1]))
+                break
+    if pairs:
+        di, borrow = _pick(rng, pairs)
+        return ops[: di + 1] + [("py_use_str", borrow)] + ops[di + 1 :]
+    lst = _fresh(ops, "xl")
+    borrow = _fresh(ops, "xb")
+    return ops + [
+        ("py_new_list", lst, "gone"),
+        ("py_get_item", borrow, lst, 0),
+        ("py_decref", lst),
+        ("py_use_str", borrow),
+    ]
+
+
+def _mut_gil_unsafe_call(rng, ops):
+    releases = _indices(ops, "py_gil_release")
+    slot = _fresh(ops, "x")
+    if releases:
+        at = _pick(rng, releases)
+        return ops[: at + 1] + [("py_new_long", slot, 7)] + ops[at + 1 :]
+    return ops + [
+        ("py_gil_release",),
+        ("py_new_long", slot, 7),
+        ("py_gil_acquire",),
+    ]
+
+
+def _mut_ignored_py_exception(rng, ops):
+    sets = _indices(ops, "py_err_set")
+    slot = _fresh(ops, "x")
+    if sets:
+        at = _pick(rng, sets)
+        mutated = ops[: at + 1] + [("py_new_long", slot, 3)]
+        cleared = False
+        for op in ops[at + 1 :]:
+            if op[0] == "py_err_clear" and not cleared:
+                cleared = True
+                continue
+            mutated.append(op)
+        return mutated
+    return ops + [
+        ("py_err_set", "ValueError", "ignored"),
+        ("py_new_long", slot, 3),
+    ]
+
+
+def _mut_py_type_confusion(rng, ops):
+    longs = _indices(ops, "py_new_long")
+    slot = _fresh(ops, "xi")
+    if longs:
+        at = _pick(rng, longs)
+        return (
+            ops[: at + 1]
+            + [("py_get_item", slot, ops[at][1], 0)]
+            + ops[at + 1 :]
+        )
+    num = _fresh(ops, "xn")
+    return ops + [
+        ("py_new_long", num, 3),
+        ("py_get_item", slot, num, 0),
+        ("py_decref", num),
+    ]
+
+
+# -- the catalogue -----------------------------------------------------------
+
+FAULTS: Tuple[FaultClass, ...] = (
+    FaultClass(
+        "drop_delete_local", "jni", "local_ref",
+        "drop a DeleteLocalRef so a tight frame overflows",
+        _mut_drop_delete_local,
+    ),
+    FaultClass(
+        "double_delete_local", "jni", "local_ref",
+        "DeleteLocalRef the same reference twice",
+        _mut_double_delete_local,
+    ),
+    FaultClass(
+        "use_after_delete", "jni", "local_ref",
+        "use a local reference after deleting it",
+        _mut_use_after_delete,
+    ),
+    FaultClass(
+        "drop_pop_frame", "jni", "local_ref",
+        "drop a PopLocalFrame so the frame leaks at native return",
+        _mut_drop_pop_frame,
+    ),
+    FaultClass(
+        "swap_jclass_jobject", "jni", "fixed_typing",
+        "pass a jobject where GetStaticMethodID expects a jclass",
+        _mut_swap_jclass_jobject,
+    ),
+    FaultClass(
+        "cross_thread_env", "jni", "jnienv_state",
+        "call through a JNIEnv stashed by another thread",
+        _mut_cross_thread_env,
+    ),
+    FaultClass(
+        "leak_pinned", "jni", "pinned_resource",
+        "drop the release of a pinned string/array buffer",
+        _mut_leak_pinned,
+    ),
+    FaultClass(
+        "double_release_pinned", "jni", "pinned_resource",
+        "release the same pinned buffer twice",
+        _mut_double_release_pinned,
+    ),
+    FaultClass(
+        "leak_global", "jni", "global_ref",
+        "drop a DeleteGlobalRef so the global leaks",
+        _mut_leak_global,
+    ),
+    FaultClass(
+        "use_deleted_global", "jni", "global_ref",
+        "use a global reference after deleting it",
+        _mut_use_deleted_global,
+    ),
+    FaultClass(
+        "leak_monitor", "jni", "monitor",
+        "drop a MonitorExit so the monitor is held at return",
+        _mut_leak_monitor,
+    ),
+    FaultClass(
+        "call_in_critical", "jni", "critical_section",
+        "sensitive JNI call inside a primitive-critical section",
+        _mut_call_in_critical,
+    ),
+    FaultClass(
+        "ignore_exception", "jni", "exception_state",
+        "keep calling JNI with a Java exception pending",
+        _mut_ignore_exception,
+    ),
+    FaultClass(
+        "null_method_id", "jni", "nullness",
+        "call through the NULL ID of a failed method lookup",
+        _mut_null_method_id,
+    ),
+    FaultClass(
+        "mistyped_actuals", "jni", "entity_typing",
+        "pass a jstring and an extra argument to a (I)V method",
+        _mut_mistyped_actuals,
+    ),
+    FaultClass(
+        "final_field_write", "jni", "access_control",
+        "SetStaticIntField on a final field",
+        _mut_final_field_write,
+    ),
+    FaultClass(
+        "over_decref", "pyc", "owned_ref",
+        "Py_DecRef more than the extension owns",
+        _mut_over_decref,
+    ),
+    FaultClass(
+        "under_decref", "pyc", "owned_ref",
+        "drop a Py_DecRef so an owned reference leaks",
+        _mut_under_decref,
+    ),
+    FaultClass(
+        "dangling_borrow", "pyc", "borrowed_ref",
+        "use a borrowed item after its owner was released",
+        _mut_dangling_borrow,
+    ),
+    FaultClass(
+        "gil_unsafe_call", "pyc", "gil_state",
+        "call a GIL-requiring API after PyEval_SaveThread",
+        _mut_gil_unsafe_call,
+    ),
+    FaultClass(
+        "ignored_py_exception", "pyc", "py_exception_state",
+        "call a sensitive API with an exception set, never clear it",
+        _mut_ignored_py_exception,
+    ),
+    FaultClass(
+        "py_type_confusion", "pyc", "py_fixed_typing",
+        "PyList_GetItem on a PyLong",
+        _mut_py_type_confusion,
+    ),
+)
+
+
+def fault_by_name(name: str) -> FaultClass:
+    for fault in FAULTS:
+        if fault.name == name:
+            return fault
+    raise KeyError(name)
+
+
+def faults_for(substrate: str) -> List[FaultClass]:
+    return [fault for fault in FAULTS if fault.substrate == substrate]

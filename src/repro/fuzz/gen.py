@@ -1,0 +1,452 @@
+"""Random-but-valid call-sequence generators derived from the specs.
+
+Each registered state machine contributes a *segment generator*.  A
+segment models one or more observed entities of that machine; each
+entity's lifecycle is a :meth:`repro.fsm.graph.TransitionGraph.random_walk`
+over the machine's transition graph (error states avoided), rendered
+into ops by a per-machine label mapping.  Lifecycles of independent
+entities are then interleaved — under a live-count constraint where the
+machine has a capacity (local references) — so sequences exercise the
+acquire/release patterns the fault injectors later mutate.
+
+Machines whose graph is a single "jni call" error edge (the type and
+nullness machines) have no safe walk; their generators emit the benign
+form of the calls the machine observes, giving the injectors material
+to mutate (a method lookup to mistype, a field write to retarget).
+
+The contract, enforced by ``tests/test_fuzz_gen.py``: a generated
+sequence run on the real substrate with the checker attached produces
+**zero** violations.  Anything else is a generator bug (or a checker
+false positive) — the fuzz loop treats it as a gate failure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.fuzz.ops import WORKER_MARKER, FuzzSequence
+
+# -- registries, built once --------------------------------------------------
+
+_SPECS: Dict[str, dict] = {}
+
+
+def _specs(substrate: str) -> dict:
+    table = _SPECS.get(substrate)
+    if table is None:
+        if substrate == "pyc":
+            from repro.pyc.machines import build_pyc_registry
+
+            registry = build_pyc_registry()
+        else:
+            from repro.jinn.machines import build_registry
+
+            registry = build_registry()
+        table = {spec.name: spec for spec in registry}
+        _SPECS[substrate] = table
+    return table
+
+
+def _graph(substrate: str, machine: str):
+    return _specs(substrate)[machine].transition_graph()
+
+
+class SequenceBuilder:
+    """Accumulates ops for the main phase and the worker phase."""
+
+    def __init__(self):
+        self.main: List[tuple] = []
+        self.worker: List[tuple] = []
+        self.machines: List[str] = []
+        self._counter = 0
+
+    def fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return "{}{}".format(prefix, self._counter)
+
+    def build(self, substrate: str) -> FuzzSequence:
+        ops = list(self.main)
+        if self.worker:
+            ops.append(WORKER_MARKER)
+            ops.extend(self.worker)
+        return FuzzSequence(
+            substrate=substrate, ops=tuple(ops), machines=tuple(self.machines)
+        )
+
+
+def _interleave(rng, streams: List[List[tuple]], *, cap=None, cost=None):
+    """Merge per-entity op streams, preserving each stream's order.
+
+    With ``cap``/``cost`` the merge keeps the simulated live count at or
+    below ``cap``: when at capacity only heads that do not grow it are
+    eligible (each stream is acquire-first, so a started stream's head
+    is always eligible).
+    """
+    pending = [list(s) for s in streams if s]
+    live = 0
+    out: List[tuple] = []
+    while pending:
+        if cap is not None and live >= cap:
+            eligible = [
+                i for i, stream in enumerate(pending) if cost(stream[0]) <= 0
+            ]
+            if not eligible:
+                eligible = list(range(len(pending)))
+        else:
+            eligible = list(range(len(pending)))
+        index = eligible[rng.randrange(len(eligible))]
+        op = pending[index].pop(0)
+        if cost is not None:
+            live += cost(op)
+        out.append(op)
+        if not pending[index]:
+            pending.pop(index)
+    return out
+
+
+def _walk_labels(rng, substrate: str, machine: str, steps: int) -> List[str]:
+    walk = _graph(substrate, machine).random_walk(rng, steps)
+    return [edge.label for edge in walk]
+
+
+# ======================================================================
+# JNI segment generators
+# ======================================================================
+
+_LOCAL_FRAME_CAP = 3
+
+
+def gen_local_ref(b: SequenceBuilder, rng) -> None:
+    """Tight explicit frame; entity lifecycles interleaved under it.
+
+    The frame capacity (3) is deliberately tight so that a dropped
+    ``delete_local`` can push a later acquire over capacity — the
+    overflow fault's material.
+    """
+    b.main.append(("push_frame", _LOCAL_FRAME_CAP))
+    streams = []
+    for _ in range(rng.randrange(3, 6)):
+        slot = b.fresh("L")
+        stream = []
+        released = False
+        for label in _walk_labels(rng, "jni", "local_ref", rng.randrange(2, 5)):
+            if label == "acquire" and not stream:
+                stream.append(("new_local", slot, "s-" + slot))
+            elif label == "frame management" and stream and not released:
+                stream.append(("use_local", slot))
+            elif label == "release" and stream and not released:
+                stream.append(("delete_local", slot))
+                released = True
+        if not stream:
+            stream.append(("new_local", slot, "s-" + slot))
+        if not released:
+            # Force the explicit release: with more entities than frame
+            # capacity, PopLocalFrame alone cannot keep the merge valid.
+            stream.append(("delete_local", slot))
+        streams.append(stream)
+
+    def cost(op):
+        if op[0] == "new_local":
+            return 1
+        if op[0] == "delete_local":
+            return -1
+        return 0
+
+    b.main.extend(_interleave(rng, streams, cap=_LOCAL_FRAME_CAP, cost=cost))
+    b.main.append(("pop_frame",))
+
+
+def gen_global_ref(b: SequenceBuilder, rng) -> None:
+    streams = []
+    for _ in range(rng.randrange(1, 4)):
+        local = b.fresh("O")
+        gslot = b.fresh("G")
+        stream = [("alloc_object", local), ("new_global", gslot, local)]
+        for label in _walk_labels(rng, "jni", "global_ref", rng.randrange(1, 4)):
+            if label == "acquire":
+                stream.append(("use_global", gslot))
+        stream.append(("delete_global", gslot))
+        streams.append(stream)
+    b.main.extend(_interleave(rng, streams))
+
+
+def gen_pinned_resource(b: SequenceBuilder, rng) -> None:
+    streams = []
+    for _ in range(rng.randrange(1, 4)):
+        pin = b.fresh("P")
+        if rng.random() < 0.5:
+            base = b.fresh("S")
+            stream = [
+                ("new_local", base, "pin-" + base),
+                ("pin_string", pin, base),
+                ("release_string", pin),
+            ]
+        else:
+            base = b.fresh("A")
+            stream = [
+                ("new_int_array", base, 4),
+                ("pin_array", pin, base),
+                ("release_array", pin),
+            ]
+        streams.append(stream)
+    b.main.extend(_interleave(rng, streams))
+
+
+def gen_monitor(b: SequenceBuilder, rng) -> None:
+    streams = []
+    for _ in range(rng.randrange(1, 3)):
+        obj = b.fresh("M")
+        stream = [("alloc_object", obj)]
+        for label in _walk_labels(rng, "jni", "monitor", rng.randrange(2, 5)):
+            if label == "acquire":
+                stream.append(("monitor_enter", obj))
+            elif label == "release":
+                stream.append(("monitor_exit", obj))
+        # Balance: the walk may end holding the monitor.
+        depth = sum(
+            1 if op[0] == "monitor_enter" else -1
+            for op in stream
+            if op[0] in ("monitor_enter", "monitor_exit")
+        )
+        stream.extend([("monitor_exit", obj)] * max(depth, 0))
+        streams.append(stream)
+    b.main.extend(_interleave(rng, streams))
+
+
+def gen_critical_section(b: SequenceBuilder, rng) -> None:
+    # Critical sections are emitted strictly serialized: between an
+    # enter and its exit, no other op may run (that is the constraint
+    # the machine checks).
+    for _ in range(rng.randrange(1, 3)):
+        arr = b.fresh("A")
+        pin = b.fresh("C")
+        b.main.extend(
+            [
+                ("new_int_array", arr, 8),
+                ("enter_critical", pin, arr),
+                ("exit_critical", pin),
+            ]
+        )
+
+
+def gen_exception_state(b: SequenceBuilder, rng) -> None:
+    cls = b.fresh("K")
+    noop = b.fresh("m")
+    thrower = b.fresh("m")
+    b.main.extend(
+        [
+            ("find_class", cls, "FuzzHost"),
+            ("get_static_mid", noop, cls, "noop", "()V"),
+            ("get_static_mid", thrower, cls, "thrower", "()V"),
+        ]
+    )
+    pending = False
+    for label in _walk_labels(
+        rng, "jni", "exception_state", rng.randrange(2, 6)
+    ):
+        if label == "jni return":
+            b.main.append(("call_static_void", thrower, cls))
+            pending = True
+        elif label == "exception-oblivious call":
+            b.main.append(("exception_check",))
+        elif label == "clear or return to Java":
+            b.main.append(("exception_clear",))
+            pending = False
+    if pending:
+        b.main.append(("exception_clear",))
+    b.main.append(("call_static_void", noop, cls))
+
+
+def gen_jnienv_state(b: SequenceBuilder, rng) -> None:
+    cls = b.fresh("K")
+    b.main.append(("stash_env",))
+    b.main.append(("find_class", cls, "java/lang/Object"))
+    # The worker phase uses its own env — benign; only the injected
+    # use_stashed_env op crosses threads.
+    wcls = b.fresh("K")
+    b.worker.append(("find_class", wcls, "java/lang/Object"))
+
+
+def gen_fixed_typing(b: SequenceBuilder, rng) -> None:
+    cls = b.fresh("K")
+    mid = b.fresh("m")
+    obj = b.fresh("O")
+    b.main.extend(
+        [
+            ("find_class", cls, "FuzzHost"),
+            ("get_static_mid", mid, cls, "noop", "()V"),
+            ("call_static_void", mid, cls),
+            ("alloc_object", obj),
+            ("use_local", obj),
+        ]
+    )
+
+
+def gen_entity_typing(b: SequenceBuilder, rng) -> None:
+    cls = b.fresh("K")
+    mid = b.fresh("m")
+    b.main.extend(
+        [
+            ("find_class", cls, "FuzzHost"),
+            ("get_static_mid", mid, cls, "takesInt", "(I)V"),
+            ("call_static_with", mid, cls, [rng.randrange(100)]),
+        ]
+    )
+
+
+def gen_nullness(b: SequenceBuilder, rng) -> None:
+    cls = b.fresh("K")
+    mid = b.fresh("m")
+    b.main.extend(
+        [
+            ("find_class", cls, "FuzzHost"),
+            ("get_static_mid", mid, cls, "noop", "()V"),
+            ("call_static_void", mid, cls),
+        ]
+    )
+
+
+def gen_access_control(b: SequenceBuilder, rng) -> None:
+    cls = b.fresh("K")
+    fid = b.fresh("f")
+    b.main.extend(
+        [
+            ("find_class", cls, "FuzzHost"),
+            ("get_static_fid", fid, cls, "counter", "I"),
+            ("set_static_int", fid, cls, rng.randrange(1000)),
+        ]
+    )
+
+
+# ======================================================================
+# Python/C segment generators
+# ======================================================================
+
+
+def gen_owned_ref(b: SequenceBuilder, rng) -> None:
+    streams = []
+    for _ in range(rng.randrange(1, 4)):
+        slot = b.fresh("p")
+        if rng.random() < 0.5:
+            stream = [("py_new_str", slot, "v-" + slot)]
+        else:
+            stream = [("py_new_long", slot, rng.randrange(1000))]
+        for label in _walk_labels(rng, "pyc", "owned_ref", rng.randrange(1, 4)):
+            if label == "acquire" and rng.random() < 0.5:
+                stream.append(("py_incref", slot))
+                stream.append(("py_decref", slot))
+        stream.append(("py_decref", slot))
+        streams.append(stream)
+    b.main.extend(_interleave(rng, streams))
+
+
+def gen_borrowed_ref(b: SequenceBuilder, rng) -> None:
+    owner = b.fresh("l")
+    borrow = b.fresh("b")
+    b.main.extend(
+        [
+            ("py_new_list", owner, "item-" + owner),
+            ("py_get_item", borrow, owner, 0),
+            ("py_use_str", borrow),
+            ("py_decref", owner),
+        ]
+    )
+
+
+def gen_gil_state(b: SequenceBuilder, rng) -> None:
+    releases = sum(
+        1
+        for label in _walk_labels(rng, "pyc", "gil_state", rng.randrange(2, 6))
+        if label == "release"
+    )
+    for _ in range(max(releases, 1)):
+        b.main.append(("py_gil_release",))
+        b.main.append(("py_gil_acquire",))
+
+
+def gen_py_exception_state(b: SequenceBuilder, rng) -> None:
+    raised = False
+    for label in _walk_labels(
+        rng, "pyc", "py_exception_state", rng.randrange(2, 5)
+    ):
+        if label == "exception raised" and not raised:
+            b.main.append(("py_err_set", "ValueError", "fuzz"))
+            raised = True
+        elif label == "cleared" and raised:
+            b.main.append(("py_err_occurred",))
+            b.main.append(("py_err_clear",))
+            raised = False
+    if raised:
+        b.main.append(("py_err_clear",))
+
+
+def gen_py_fixed_typing(b: SequenceBuilder, rng) -> None:
+    lst = b.fresh("l")
+    borrow = b.fresh("b")
+    num = b.fresh("n")
+    b.main.extend(
+        [
+            ("py_new_list", lst, "typed-" + lst),
+            ("py_list_size", lst),
+            ("py_get_item", borrow, lst, 0),
+            ("py_new_long", num, rng.randrange(100)),
+            ("py_decref", num),
+            ("py_decref", lst),
+        ]
+    )
+
+
+# -- registries of generators ------------------------------------------------
+
+JNI_GENERATORS = (
+    ("local_ref", gen_local_ref),
+    ("global_ref", gen_global_ref),
+    ("pinned_resource", gen_pinned_resource),
+    ("monitor", gen_monitor),
+    ("critical_section", gen_critical_section),
+    ("exception_state", gen_exception_state),
+    ("jnienv_state", gen_jnienv_state),
+    ("fixed_typing", gen_fixed_typing),
+    ("entity_typing", gen_entity_typing),
+    ("nullness", gen_nullness),
+    ("access_control", gen_access_control),
+)
+
+PYC_GENERATORS = (
+    ("owned_ref", gen_owned_ref),
+    ("borrowed_ref", gen_borrowed_ref),
+    ("gil_state", gen_gil_state),
+    ("py_exception_state", gen_py_exception_state),
+    ("py_fixed_typing", gen_py_fixed_typing),
+)
+
+
+def generator_machines(substrate: str) -> List[str]:
+    """Machines with a segment generator, in registration order."""
+    table = JNI_GENERATORS if substrate == "jni" else PYC_GENERATORS
+    return [name for name, _ in table]
+
+
+def generate_sequence(
+    rng,
+    substrate: str,
+    *,
+    segments: Optional[int] = None,
+    machines: Optional[List[str]] = None,
+) -> FuzzSequence:
+    """One random valid sequence: a few machine segments, concatenated."""
+    table = dict(JNI_GENERATORS if substrate == "jni" else PYC_GENERATORS)
+    pool = machines if machines is not None else list(table)
+    builder = SequenceBuilder()
+    if substrate == "jni":
+        # Segments accumulate locals in the implicit frame (GetObjectClass
+        # and friends each mint one); declare capacity for them up front,
+        # the way well-behaved native code does.  Explicit frames pushed
+        # by the local_ref segment keep their own (tight) capacities.
+        builder.main.append(("ensure_capacity", 64))
+    count = segments if segments is not None else rng.randrange(2, 5)
+    for _ in range(count):
+        machine = pool[rng.randrange(len(pool))]
+        builder.machines.append(machine)
+        table[machine](builder, rng)
+    return builder.build(substrate)

@@ -1,0 +1,144 @@
+"""Delta-debugging minimizer for failing fuzz sequences.
+
+A failing sequence is reduced while preserving its *failure
+fingerprint*: the ``(machine, state)`` pair parsed from the first
+violation report.  Keeping the first violation stable (rather than the
+whole violation list) is deliberate — a single injected fault often
+cascades into follow-on violations, and the cascade's shape may legally
+change as unrelated ops are removed, but the root defect must not.
+
+The reduction is classic ddmin (Zeller & Hildebrandt) over the op list,
+followed by greedy single-op elimination, iterated to a fixpoint: the
+returned slice re-fails with the same fingerprint, and no single op can
+be removed from it without losing that fingerprint.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.fuzz.ops import FuzzSequence, run_jni_ops, run_pyc_ops
+
+_FINGERPRINT_RE = re.compile(r"\[machine=([^,\]]+), state=([^\]]+)\]")
+
+
+def fingerprint_of_report(report: str) -> Optional[Tuple[str, str]]:
+    """Parse ``(machine, state)`` out of one violation report string."""
+    match = _FINGERPRINT_RE.search(report)
+    if match is None:
+        return None
+    return (match.group(1), match.group(2))
+
+
+def failure_fingerprint(reports: List[str]) -> Optional[Tuple[str, str]]:
+    """The fingerprint of a run: its *first* violation's (machine, state)."""
+    for report in reports:
+        fingerprint = fingerprint_of_report(report)
+        if fingerprint is not None:
+            return fingerprint
+    return None
+
+
+def run_sequence_ops(substrate: str, ops) -> "RunOutcome":
+    if substrate == "pyc":
+        return run_pyc_ops(ops)
+    return run_jni_ops(ops)
+
+
+@dataclass
+class ShrinkResult:
+    sequence: FuzzSequence
+    fingerprint: Tuple[str, str]
+    original_ops: int
+    shrunk_ops: int
+    runs: int  # substrate executions spent shrinking
+
+
+def shrink(sequence: FuzzSequence) -> ShrinkResult:
+    """Minimize ``sequence`` while preserving its failure fingerprint.
+
+    The input must fail (produce at least one violation); raises
+    ``ValueError`` otherwise.
+    """
+    target = failure_fingerprint(run_sequence_ops(sequence.substrate, sequence.ops).reports)
+    if target is None:
+        raise ValueError("sequence does not fail; nothing to shrink")
+
+    runs = [0]
+
+    def fails(ops) -> bool:
+        runs[0] += 1
+        outcome = run_sequence_ops(sequence.substrate, ops)
+        return failure_fingerprint(outcome.reports) == target
+
+    ops = list(sequence.ops)
+    changed = True
+    while changed:
+        changed = False
+        reduced = _ddmin(ops, fails)
+        if len(reduced) < len(ops):
+            ops, changed = reduced, True
+        reduced = _greedy(ops, fails)
+        if len(reduced) < len(ops):
+            ops, changed = reduced, True
+
+    return ShrinkResult(
+        sequence=FuzzSequence(
+            substrate=sequence.substrate,
+            ops=tuple(ops),
+            machines=sequence.machines,
+        ),
+        fingerprint=target,
+        original_ops=len(sequence.ops),
+        shrunk_ops=len(ops),
+        runs=runs[0],
+    )
+
+
+def _ddmin(ops: List[tuple], fails) -> List[tuple]:
+    """Classic ddmin: try dropping chunks, then complements, refine."""
+    granularity = 2
+    while len(ops) >= 2:
+        size = max(1, len(ops) // granularity)
+        chunks = [ops[i : i + size] for i in range(0, len(ops), size)]
+        progressed = False
+        for index in range(len(chunks)):
+            complement = [
+                op for j, chunk in enumerate(chunks) for op in chunk if j != index
+            ]
+            if complement and fails(complement):
+                ops = complement
+                granularity = max(granularity - 1, 2)
+                progressed = True
+                break
+        if not progressed:
+            if granularity >= len(ops):
+                break
+            granularity = min(len(ops), granularity * 2)
+    return ops
+
+
+def _greedy(ops: List[tuple], fails) -> List[tuple]:
+    """Drop single ops left to right until no one-op removal succeeds."""
+    index = 0
+    while index < len(ops) and len(ops) > 1:
+        candidate = ops[:index] + ops[index + 1 :]
+        if fails(candidate):
+            ops = candidate
+        else:
+            index += 1
+    return ops
+
+
+def shrink_fault(fault, seed: int, *, segments: Optional[int] = None) -> ShrinkResult:
+    """Generate, inject ``fault``, and shrink — the corpus/CLI entry."""
+    from repro.fuzz.engine import task_rng
+    from repro.fuzz.gen import generate_sequence
+
+    base = generate_sequence(
+        task_rng(seed, "gen", fault.name), fault.substrate, segments=segments
+    )
+    injected = fault.inject(task_rng(seed, "inject", fault.name), base)
+    return shrink(injected)

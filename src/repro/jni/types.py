@@ -19,6 +19,17 @@ from repro.jvm.model import JObject
 _ref_serials = itertools.count(1)
 
 
+def reset_ref_serials() -> None:
+    """Restart the jobject serial counter (called at JavaVM creation).
+
+    Serials only need to be unique within one VM — the checkers key
+    per-VM state by them — and restarting per VM keeps violation report
+    text deterministic run over run, whatever the process did earlier.
+    """
+    global _ref_serials
+    _ref_serials = itertools.count(1)
+
+
 class JRef:
     """An opaque ``jobject`` reference.
 

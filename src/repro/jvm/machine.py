@@ -51,6 +51,16 @@ class JavaVM:
         local_frame_capacity: int = 16,
         gc_stress: bool = False,
     ):
+        from repro.jni.types import reset_ref_serials
+        from repro.jvm.model import reset_object_ids
+        from repro.jvm.threads import reset_thread_ids
+
+        # Fresh per-VM counters: reports mention ref serials and tids,
+        # and a new VM is a new world — text must not depend on how many
+        # VMs the process created before this one.
+        reset_ref_serials()
+        reset_object_ids()
+        reset_thread_ids()
         self.vendor = vendor
         self.heap = Heap()
         self.classes: Dict[str, JClass] = {}

@@ -41,6 +41,13 @@ PRIMITIVE_DEFAULTS = {
 _object_ids = itertools.count(1)
 
 
+def reset_object_ids() -> None:
+    """Restart the heap object-id counter (called at JavaVM creation)
+    so addresses and trace class records are deterministic per run."""
+    global _object_ids
+    _object_ids = itertools.count(1)
+
+
 class Monitor:
     """A Java monitor: re-entrant, owned by at most one thread."""
 

@@ -20,6 +20,13 @@ from repro.jvm.model import JObject
 _thread_ids = itertools.count(100)
 
 
+def reset_thread_ids() -> None:
+    """Restart the tid counter (called at JavaVM creation) so thread
+    names in reports are deterministic run over run."""
+    global _thread_ids
+    _thread_ids = itertools.count(100)
+
+
 class JThread:
     """One JVM thread (attached native threads included)."""
 

@@ -11,10 +11,7 @@ work; with reuse on, they return garbage.
 
 from __future__ import annotations
 
-import itertools
 from typing import List
-
-_serials = itertools.count(1)
 
 #: Payload shown by stale reads when the allocator reuses memory.
 GARBAGE = "\x7f<garbage>"
@@ -35,7 +32,11 @@ class PyObj:
         self.value = value
         self.ob_refcnt = 1
         self.freed = False
-        self.serial = next(_serials)
+        # Serials are per-allocator (per interpreter), so violation
+        # report text is deterministic run over run regardless of what
+        # other interpreters the process created earlier.
+        allocator.serials += 1
+        self.serial = allocator.serials
 
     # -- reference counting ---------------------------------------------------
 
@@ -95,6 +96,7 @@ class Allocator:
         self.reuse_memory = reuse_memory
         self.allocated = 0
         self.freed = 0
+        self.serials = 0
         self.live: dict = {}
 
     def new(self, type_name: str, value) -> PyObj:

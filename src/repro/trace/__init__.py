@@ -21,8 +21,9 @@ from repro.trace.format import (
     TraceFormatError,
     read_trace,
 )
+from repro.trace.diff import diff_reports, render_diff
 from repro.trace.recorder import TraceRecorder
-from repro.trace.replay import ReplayResult, replay_path, replay_trace
+from repro.trace.replay import ReplayResult, replay_lines, replay_path, replay_trace
 
 __all__ = [
     "TRACE_VERSION",
@@ -30,7 +31,10 @@ __all__ = [
     "TraceFormatError",
     "TraceRecorder",
     "ReplayResult",
+    "diff_reports",
     "read_trace",
+    "render_diff",
+    "replay_lines",
     "replay_path",
     "replay_trace",
 ]

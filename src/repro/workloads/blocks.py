@@ -1,0 +1,265 @@
+"""Reusable native-method bodies for the JNI microbenchmarks.
+
+Historically each scenario in :mod:`repro.workloads.microbench` defined
+its buggy native body as a closure, which made the bodies impossible to
+reuse.  This module hoists every closure to an importable module-level
+*building block* with the signature of a registered static native method
+(``block(env, clazz, *args)``).  Blocks that need state beyond the
+JNIEnv — a C-global stash, a callback record, the VM for out-of-model
+misuse reporting — take it as an explicit trailing parameter, bound with
+:func:`functools.partial` at registration time.
+
+Two consumers compose these blocks:
+
+- the microbenchmark scenarios, which keep their historical names and
+  observable behaviour (the Table 1 matrix is unchanged); and
+- the fuzz fault injectors (:mod:`repro.fuzz.faults`), which splice a
+  known-buggy body into an otherwise valid generated call sequence to
+  target one machine's error state.
+
+Every block carries a ``expected_machine`` attribute naming the state
+machine its bug is designed to fire (or None for bugs beyond
+language-boundary checking), assigned via :func:`_targets` below.
+"""
+
+from __future__ import annotations
+
+
+def _targets(machine):
+    """Tag a block with the machine its bug should fire."""
+
+    def deco(fn):
+        fn.expected_machine = machine
+        return fn
+
+    return deco
+
+
+# ----------------------------------------------------------------------
+# JVM state constraints
+# ----------------------------------------------------------------------
+
+
+@_targets(None)
+def capture_env(env, clazz, stash):
+    """Store the current thread's JNIEnv into a C global (benign half)."""
+    stash["env"] = env  # a C global holding the main thread's env
+
+
+@_targets("jnienv_state")
+def use_stale_env(env, clazz, stash):
+    """BUG: call through another thread's stashed JNIEnv."""
+    wrong_env = stash["env"]
+    # BUG: worker thread calls through the main thread's JNIEnv.
+    wrong_env.FindClass("java/lang/Object")
+
+
+@_targets("exception_state")
+def call_with_pending_exception(env, clazz, class_name="ExceptionState"):
+    """BUG: keep making JNI calls after a Java callee threw."""
+    cls = env.FindClass(class_name)
+    mid = env.GetStaticMethodID(cls, "foo", "()V")
+    env.CallStaticVoidMethodA(cls, mid, [])  # throws in Java
+    # BUG: the pending exception is ignored; two more JNI calls follow.
+    mid2 = env.GetStaticMethodID(cls, "foo", "()V")
+    env.CallStaticVoidMethodA(cls, mid2 or mid, [])
+
+
+@_targets("critical_section")
+def jni_call_in_critical(env, clazz):
+    """BUG: critical-section-sensitive JNI call while holding a carray."""
+    arr = env.NewIntArray(8)
+    carray = env.GetPrimitiveArrayCritical(arr)
+    # BUG: a critical-section-sensitive call while holding carray.
+    env.FindClass("java/lang/String")
+    env.ReleasePrimitiveArrayCritical(arr, carray, 0)
+
+
+# ----------------------------------------------------------------------
+# Type constraints
+# ----------------------------------------------------------------------
+
+
+@_targets("fixed_typing")
+def jclass_jobject_swap(env, clazz):
+    """BUG: pass an instance where a JNI function expects a jclass."""
+    object_cls = env.FindClass("java/lang/Object")
+    instance = env.AllocObject(object_cls)
+    # BUG: an instance passed where GetStaticMethodID expects a jclass.
+    env.GetStaticMethodID(instance, "toString", "()Ljava/lang/String;")
+
+
+@_targets("fixed_typing")
+def id_as_reference(env, clazz, class_name="IdConfusion"):
+    """BUG: pass a jmethodID where a JNI function expects a jobject."""
+    cls = env.FindClass(class_name)
+    mid = env.GetStaticMethodID(cls, "noop", "()V")
+    # BUG: a jmethodID passed where GetObjectClass expects a jobject.
+    env.GetObjectClass(mid)
+
+
+@_targets("entity_typing")
+def mistyped_actuals(env, clazz, class_name="EntityTyping"):
+    """BUG: actual arguments that violate the method ID's formals."""
+    cls = env.FindClass(class_name)
+    mid = env.GetStaticMethodID(cls, "takesInt", "(I)V")
+    jstr = env.NewStringUTF("not an int")
+    # BUG: a string and an extra argument for a (I)V method.
+    env.CallStaticVoidMethodA(cls, mid, [jstr, 42])
+
+
+@_targets("access_control")
+def final_field_write(env, clazz, class_name="AccessControl"):
+    """BUG: assignment to a final static field."""
+    cls = env.FindClass(class_name)
+    fid = env.GetStaticFieldID(cls, "LIMIT", "I")
+    # BUG: assignment to a final field.
+    env.SetStaticIntField(cls, fid, 42)
+
+
+@_targets("nullness")
+def call_through_null_id(env, clazz, class_name="Nullness"):
+    """BUG: call through a NULL method ID from a failed lookup."""
+    cls = env.FindClass(class_name)
+    # BUG: GetStaticMethodID failed (no such method) and returned
+    # NULL; the code does not check and calls through it anyway.
+    mid = env.GetStaticMethodID(cls, "doesNotExist", "()V")
+    env.ExceptionClear()
+    env.CallStaticVoidMethodA(cls, mid, [])
+
+
+# ----------------------------------------------------------------------
+# Resource constraints
+# ----------------------------------------------------------------------
+
+
+@_targets("pinned_resource")
+def pin_string_without_release(env, clazz):
+    """BUG: GetStringUTFChars with no matching release."""
+    jstr = env.NewStringUTF("retained")
+    env.GetStringUTFChars(jstr)
+    # BUG: no ReleaseStringUTFChars — the buffer stays pinned forever.
+
+
+@_targets("pinned_resource")
+def double_release_array(env, clazz):
+    """BUG: ReleaseIntArrayElements twice on the same buffer."""
+    arr = env.NewIntArray(4)
+    elems = env.GetIntArrayElements(arr)
+    env.ReleaseIntArrayElements(arr, elems, 0)
+    # BUG: the same buffer released a second time.
+    env.ReleaseIntArrayElements(arr, elems, 0)
+
+
+@_targets("monitor")
+def monitor_enter_without_exit(env, clazz, class_name="MonitorLeak"):
+    """BUG: MonitorEnter with no MonitorExit on an early-return path."""
+    cls = env.FindClass(class_name)
+    fid = env.GetStaticFieldID(cls, "lock", "Ljava/lang/Object;")
+    lock = env.GetStaticObjectField(cls, fid)
+    env.MonitorEnter(lock)
+    # BUG: early return path misses MonitorExit — deadlock risk.
+
+
+@_targets("global_ref")
+def leak_global_ref(env, clazz):
+    """BUG: NewGlobalRef that is never deleted."""
+    obj = env.AllocObject(env.FindClass("java/lang/Object"))
+    env.NewGlobalRef(obj)
+    # BUG: the global reference escapes and is never released.
+
+
+@_targets("global_ref")
+def use_deleted_global_ref(env, clazz):
+    """BUG: use of a global reference after DeleteGlobalRef."""
+    obj = env.AllocObject(env.FindClass("java/lang/Object"))
+    g = env.NewGlobalRef(obj)
+    env.DeleteGlobalRef(g)
+    # BUG: g is dangling now.
+    env.GetObjectClass(g)
+
+
+@_targets("local_ref")
+def create_unchecked_locals(env, clazz, count=20):
+    """BUG: create ``count`` locals without EnsureLocalCapacity."""
+    for i in range(count):
+        # BUG: 20 local references without EnsureLocalCapacity.
+        env.NewStringUTF("local-{}".format(i))
+
+
+@_targets("local_ref")
+def push_frame_without_pop(env, clazz):
+    """BUG: PushLocalFrame without a matching PopLocalFrame."""
+    env.PushLocalFrame(8)
+    env.NewStringUTF("inside the frame")
+    # BUG: returns to Java with the explicit frame still pushed.
+
+
+@_targets(None)
+def stash_local_ref(env, clazz, receiver, record):
+    """BUG (first half): store a local reference into a C heap structure."""
+    # BUG: a local reference stored into a C heap structure.
+    record["receiver"] = receiver
+
+
+@_targets("local_ref")
+def use_stashed_local_ref(env, clazz, record):
+    """BUG (second half): use the stashed local after its frame died."""
+    # The reference died when bind returned; this use dangles.
+    env.GetObjectClass(record["receiver"])
+
+
+@_targets("local_ref")
+def delete_local_ref_twice(env, clazz):
+    """BUG: DeleteLocalRef twice on the same reference."""
+    s = env.NewStringUTF("short-lived")
+    env.DeleteLocalRef(s)
+    # BUG: second delete of the same local reference.
+    env.DeleteLocalRef(s)
+
+
+# ----------------------------------------------------------------------
+# Pitfall 8 — beyond language-boundary checking
+# ----------------------------------------------------------------------
+
+
+@_targets(None)
+def overread_string_chars(env, clazz, vm):
+    """BUG: scan a GetStringChars buffer for a NUL JNI never promised."""
+    jstr = env.NewStringUTF("héllo wörld")
+    buf = env.GetStringChars(jstr)
+    chars = []
+    i = 0
+    while True:
+        try:
+            ch = buf.read(i)  # C pointer arithmetic past the end
+        except IndexError:
+            vm.misuse(
+                "unicode_overread",
+                "C code read past the end of a GetStringChars buffer",
+            )
+            break
+        if ch == "\0":
+            break
+        chars.append(ch)
+        i += 1
+    env.ReleaseStringChars(jstr, buf)
+
+
+#: Blocks that are complete static-()V native bodies on their own (no
+#: bound state, no arguments), keyed by name — the fault injectors use
+#: this to splice a known-buggy body into a generated sequence.
+SELF_CONTAINED = {
+    fn.__name__: fn
+    for fn in (
+        jni_call_in_critical,
+        jclass_jobject_swap,
+        pin_string_without_release,
+        double_release_array,
+        leak_global_ref,
+        use_deleted_global_ref,
+        create_unchecked_locals,
+        push_frame_without_pop,
+        delete_local_ref_twice,
+    )
+}

@@ -11,14 +11,21 @@ Every scenario is a plain function ``scenario(vm)`` that defines its
 classes and native methods on a fresh VM and then runs the buggy program,
 letting whatever happens propagate to the caller
 (:func:`repro.workloads.outcomes.run_scenario` classifies it).
+
+The buggy native bodies themselves live in
+:mod:`repro.workloads.blocks` as importable building blocks; the
+scenarios here bind them (with :func:`functools.partial` where a block
+needs explicit state) and provide the Java-side scaffolding.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Optional, Tuple
 
 from repro.jvm import JavaVM
+from repro.workloads import blocks
 
 # ----------------------------------------------------------------------
 # JVM state constraints
@@ -32,16 +39,12 @@ def env_mismatch(vm: JavaVM) -> None:
     vm.add_method("EnvMismatch", "use", "()V", is_static=True, is_native=True)
     stash = {}
 
-    def native_capture(env, clazz):
-        stash["env"] = env  # a C global holding the main thread's env
-
-    def native_use(env, clazz):
-        wrong_env = stash["env"]
-        # BUG: worker thread calls through the main thread's JNIEnv.
-        wrong_env.FindClass("java/lang/Object")
-
-    vm.register_native("EnvMismatch", "capture", "()V", native_capture)
-    vm.register_native("EnvMismatch", "use", "()V", native_use)
+    vm.register_native(
+        "EnvMismatch", "capture", "()V", partial(blocks.capture_env, stash=stash)
+    )
+    vm.register_native(
+        "EnvMismatch", "use", "()V", partial(blocks.use_stale_env, stash=stash)
+    )
     vm.call_static("EnvMismatch", "capture", "()V")
     worker = vm.attach_thread("worker")
     with vm.run_on_thread(worker):
@@ -57,16 +60,9 @@ def exception_state(vm: JavaVM) -> None:
 
     vm.add_method("ExceptionState", "foo", "()V", is_static=True, body=java_foo)
     vm.add_method("ExceptionState", "call", "()V", is_static=True, is_native=True)
-
-    def native_call(env, clazz):
-        cls = env.FindClass("ExceptionState")
-        mid = env.GetStaticMethodID(cls, "foo", "()V")
-        env.CallStaticVoidMethodA(cls, mid, [])  # throws in Java
-        # BUG: the pending exception is ignored; two more JNI calls follow.
-        mid2 = env.GetStaticMethodID(cls, "foo", "()V")
-        env.CallStaticVoidMethodA(cls, mid2 or mid, [])
-
-    vm.register_native("ExceptionState", "call", "()V", native_call)
+    vm.register_native(
+        "ExceptionState", "call", "()V", blocks.call_with_pending_exception
+    )
 
     def java_main(vmach, thread, cls):
         from repro.jvm.errors import JavaException
@@ -89,15 +85,7 @@ def critical_state(vm: JavaVM) -> None:
     """Machine 3 / pitfall 16: JNI call inside a critical section."""
     vm.define_class("CriticalState")
     vm.add_method("CriticalState", "run", "()V", is_static=True, is_native=True)
-
-    def native_run(env, clazz):
-        arr = env.NewIntArray(8)
-        carray = env.GetPrimitiveArrayCritical(arr)
-        # BUG: a critical-section-sensitive call while holding carray.
-        env.FindClass("java/lang/String")
-        env.ReleasePrimitiveArrayCritical(arr, carray, 0)
-
-    vm.register_native("CriticalState", "run", "()V", native_run)
+    vm.register_native("CriticalState", "run", "()V", blocks.jni_call_in_critical)
     vm.call_static("CriticalState", "run", "()V")
 
 
@@ -110,14 +98,7 @@ def fixed_typing(vm: JavaVM) -> None:
     """Machine 4 / pitfall 3: confusing jclass with jobject."""
     vm.define_class("FixedTyping")
     vm.add_method("FixedTyping", "run", "()V", is_static=True, is_native=True)
-
-    def native_run(env, clazz):
-        object_cls = env.FindClass("java/lang/Object")
-        instance = env.AllocObject(object_cls)
-        # BUG: an instance passed where GetStaticMethodID expects a jclass.
-        env.GetStaticMethodID(instance, "toString", "()Ljava/lang/String;")
-
-    vm.register_native("FixedTyping", "run", "()V", native_run)
+    vm.register_native("FixedTyping", "run", "()V", blocks.jclass_jobject_swap)
     vm.call_static("FixedTyping", "run", "()V")
 
 
@@ -130,14 +111,7 @@ def id_confusion(vm: JavaVM) -> None:
 
     vm.add_method("IdConfusion", "noop", "()V", is_static=True, body=java_noop)
     vm.add_method("IdConfusion", "run", "()V", is_static=True, is_native=True)
-
-    def native_run(env, clazz):
-        cls = env.FindClass("IdConfusion")
-        mid = env.GetStaticMethodID(cls, "noop", "()V")
-        # BUG: a jmethodID passed where GetObjectClass expects a jobject.
-        env.GetObjectClass(mid)
-
-    vm.register_native("IdConfusion", "run", "()V", native_run)
+    vm.register_native("IdConfusion", "run", "()V", blocks.id_as_reference)
     vm.call_static("IdConfusion", "run", "()V")
 
 
@@ -152,15 +126,7 @@ def entity_typing(vm: JavaVM) -> None:
         "EntityTyping", "takesInt", "(I)V", is_static=True, body=java_takes_int
     )
     vm.add_method("EntityTyping", "run", "()V", is_static=True, is_native=True)
-
-    def native_run(env, clazz):
-        cls = env.FindClass("EntityTyping")
-        mid = env.GetStaticMethodID(cls, "takesInt", "(I)V")
-        jstr = env.NewStringUTF("not an int")
-        # BUG: a string and an extra argument for a (I)V method.
-        env.CallStaticVoidMethodA(cls, mid, [jstr, 42])
-
-    vm.register_native("EntityTyping", "run", "()V", native_run)
+    vm.register_native("EntityTyping", "run", "()V", blocks.mistyped_actuals)
     vm.call_static("EntityTyping", "run", "()V")
 
 
@@ -171,14 +137,7 @@ def access_control(vm: JavaVM) -> None:
         "AccessControl", "LIMIT", "I", is_static=True, is_final=True
     )
     vm.add_method("AccessControl", "run", "()V", is_static=True, is_native=True)
-
-    def native_run(env, clazz):
-        cls = env.FindClass("AccessControl")
-        fid = env.GetStaticFieldID(cls, "LIMIT", "I")
-        # BUG: assignment to a final field.
-        env.SetStaticIntField(cls, fid, 42)
-
-    vm.register_native("AccessControl", "run", "()V", native_run)
+    vm.register_native("AccessControl", "run", "()V", blocks.final_field_write)
     vm.call_static("AccessControl", "run", "()V")
 
 
@@ -186,16 +145,7 @@ def nullness(vm: JavaVM) -> None:
     """Machine 7 / pitfall 2: null method ID passed to a Call function."""
     vm.define_class("Nullness")
     vm.add_method("Nullness", "run", "()V", is_static=True, is_native=True)
-
-    def native_run(env, clazz):
-        cls = env.FindClass("Nullness")
-        # BUG: GetStaticMethodID failed (no such method) and returned
-        # NULL; the code does not check and calls through it anyway.
-        mid = env.GetStaticMethodID(cls, "doesNotExist", "()V")
-        env.ExceptionClear()
-        env.CallStaticVoidMethodA(cls, mid, [])
-
-    vm.register_native("Nullness", "run", "()V", native_run)
+    vm.register_native("Nullness", "run", "()V", blocks.call_through_null_id)
     vm.call_static("Nullness", "run", "()V")
 
 
@@ -208,13 +158,7 @@ def pinned_leak(vm: JavaVM) -> None:
     """Machine 8 / pitfall 11: string chars acquired, never released."""
     vm.define_class("PinnedLeak")
     vm.add_method("PinnedLeak", "run", "()V", is_static=True, is_native=True)
-
-    def native_run(env, clazz):
-        jstr = env.NewStringUTF("retained")
-        env.GetStringUTFChars(jstr)
-        # BUG: no ReleaseStringUTFChars — the buffer stays pinned forever.
-
-    vm.register_native("PinnedLeak", "run", "()V", native_run)
+    vm.register_native("PinnedLeak", "run", "()V", blocks.pin_string_without_release)
     vm.call_static("PinnedLeak", "run", "()V")
 
 
@@ -222,15 +166,7 @@ def pinned_double_free(vm: JavaVM) -> None:
     """Machine 8: releasing array elements twice."""
     vm.define_class("PinnedDoubleFree")
     vm.add_method("PinnedDoubleFree", "run", "()V", is_static=True, is_native=True)
-
-    def native_run(env, clazz):
-        arr = env.NewIntArray(4)
-        elems = env.GetIntArrayElements(arr)
-        env.ReleaseIntArrayElements(arr, elems, 0)
-        # BUG: the same buffer released a second time.
-        env.ReleaseIntArrayElements(arr, elems, 0)
-
-    vm.register_native("PinnedDoubleFree", "run", "()V", native_run)
+    vm.register_native("PinnedDoubleFree", "run", "()V", blocks.double_release_array)
     vm.call_static("PinnedDoubleFree", "run", "()V")
 
 
@@ -243,15 +179,9 @@ def monitor_leak(vm: JavaVM) -> None:
         "lock", "Ljava/lang/Object;"
     ).static_value = lock_obj
     vm.add_method("MonitorLeak", "run", "()V", is_static=True, is_native=True)
-
-    def native_run(env, clazz):
-        cls = env.FindClass("MonitorLeak")
-        fid = env.GetStaticFieldID(cls, "lock", "Ljava/lang/Object;")
-        lock = env.GetStaticObjectField(cls, fid)
-        env.MonitorEnter(lock)
-        # BUG: early return path misses MonitorExit — deadlock risk.
-
-    vm.register_native("MonitorLeak", "run", "()V", native_run)
+    vm.register_native(
+        "MonitorLeak", "run", "()V", blocks.monitor_enter_without_exit
+    )
     vm.call_static("MonitorLeak", "run", "()V")
 
 
@@ -259,13 +189,7 @@ def global_leak(vm: JavaVM) -> None:
     """Machine 10: a global reference that is never deleted."""
     vm.define_class("GlobalLeak")
     vm.add_method("GlobalLeak", "run", "()V", is_static=True, is_native=True)
-
-    def native_run(env, clazz):
-        obj = env.AllocObject(env.FindClass("java/lang/Object"))
-        env.NewGlobalRef(obj)
-        # BUG: the global reference escapes and is never released.
-
-    vm.register_native("GlobalLeak", "run", "()V", native_run)
+    vm.register_native("GlobalLeak", "run", "()V", blocks.leak_global_ref)
     vm.call_static("GlobalLeak", "run", "()V")
 
 
@@ -273,15 +197,7 @@ def global_dangling(vm: JavaVM) -> None:
     """Machine 10: use of a deleted global reference."""
     vm.define_class("GlobalDangling")
     vm.add_method("GlobalDangling", "run", "()V", is_static=True, is_native=True)
-
-    def native_run(env, clazz):
-        obj = env.AllocObject(env.FindClass("java/lang/Object"))
-        g = env.NewGlobalRef(obj)
-        env.DeleteGlobalRef(g)
-        # BUG: g is dangling now.
-        env.GetObjectClass(g)
-
-    vm.register_native("GlobalDangling", "run", "()V", native_run)
+    vm.register_native("GlobalDangling", "run", "()V", blocks.use_deleted_global_ref)
     vm.call_static("GlobalDangling", "run", "()V")
 
 
@@ -289,13 +205,7 @@ def local_overflow(vm: JavaVM) -> None:
     """Machine 11 / pitfall 12: more than 16 locals without a frame."""
     vm.define_class("LocalOverflow")
     vm.add_method("LocalOverflow", "run", "()V", is_static=True, is_native=True)
-
-    def native_run(env, clazz):
-        for i in range(20):
-            # BUG: 20 local references without EnsureLocalCapacity.
-            env.NewStringUTF("local-{}".format(i))
-
-    vm.register_native("LocalOverflow", "run", "()V", native_run)
+    vm.register_native("LocalOverflow", "run", "()V", blocks.create_unchecked_locals)
     vm.call_static("LocalOverflow", "run", "()V")
 
 
@@ -303,13 +213,7 @@ def local_leaked_frame(vm: JavaVM) -> None:
     """Machine 11: PushLocalFrame without a matching PopLocalFrame."""
     vm.define_class("LeakedFrame")
     vm.add_method("LeakedFrame", "run", "()V", is_static=True, is_native=True)
-
-    def native_run(env, clazz):
-        env.PushLocalFrame(8)
-        env.NewStringUTF("inside the frame")
-        # BUG: returns to Java with the explicit frame still pushed.
-
-    vm.register_native("LeakedFrame", "run", "()V", native_run)
+    vm.register_native("LeakedFrame", "run", "()V", blocks.push_frame_without_pop)
     vm.call_static("LeakedFrame", "run", "()V")
 
 
@@ -326,18 +230,18 @@ def local_dangling(vm: JavaVM) -> None:
     vm.add_method("LocalDangling", "fire", "()V", is_static=True, is_native=True)
     callback_record = {}
 
-    def native_bind(env, clazz, receiver):
-        # BUG: a local reference stored into a C heap structure.
-        callback_record["receiver"] = receiver
-
-    def native_fire(env, clazz):
-        # The reference died when bind returned; this use dangles.
-        env.GetObjectClass(callback_record["receiver"])
-
     vm.register_native(
-        "LocalDangling", "bind", "(Ljava/lang/Object;)V", native_bind
+        "LocalDangling",
+        "bind",
+        "(Ljava/lang/Object;)V",
+        partial(blocks.stash_local_ref, record=callback_record),
     )
-    vm.register_native("LocalDangling", "fire", "()V", native_fire)
+    vm.register_native(
+        "LocalDangling",
+        "fire",
+        "()V",
+        partial(blocks.use_stashed_local_ref, record=callback_record),
+    )
     vm.call_static(
         "LocalDangling",
         "bind",
@@ -351,14 +255,7 @@ def local_double_free(vm: JavaVM) -> None:
     """Machine 11: DeleteLocalRef twice on the same reference."""
     vm.define_class("LocalDoubleFree")
     vm.add_method("LocalDoubleFree", "run", "()V", is_static=True, is_native=True)
-
-    def native_run(env, clazz):
-        s = env.NewStringUTF("short-lived")
-        env.DeleteLocalRef(s)
-        # BUG: second delete of the same local reference.
-        env.DeleteLocalRef(s)
-
-    vm.register_native("LocalDoubleFree", "run", "()V", native_run)
+    vm.register_native("LocalDoubleFree", "run", "()V", blocks.delete_local_ref_twice)
     vm.call_static("LocalDoubleFree", "run", "()V")
 
 
@@ -377,28 +274,9 @@ def unicode_string(vm: JavaVM) -> None:
     """
     vm.define_class("UnicodeString")
     vm.add_method("UnicodeString", "run", "()V", is_static=True, is_native=True)
-
-    def native_run(env, clazz):
-        jstr = env.NewStringUTF("héllo wörld")
-        buf = env.GetStringChars(jstr)
-        chars = []
-        i = 0
-        while True:
-            try:
-                ch = buf.read(i)  # C pointer arithmetic past the end
-            except IndexError:
-                vm.misuse(
-                    "unicode_overread",
-                    "C code read past the end of a GetStringChars buffer",
-                )
-                break
-            if ch == "\0":
-                break
-            chars.append(ch)
-            i += 1
-        env.ReleaseStringChars(jstr, buf)
-
-    vm.register_native("UnicodeString", "run", "()V", native_run)
+    vm.register_native(
+        "UnicodeString", "run", "()V", partial(blocks.overread_string_chars, vm=vm)
+    )
     vm.call_static("UnicodeString", "run", "()V")
 
 

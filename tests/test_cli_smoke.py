@@ -7,7 +7,7 @@ without exercising it here fails the suite (the ``_COMMANDS`` /
 
 import pytest
 
-from repro.cli import _COMMANDS, _TRACE_COMMANDS, main
+from repro.cli import _COMMANDS, _FUZZ_COMMANDS, _TRACE_COMMANDS, main
 
 
 @pytest.fixture(scope="module")
@@ -78,6 +78,33 @@ class TestTraceSubcommands:
         assert main(["trace", "diff", path, path]) == 0
         assert "zero drift" in capsys.readouterr().out
 
+    def test_diff_divergent_traces_exits_nonzero(self, trace_dir, capsys):
+        old = str(trace_dir / "micro.trace")
+        new = str(trace_dir / "pyc.trace")
+        assert main(["trace", "diff", old, new]) == 1
+        assert "zero drift" not in capsys.readouterr().out
+
+    def test_replay_recorded_drift_exits_nonzero(
+        self, trace_dir, tmp_path, capsys
+    ):
+        # Tamper with one recorded violation so the live stream stored
+        # in the trace no longer matches what replay re-detects.
+        import json
+
+        lines = (trace_dir / "micro.trace").read_text().splitlines()
+        for i, line in enumerate(lines[1:], start=1):
+            record = json.loads(line)
+            if record[0] == "v":
+                record[1] = "tampered report"
+                lines[i] = json.dumps(record)
+                break
+        else:
+            pytest.fail("trace has no recorded violation to tamper with")
+        tampered = tmp_path / "tampered.trace"
+        tampered.write_text("\n".join(lines) + "\n")
+        assert main(["trace", "replay", str(tampered)]) == 1
+        assert "DRIFT" in capsys.readouterr().out
+
     def test_corpus(self, tmp_path, capsys):
         out = str(tmp_path / "corpus")
         assert main(
@@ -86,11 +113,62 @@ class TestTraceSubcommands:
         assert "recorded" in capsys.readouterr().out
 
 
+class TestFuzzSubcommands:
+    def test_run_smoke_gate_passes(self, capsys):
+        assert main(["fuzz", "run", "--smoke", "--substrate", "pyc"]) == 0
+        printed = capsys.readouterr().out
+        assert "gate: PASS" in printed
+
+    def test_run_json_report(self, capsys):
+        import json
+
+        assert main(
+            ["fuzz", "run", "--smoke", "--substrate", "pyc", "--json"]
+        ) == 0
+        report = json.loads(
+            capsys.readouterr().out.split("gate: PASS")[0]
+        )
+        assert report["valid"]["violations"] == 0
+
+    def test_shrink(self, capsys):
+        assert main(["fuzz", "shrink", "ignored_py_exception"]) == 0
+        printed = capsys.readouterr().out
+        assert "fingerprint: machine=py_exception_state" in printed
+
+    def test_shrink_unknown_fault(self, capsys):
+        assert main(["fuzz", "shrink", "no_such_fault"]) == 2
+
+    def test_corpus_build_and_check(self, tmp_path, capsys):
+        out = str(tmp_path / "corpus")
+        assert main(
+            ["fuzz", "corpus", "-o", out, "--substrate", "pyc"]
+        ) == 0
+        assert "minimized traces" in capsys.readouterr().out
+        assert main(["fuzz", "corpus", "-o", out, "--check"]) == 0
+        assert "replays clean" in capsys.readouterr().out
+
+    def test_faults(self, capsys):
+        assert main(["fuzz", "faults"]) == 0
+        assert "drop_delete_local" in capsys.readouterr().out
+
+    def test_graph(self, capsys):
+        assert main(["fuzz", "graph", "local_ref"]) == 0
+        assert "Error: overflow" in capsys.readouterr().out
+
+    def test_graph_all_pyc(self, capsys):
+        assert main(["fuzz", "graph", "--substrate", "pyc"]) == 0
+        assert "owned_ref" in capsys.readouterr().out
+
+
 class TestCommandSurfaceIsCovered:
     def test_every_top_level_command_is_smoked(self):
-        smoked = {argv[0] for argv in SIMPLE_COMMANDS} | {"trace"}
+        smoked = {argv[0] for argv in SIMPLE_COMMANDS} | {"trace", "fuzz"}
         assert smoked == set(_COMMANDS)
 
     def test_every_trace_subcommand_is_smoked(self):
         smoked = {"record", "replay", "diff", "corpus"}
         assert smoked == set(_TRACE_COMMANDS)
+
+    def test_every_fuzz_subcommand_is_smoked(self):
+        smoked = {"run", "shrink", "corpus", "faults", "graph"}
+        assert smoked == set(_FUZZ_COMMANDS)

@@ -1,0 +1,95 @@
+"""The transition-graph API and the validity of generated sequences."""
+
+import random
+
+import pytest
+
+from repro.fuzz import generate_sequence, generator_machines, run_ops, task_rng
+from repro.fuzz.gen import _specs
+from repro.jinn.machines import build_registry
+from repro.pyc.machines import build_pyc_registry
+
+
+def _all_specs():
+    return [("jni", s) for s in build_registry()] + [
+        ("pyc", s) for s in build_pyc_registry()
+    ]
+
+
+class TestTransitionGraph:
+    @pytest.mark.parametrize(
+        "substrate,spec", _all_specs(), ids=lambda x: getattr(x, "name", x)
+    )
+    def test_every_machine_exposes_a_graph(self, substrate, spec):
+        graph = spec.transition_graph()
+        assert graph.initial in graph.labels() or graph.initial
+        # Every machine in the catalog has at least one error state, and
+        # the profile names the labels that reach it.
+        profile = graph.error_profile()
+        assert profile
+        for error_state, labels in profile.items():
+            assert labels, error_state
+
+    @pytest.mark.parametrize(
+        "substrate,spec", _all_specs(), ids=lambda x: getattr(x, "name", x)
+    )
+    def test_random_walk_avoids_error_states(self, substrate, spec):
+        graph = spec.transition_graph()
+        errors = set(graph.error_profile())
+        walk = graph.random_walk(random.Random(42), 12)
+        for edge in walk:
+            assert edge.target.name not in errors
+
+    def test_random_walk_is_deterministic(self):
+        graph = _specs("jni")["local_ref"].transition_graph()
+        walks = [
+            [e.label for e in graph.random_walk(random.Random(7), 10)]
+            for _ in range(2)
+        ]
+        assert walks[0] == walks[1]
+
+    def test_describe_renders_states_and_errors(self):
+        graph = _specs("jni")["local_ref"].transition_graph()
+        text = graph.describe()
+        assert "local_ref" in text
+        assert "Error: overflow" in text
+
+
+class TestGeneratorCatalog:
+    def test_every_jni_machine_with_safe_dynamics_has_a_generator(self):
+        assert set(generator_machines("jni")) == {
+            "local_ref", "global_ref", "pinned_resource", "monitor",
+            "critical_section", "exception_state", "jnienv_state",
+            "fixed_typing", "entity_typing", "nullness", "access_control",
+        }
+
+    def test_every_pyc_machine_has_a_generator(self):
+        assert set(generator_machines("pyc")) == {
+            spec.name for spec in build_pyc_registry()
+        }
+
+
+class TestGeneratedSequencesAreValid:
+    @pytest.mark.parametrize("substrate", ["jni", "pyc"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_zero_violations_and_zero_drift(self, substrate, seed):
+        sequence = generate_sequence(
+            task_rng(seed, "valid", substrate), substrate
+        )
+        result = run_ops(substrate, sequence.ops)
+        assert result.live.reports == []
+        assert not result.divergent
+
+    @pytest.mark.parametrize("substrate", ["jni", "pyc"])
+    def test_generation_is_deterministic(self, substrate):
+        first = generate_sequence(task_rng(5, "valid", substrate), substrate)
+        second = generate_sequence(task_rng(5, "valid", substrate), substrate)
+        assert first.ops == second.ops
+        assert first.machines == second.machines
+
+    def test_sequences_round_trip_through_json(self):
+        sequence = generate_sequence(task_rng(9, "valid", "jni"), "jni")
+        from repro.fuzz.ops import FuzzSequence
+
+        clone = FuzzSequence.from_json(sequence.to_json())
+        assert clone == sequence

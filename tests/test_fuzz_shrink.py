@@ -1,0 +1,93 @@
+"""Minimizer invariants: fingerprint preservation and the fixpoint
+property (no single op can be removed from a shrunk slice)."""
+
+import pytest
+
+from repro.fuzz import (
+    failure_fingerprint,
+    fault_by_name,
+    fingerprint_of_report,
+    shrink,
+    shrink_fault,
+)
+from repro.fuzz.ops import FuzzSequence
+from repro.fuzz.shrink import run_sequence_ops
+
+# One representative per mutation family (drop / duplicate / insert,
+# JNI and Python/C) — the corpus build covers the full catalog.
+REPRESENTATIVES = [
+    "drop_delete_local",
+    "double_release_pinned",
+    "ignore_exception",
+    "cross_thread_env",
+    "dangling_borrow",
+    "gil_unsafe_call",
+]
+
+
+class TestFingerprintParsing:
+    def test_parses_machine_and_state(self):
+        report = (
+            "Second DeleteLocalRef of the same reference. "
+            "[machine=local_ref, state=Error: double free] in DeleteLocalRef"
+        )
+        assert fingerprint_of_report(report) == (
+            "local_ref", "Error: double free"
+        )
+
+    def test_parses_without_function_suffix(self):
+        report = "leak [machine=global_ref, state=Error: leak]"
+        assert fingerprint_of_report(report) == ("global_ref", "Error: leak")
+
+    def test_no_match_returns_none(self):
+        assert fingerprint_of_report("not a violation report") is None
+        assert failure_fingerprint([]) is None
+
+    def test_failure_fingerprint_takes_the_first_report(self):
+        reports = [
+            "a [machine=m1, state=Error: x]",
+            "b [machine=m2, state=Error: y]",
+        ]
+        assert failure_fingerprint(reports) == ("m1", "Error: x")
+
+
+@pytest.mark.parametrize("name", REPRESENTATIVES)
+class TestShrinkInvariants:
+    def test_shrunk_slice_refires_same_fingerprint(self, name):
+        fault = fault_by_name(name)
+        result = shrink_fault(fault, 2026)
+        assert result.fingerprint[0] == fault.machine
+        assert result.shrunk_ops <= result.original_ops
+        rerun = run_sequence_ops(
+            result.sequence.substrate, result.sequence.ops
+        )
+        assert failure_fingerprint(rerun.reports) == result.fingerprint
+
+    def test_shrinking_is_a_fixpoint(self, name):
+        fault = fault_by_name(name)
+        result = shrink_fault(fault, 2026)
+        again = shrink(result.sequence)
+        assert again.shrunk_ops == result.shrunk_ops
+        assert again.sequence.ops == result.sequence.ops
+        assert again.fingerprint == result.fingerprint
+
+    def test_no_single_op_removal_preserves_the_failure(self, name):
+        fault = fault_by_name(name)
+        result = shrink_fault(fault, 2026)
+        ops = result.sequence.ops
+        if len(ops) == 1:
+            return
+        for index in range(len(ops)):
+            candidate = ops[:index] + ops[index + 1 :]
+            rerun = run_sequence_ops(result.sequence.substrate, candidate)
+            assert failure_fingerprint(rerun.reports) != result.fingerprint
+
+
+class TestShrinkErrors:
+    def test_non_failing_sequence_is_rejected(self):
+        benign = FuzzSequence(
+            substrate="pyc",
+            ops=(("py_new_str", "a", "x"), ("py_decref", "a")),
+        )
+        with pytest.raises(ValueError):
+            shrink(benign)
