@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 gate: tests, bytecode compilation, the fixed-seed fuzz smoke,
-# and the quick benchmark gates (write BENCH_interpretive_dispatch.json,
-# BENCH_trace_replay.json, and BENCH_fuzz.json).
+# the resilience smoke (chaos containment + crash recovery), and the
+# quick benchmark gates (write BENCH_interpretive_dispatch.json,
+# BENCH_trace_replay.json, BENCH_fuzz.json, and BENCH_resilience.json).
 #
 # Usage: scripts/check.sh [--no-bench]
 set -euo pipefail
@@ -22,6 +23,10 @@ echo "== fuzz smoke (fixed seed) =="
 python -m repro.cli fuzz run --smoke
 python -m repro.cli fuzz corpus -o tests/data/fuzz_corpus --check
 
+echo "== resilience smoke (fixed-seed chaos + crash recovery) =="
+timeout 300 python -m repro.cli resilience chaos --seed 2026 --substrate pyc
+timeout 300 python -m pytest -q tests/test_trace_journal.py
+
 if [[ "${1:-}" != "--no-bench" ]]; then
     echo "== dispatch-index bench gate (quick) =="
     python benchmarks/bench_table3_overhead.py --quick
@@ -31,6 +36,9 @@ if [[ "${1:-}" != "--no-bench" ]]; then
 
     echo "== fuzz bench gate (quick) =="
     python benchmarks/bench_fuzz.py --quick
+
+    echo "== resilience bench gate (quick) =="
+    timeout 600 python benchmarks/bench_resilience.py --quick
 fi
 
 echo "OK"

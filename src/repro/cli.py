@@ -13,7 +13,11 @@ Gives downstream users the paper's artifacts without writing code:
 - ``demo``       — run one microbenchmark under a chosen configuration;
 - ``dispatch``   — the (function, direction) dispatch-index statistics;
 - ``trace``      — FFI event record/replay: ``record``, ``replay``,
-  ``diff``, and ``corpus`` subcommands.
+  ``diff``, ``corpus``, and ``recover`` subcommands;
+- ``fuzz``       — spec-driven FFI fuzzing: ``run``, ``shrink``,
+  ``corpus``, ``faults``, ``graph``;
+- ``resilience`` — supervised checking sessions: ``chaos``,
+  ``supervise``, ``recover``, ``status``.
 """
 
 from __future__ import annotations
@@ -247,10 +251,19 @@ def _trace_record_one(target: str, observer):
 def _cmd_trace_record(args) -> int:
     from repro.trace import TraceRecorder
 
-    recorder = TraceRecorder(args.output, workload=args.target)
+    recorder = TraceRecorder(
+        args.output,
+        workload=args.target,
+        journal_path=args.journal,
+        sync_every=args.sync_every,
+    )
     live = _trace_record_one(args.target, recorder)
     events = recorder.close()
     print("recorded {} events to {}".format(events, args.output))
+    if args.journal:
+        print("journal: {} (synced every {} records)".format(
+            args.journal, args.sync_every
+        ))
     print("live violations: {}".format(len(live)))
     for report in live:
         print("  " + report)
@@ -260,12 +273,31 @@ def _cmd_trace_record(args) -> int:
 def _cmd_trace_replay(args) -> int:
     from repro.trace.replay import replay_path, replay_sharded
 
-    if len(args.paths) > 1 or args.shards > 1:
-        result = replay_sharded(
-            args.paths, shards=args.shards, force=args.force
+    if getattr(args, "timeout", None) is not None:
+        if len(args.paths) > 1 or args.shards > 1:
+            print("--timeout supervises a single unsharded trace")
+            return 2
+        return _supervised_one(
+            "replay",
+            {"path": args.paths[0], "force": args.force},
+            args.timeout,
+            ok_is_zero=True,
         )
-    else:
-        result = replay_path(args.paths[0], force=args.force)
+    from repro.trace.format import TraceFormatError
+
+    try:
+        if len(args.paths) > 1 or args.shards > 1:
+            result = replay_sharded(
+                args.paths, shards=args.shards, force=args.force
+            )
+        else:
+            result = replay_path(args.paths[0], force=args.force)
+    except TraceFormatError as exc:
+        print("REPLAY FAIL: {}".format(exc))
+        return 1
+    for line in getattr(result, "log_lines", None) or []:
+        if line.startswith("warning:"):
+            print(line)
     print(
         "replayed {} events from {} trace(s)".format(
             result.event_count, len(args.paths)
@@ -315,6 +347,48 @@ def _cmd_trace_corpus(args) -> int:
     return 0
 
 
+def _supervised_one(kind: str, params: dict, timeout: float,
+                    *, ok_is_zero: bool = False) -> int:
+    """Run one body under the supervisor watchdog (the --timeout path).
+
+    Always prints a JSON result.  Exit codes: 124 when the watchdog
+    killed a hang (the partial result says so), 1 for a crash, and for
+    completed runs either 0 (``ok_is_zero``) or the gate verdict.
+    """
+    import json as _json
+
+    from repro.resilience.supervisor import CRASH, HANG, run_with_timeout
+
+    result = run_with_timeout(kind, params, timeout)
+    body = result.to_json()
+    body["partial"] = result.classification in (CRASH, HANG)
+    if result.payload is not None:
+        body["payload"] = result.payload
+    print(_json.dumps(body, indent=2, sort_keys=True))
+    if result.classification == HANG:
+        return 124
+    if result.classification == CRASH:
+        return 1
+    if ok_is_zero:
+        return 0
+    return 1 if result.violations else 0
+
+
+def _cmd_trace_recover(args) -> int:
+    import json as _json
+
+    from repro.resilience.recover import recover_journal
+    from repro.trace.format import TraceFormatError
+
+    try:
+        report = recover_journal(args.journal, args.output)
+    except TraceFormatError as exc:
+        print("RECOVER FAIL: {}".format(exc))
+        return 1
+    print(_json.dumps(report.to_json(), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_trace(args) -> int:
     return _TRACE_COMMANDS[args.trace_command](args)
 
@@ -324,6 +398,16 @@ def _cmd_fuzz_run(args) -> int:
 
     from repro.fuzz import fuzz_gate, fuzz_run
 
+    if getattr(args, "timeout", None) is not None:
+        return _supervised_one(
+            "fuzz",
+            {
+                "seed": args.seed,
+                "rounds": 1 if args.smoke else args.rounds,
+                "substrate": args.substrate,
+            },
+            args.timeout,
+        )
     rounds = 1 if args.smoke else args.rounds
     report = fuzz_run(args.seed, rounds=rounds, substrate=args.substrate)
     failures = fuzz_gate(report)
@@ -434,6 +518,91 @@ def _cmd_fuzz(args) -> int:
     return _FUZZ_COMMANDS[args.fuzz_command](args)
 
 
+def _cmd_resilience_chaos(args) -> int:
+    import json as _json
+
+    from repro.resilience import chaos_gate, chaos_run
+
+    report = chaos_run(
+        args.seed, substrate=args.substrate, rounds=args.rounds
+    )
+    gate = chaos_gate(report)
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            "chaos seed {} [{}]: {} run(s), {} machine(s) faulted, "
+            "{} quarantined, {} host crash(es), {} unanswered fault(s)".format(
+                report["seed"], report["substrate"], len(report["runs"]),
+                report["machines_faulted"], report["machines_quarantined"],
+                report["host_crashes"], report["unanswered_faults"],
+            )
+        )
+        never = report["machines_never_faulted"]
+        if never:
+            print("never exercised by this workload: " + ", ".join(never))
+    failures = [name for name, ok in sorted(gate.items()) if not ok]
+    if failures:
+        for name in failures:
+            print("GATE FAIL: " + name)
+        return 1
+    print("gate: PASS")
+    return 0
+
+
+def _cmd_resilience_supervise(args) -> int:
+    import json as _json
+    import os as _os
+
+    from repro.resilience import Shard, Supervisor
+
+    specs = args.targets or ["fuzz:{}".format(args.seed)]
+    shards = []
+    for spec in specs:
+        kind, _, rest = spec.partition(":")
+        if kind == "fuzz":
+            seed = int(rest) if rest else args.seed
+            shards.append(Shard(
+                "fuzz-{}".format(seed), "fuzz",
+                {"seed": seed, "rounds": 1, "substrate": args.substrate},
+            ))
+        elif kind == "replay":
+            shards.append(Shard(
+                "replay-{}".format(_os.path.basename(rest)), "replay",
+                {"path": rest},
+            ))
+        else:
+            print("unknown shard spec {!r} (want fuzz:<seed> or "
+                  "replay:<path>)".format(spec))
+            return 2
+    supervisor = Supervisor(
+        timeout=args.timeout, retries=args.retries, seed=args.seed
+    )
+    report = supervisor.run(shards)
+    print(_json.dumps(report.to_json(), indent=2, sort_keys=True))
+    return 0 if report.ok else 1
+
+
+def _cmd_resilience_status(args) -> int:
+    import json as _json
+
+    from repro.resilience import GovernorPolicy, governed_run
+
+    policy = GovernorPolicy(budget=args.budget, window=args.window)
+    report = governed_run(
+        args.seed,
+        substrate=args.substrate,
+        policy=policy,
+        repeats=args.repeats,
+    )
+    print(_json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_resilience(args) -> int:
+    return _RESILIENCE_COMMANDS[args.resilience_command](args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -481,6 +650,13 @@ def build_parser() -> argparse.ArgumentParser:
         "target", help="dacapo/<name>, pyc/<name>, or a JNI micro name"
     )
     record.add_argument("-o", "--output", required=True, help="trace file")
+    record.add_argument(
+        "--journal", help="also append to a crash-safe journal file"
+    )
+    record.add_argument(
+        "--sync-every", type=int, default=64,
+        help="fsync the journal every N records (bounds crash loss)",
+    )
 
     replay = trace_sub.add_parser("replay", help="re-check recorded traces")
     replay.add_argument("paths", nargs="+", help="trace files")
@@ -491,6 +667,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--force",
         action="store_true",
         help="replay despite a registry fingerprint mismatch",
+    )
+    replay.add_argument(
+        "--timeout", type=float, default=None,
+        help="watchdog seconds; a hang exits 124 with a partial JSON result",
+    )
+
+    recover = trace_sub.add_parser(
+        "recover", help="rebuild a replayable trace from a crashed journal"
+    )
+    recover.add_argument("journal", help="journal file from --journal")
+    recover.add_argument(
+        "-o", "--output", default=None,
+        help="recovered trace path (default: <journal>.trace)",
     )
 
     diff = trace_sub.add_parser("diff", help="compare two replays")
@@ -522,6 +711,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_run.add_argument(
         "--json", action="store_true", help="print the canonical report"
     )
+    fuzz_run.add_argument(
+        "--timeout", type=float, default=None,
+        help="watchdog seconds; a hang exits 124 with a partial JSON result",
+    )
 
     fuzz_shrink = fuzz_sub.add_parser(
         "shrink", help="minimize one fault class to its failure slice"
@@ -552,6 +745,56 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_graph.add_argument(
         "--substrate", choices=("jni", "pyc"), default="jni"
     )
+
+    resilience = sub.add_parser(
+        "resilience", help="supervised checking sessions"
+    )
+    res_sub = resilience.add_subparsers(
+        dest="resilience_command", required=True
+    )
+
+    chaos = res_sub.add_parser(
+        "chaos", help="inject internal checker faults; prove containment"
+    )
+    chaos.add_argument("--seed", type=int, default=2026)
+    chaos.add_argument("--rounds", type=int, default=1)
+    chaos.add_argument(
+        "--substrate", choices=("both", "jni", "pyc"), default="both"
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="print the canonical report"
+    )
+
+    supervise = res_sub.add_parser(
+        "supervise", help="run shards in watched child processes"
+    )
+    supervise.add_argument(
+        "targets", nargs="*",
+        help="shard specs: fuzz:<seed> or replay:<trace path>",
+    )
+    supervise.add_argument("--seed", type=int, default=2026)
+    supervise.add_argument("--timeout", type=float, default=60.0)
+    supervise.add_argument("--retries", type=int, default=1)
+    supervise.add_argument(
+        "--substrate", choices=("both", "jni", "pyc"), default="pyc"
+    )
+
+    res_recover = res_sub.add_parser(
+        "recover", help="rebuild a replayable trace from a crashed journal"
+    )
+    res_recover.add_argument("journal", help="journal file from --journal")
+    res_recover.add_argument("-o", "--output", default=None)
+
+    status = res_sub.add_parser(
+        "status", help="run one governed workload; print the governor report"
+    )
+    status.add_argument("--seed", type=int, default=2026)
+    status.add_argument(
+        "--substrate", choices=("jni", "pyc"), default="pyc"
+    )
+    status.add_argument("--budget", type=float, default=0.3)
+    status.add_argument("--window", type=int, default=64)
+    status.add_argument("--repeats", type=int, default=8)
     return parser
 
 
@@ -560,6 +803,15 @@ _TRACE_COMMANDS = {
     "replay": _cmd_trace_replay,
     "diff": _cmd_trace_diff,
     "corpus": _cmd_trace_corpus,
+    "recover": _cmd_trace_recover,
+}
+
+
+_RESILIENCE_COMMANDS = {
+    "chaos": _cmd_resilience_chaos,
+    "supervise": _cmd_resilience_supervise,
+    "recover": _cmd_trace_recover,
+    "status": _cmd_resilience_status,
 }
 
 
@@ -585,6 +837,7 @@ _COMMANDS = {
     "dispatch": _cmd_dispatch,
     "trace": _cmd_trace,
     "fuzz": _cmd_fuzz,
+    "resilience": _cmd_resilience,
 }
 
 

@@ -64,6 +64,8 @@ class RunOutcome:
     #: ``violation.report()`` strings, same order.
     reports: List[str] = field(default_factory=list)
     exception_text: Optional[str] = None
+    #: ``CheckerHealth.report()`` of the run's runtime (containment).
+    health: Optional[dict] = None
 
 
 def split_phases(ops) -> List[List[tuple]]:
@@ -328,7 +330,10 @@ def _define_host(vm) -> None:
     vm.add_field(HOST_CLASS, "LIMIT", "I", is_static=True, is_final=True)
 
 
-def run_jni_ops(ops, *, observer=None, vendor=None) -> RunOutcome:
+def run_jni_ops(
+    ops, *, observer=None, vendor=None, setup=None, containment=None,
+    governor=None,
+) -> RunOutcome:
     """Interpret a JNI op list on a fresh checked VM.
 
     Mirrors :func:`repro.workloads.outcomes.run_scenario` with
@@ -336,6 +341,12 @@ def run_jni_ops(ops, *, observer=None, vendor=None) -> RunOutcome:
     loop needs their ``machine`` attribute, not just the report text).
     Phases after a WORKER_MARKER run in a second native method invoked
     on an attached worker thread.
+
+    ``setup`` (called with the agent once its runtime exists, before
+    any op runs) and ``containment`` (a
+    :class:`~repro.core.runtime.ContainmentPolicy`) are the chaos
+    hooks: the resilience layer uses them to install checker-internal
+    fault injectors on the very runtime the workload will exercise.
     """
     from repro.jinn.agent import JinnAgent
     from repro.jvm import (
@@ -347,8 +358,13 @@ def run_jni_ops(ops, *, observer=None, vendor=None) -> RunOutcome:
         SimulatedCrash,
     )
 
-    agent = JinnAgent(mode="generated", observer=observer)
+    agent = JinnAgent(
+        mode="generated", observer=observer, containment=containment,
+        governor=governor,
+    )
     vm = JavaVM(vendor=vendor if vendor is not None else HOTSPOT, agents=[agent])
+    if setup is not None:
+        setup(agent)
     _define_host(vm)
     ctx = _JniCtx(vm)
     phases = split_phases(ops)
@@ -380,6 +396,7 @@ def run_jni_ops(ops, *, observer=None, vendor=None) -> RunOutcome:
         violations=violations,
         reports=[v.report() for v in violations],
         exception_text=str(caught) if caught is not None else None,
+        health=agent.rt.health.report() if agent.rt is not None else None,
     )
 
 
@@ -484,19 +501,30 @@ _PYC_OPS = {
 }
 
 
-def run_pyc_ops(ops, *, observer=None) -> RunOutcome:
+def run_pyc_ops(
+    ops, *, observer=None, setup=None, containment=None, governor=None
+) -> RunOutcome:
     """Interpret a Python/C op list under a fresh checked interpreter.
 
     Unlike :func:`repro.workloads.pyc_micro.run_pyc_scenario`, the
     termination sweep always runs (a fault that aborts the extension
     must not suppress leak detection — and the replayed sweep will run
     either way, so skipping it live would be a false divergence).
+
+    ``setup``/``containment`` mirror :func:`run_jni_ops`: the chaos
+    hooks through which the resilience layer installs checker-internal
+    fault injectors (``setup`` receives the checker after its runtime
+    exists, before any op runs).
     """
     from repro.fsm.errors import FFIViolation
     from repro.pyc import PyCChecker, PythonInterpreter
 
-    checker = PyCChecker(observer=observer)
+    checker = PyCChecker(
+        observer=observer, containment=containment, governor=governor
+    )
     interp = PythonInterpreter(agents=[checker])
+    if setup is not None:
+        setup(checker)
     ctx = _PycCtx()
 
     def extension(api, self_obj, args):
@@ -532,4 +560,5 @@ def run_pyc_ops(ops, *, observer=None) -> RunOutcome:
         violations=violations,
         reports=[v.report() for v in violations],
         exception_text=str(caught) if caught is not None else None,
+        health=checker.rt.health.report() if checker.rt is not None else None,
     )

@@ -54,6 +54,8 @@ class JinnAgent(JVMTIAgent):
         mode: str = "generated",
         dispatch: str = "index",
         observer=None,
+        containment=None,
+        governor=None,
     ):
         if mode not in _MODES:
             raise ValueError("mode must be one of {}".format(_MODES))
@@ -66,6 +68,11 @@ class JinnAgent(JVMTIAgent):
         #: When None the agent installs untapped wrapper tables — the
         #: recording layer costs nothing unless a recorder is attached.
         self.observer = observer
+        #: Optional :class:`repro.core.runtime.ContainmentPolicy`.
+        self.containment = containment
+        #: Optional :class:`repro.resilience.governor.OverheadGovernor`;
+        #: when set, installed tables route through its metering proxies.
+        self.governor = governor
         self.rt: Optional[JinnRuntime] = None
         self.vm = None
         self._build_wrappers = None
@@ -84,7 +91,7 @@ class JinnAgent(JVMTIAgent):
             # An Error, not a RuntimeException: application handlers for
             # their own exceptions must not swallow Jinn's reports.
             vm.define_class(ASSERTION_FAILURE_CLASS, superclass="java/lang/Error")
-        self.rt = JinnRuntime(vm, self.registry)
+        self.rt = JinnRuntime(vm, self.registry, containment=self.containment)
         if self.observer is not None:
             self.observer.attach_jinn(self.rt, vm)
         if self.mode in ("generated", "interpose"):
@@ -113,6 +120,12 @@ class JinnAgent(JVMTIAgent):
             )
             if self._native_factory is None:
                 self._native_factory = native_factory
+        if self.governor is not None:
+            # Governor inside the observer: a sampled-out call skips its
+            # checks but is still recorded, so traces stay complete.
+            wrappers = self.governor.instrument_table(
+                wrappers, env.function_table()
+            )
         if observer is not None:
             wrappers = observer.instrument_table(wrappers)
         env.install_function_table(wrappers)
@@ -129,6 +142,10 @@ class JinnAgent(JVMTIAgent):
                     self.rt, _raw_stub()
                 )
             wrapped = self._native_factory(method.mangled_name(), impl)
+        if self.governor is not None:
+            wrapped = self.governor.instrument_native(
+                method.mangled_name(), wrapped, impl
+            )
         observer = self.rt.observer
         if observer is not None:
             wrapped = observer.instrument_native(method.mangled_name(), wrapped)
@@ -190,7 +207,12 @@ class JinnAgent(JVMTIAgent):
                 )
                 try:
                     for encoding in pre_encodings:
-                        encoding.on_event(ctx)
+                        try:
+                            encoding.on_event(ctx)
+                        except FFIViolation:
+                            raise
+                        except Exception as exc:
+                            rt.contain(encoding.spec.name, exc, name, "pre")
                 except FFIViolation as v:
                     return rt.fail(env, v, default)
             result = raw_fn(env, *args)
@@ -205,7 +227,12 @@ class JinnAgent(JVMTIAgent):
                 )
                 try:
                     for encoding in post_encodings:
-                        encoding.on_event(ctx)
+                        try:
+                            encoding.on_event(ctx)
+                        except FFIViolation:
+                            raise
+                        except Exception as exc:
+                            rt.contain(encoding.spec.name, exc, name, "post")
                 except FFIViolation as v:
                     rt.fail(env, v)
             return result
@@ -238,7 +265,12 @@ class JinnAgent(JVMTIAgent):
             )
             try:
                 for encoding in pre:
-                    encoding.on_event(ctx)
+                    try:
+                        encoding.on_event(ctx)
+                    except FFIViolation:
+                        raise
+                    except Exception as exc:
+                        rt.contain(encoding.spec.name, exc, method_name, "pre")
             except FFIViolation as v:
                 rt.fail(env, v)
             result = impl(env, this, *args)
@@ -253,7 +285,12 @@ class JinnAgent(JVMTIAgent):
             )
             try:
                 for encoding in post:
-                    encoding.on_event(ctx)
+                    try:
+                        encoding.on_event(ctx)
+                    except FFIViolation:
+                        raise
+                    except Exception as exc:
+                        rt.contain(encoding.spec.name, exc, method_name, "post")
             except FFIViolation as v:
                 rt.fail(env, v)
             return result

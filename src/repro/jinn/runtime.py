@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.runtime import CheckerRuntime, FailurePolicy
+from repro.core.runtime import CheckerRuntime, ContainmentPolicy, FailurePolicy
 from repro.fsm.errors import FFIViolation
 from repro.fsm.registry import SpecRegistry
 
@@ -55,9 +55,16 @@ class JinnRuntime(CheckerRuntime):
     log_prefix = "jinn"
     termination_site = "VM shutdown"
 
-    def __init__(self, vm, registry: SpecRegistry):
+    def __init__(
+        self,
+        vm,
+        registry: SpecRegistry,
+        containment: Optional[ContainmentPolicy] = None,
+    ):
         self.vm = vm
-        super().__init__(vm, registry, PendJavaExceptionPolicy())
+        super().__init__(
+            vm, registry, PendJavaExceptionPolicy(), containment=containment
+        )
 
     def log(self, message: str) -> None:
         self.vm.log(message)

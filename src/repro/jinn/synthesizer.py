@@ -58,7 +58,23 @@ class Synthesizer:
         each site to the source lines the machines contribute there, in
         machine registration order.
         """
-        plan: Dict[str, Dict[Site, List[str]]] = {
+        grouped = self.machine_plan()
+        return {
+            key: {
+                site: [line for _, lines in groups for line in lines]
+                for site, groups in sites.items()
+            }
+            for key, sites in grouped.items()
+        }
+
+    def machine_plan(self) -> Dict[str, Dict[Site, List[tuple]]]:
+        """:meth:`plan` with machine attribution preserved.
+
+        Values map each site to ``(machine name, lines)`` groups in
+        machine registration order — what the code generator needs to
+        emit one containment boundary per contributing machine.
+        """
+        plan: Dict[str, Dict[Site, List[tuple]]] = {
             name: {Site.PRE: [], Site.POST: []} for name in self.function_table
         }
         plan[NATIVE_KEY] = {Site.PRE: [], Site.POST: []}
@@ -83,7 +99,8 @@ class Synthesizer:
                             continue
                         emitted.add(dedup)
                         lines = spec.emit(meta, lt.direction)  # lines 6-9
-                        plan[key][site].extend(lines)
+                        if lines:
+                            plan[key][site].append((spec.name, lines))
         return plan
 
     def dispatch_index(self) -> DispatchIndex:
@@ -107,7 +124,7 @@ class Synthesizer:
         pure interposition, the "Interposing" configuration of Table 3
         that isolates framework overhead from analysis cost.
         """
-        plan = self.plan() if checking else None
+        plan = self.machine_plan() if checking else None
         out: List[str] = [
             '"""Code generated by the Jinn synthesizer (Algorithm 1).',
             "",
@@ -137,8 +154,39 @@ class Synthesizer:
         out.append("")
         return "\n".join(out)
 
+    @staticmethod
+    def _emit_contained_groups(
+        groups: List[tuple], indent: str, function_expr: str, site: str
+    ) -> List[str]:
+        """One containment arm per contributing machine.
+
+        A check raising ``FFIViolation`` is a *detected* bug and
+        propagates to the wrapper's failure policy; anything else is an
+        *internal* checker fault and is routed to ``rt.contain`` so the
+        degradation ladder quarantines only the offending machine while
+        the remaining machines (and the host workload) keep running.
+        """
+        lines: List[str] = []
+        for machine, checks in groups:
+            lines.append(indent + "try:")
+            lines.extend(indent + "    " + check for check in checks)
+            lines.append(indent + "except FFIViolation:")
+            lines.append(indent + "    raise")
+            lines.append(indent + "except Exception as exc:")
+            lines.append(
+                indent
+                + "    rt.contain({!r}, exc, {}, {!r})".format(
+                    machine, function_expr, site
+                )
+            )
+        return lines
+
     def _emit_jni_wrapper(
-        self, name: str, meta: functions.FunctionMeta, pre: List[str], post: List[str]
+        self,
+        name: str,
+        meta: functions.FunctionMeta,
+        pre: List[tuple],
+        post: List[tuple],
     ) -> List[str]:
         default = default_literal(meta.returns)
         lines = [
@@ -148,20 +196,26 @@ class Synthesizer:
         ]
         if pre:
             lines.append("        try:")
-            lines.extend("            " + check for check in pre)
+            lines.extend(
+                self._emit_contained_groups(pre, "            ", repr(name), "pre")
+            )
             lines.append("        except FFIViolation as v:")
             lines.append("            return rt.fail(env, v, {})".format(default))
         lines.append("        result = raw_{}(env, *args)".format(name))
         if post:
             lines.append("        try:")
-            lines.extend("            " + check for check in post)
+            lines.extend(
+                self._emit_contained_groups(post, "            ", repr(name), "post")
+            )
             lines.append("        except FFIViolation as v:")
             lines.append("            rt.fail(env, v)")
         lines.append("        return result")
         lines.append("    wrappers[{!r}] = wrapped_{}".format(name, name))
         return lines
 
-    def _emit_native_factory(self, pre: List[str], post: List[str]) -> List[str]:
+    def _emit_native_factory(
+        self, pre: List[tuple], post: List[tuple]
+    ) -> List[str]:
         lines = [
             "",
             "    def make_native_wrapper(method_name, impl):",
@@ -171,13 +225,21 @@ class Synthesizer:
         ]
         if pre:
             lines.append("            try:")
-            lines.extend("                " + check for check in pre)
+            lines.extend(
+                self._emit_contained_groups(
+                    pre, "                ", "method_name", "pre"
+                )
+            )
             lines.append("            except FFIViolation as v:")
             lines.append("                rt.fail(env, v)")
         lines.append("            result = impl(env, this, *args)")
         if post:
             lines.append("            try:")
-            lines.extend("                " + check for check in post)
+            lines.extend(
+                self._emit_contained_groups(
+                    post, "                ", "method_name", "post"
+                )
+            )
             lines.append("            except FFIViolation as v:")
             lines.append("                rt.fail(env, v)")
         lines.append("            return result")

@@ -21,7 +21,11 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.core.cache import WRAPPER_CACHE
-from repro.core.runtime import CheckerRuntime, RaiseViolationPolicy
+from repro.core.runtime import (
+    CheckerRuntime,
+    ContainmentPolicy,
+    RaiseViolationPolicy,
+)
 from repro.fsm.errors import FFIViolation
 from repro.fsm.registry import SpecRegistry
 from repro.pyc.machines import build_pyc_registry
@@ -34,9 +38,16 @@ class PyCRuntime(CheckerRuntime):
     log_prefix = "pyc-checker"
     termination_site = "interpreter exit"
 
-    def __init__(self, interp, registry: SpecRegistry):
+    def __init__(
+        self,
+        interp,
+        registry: SpecRegistry,
+        containment: Optional[ContainmentPolicy] = None,
+    ):
         self.interp = interp
-        super().__init__(interp, registry, RaiseViolationPolicy())
+        super().__init__(
+            interp, registry, RaiseViolationPolicy(), containment=containment
+        )
 
     def log(self, message: str) -> None:
         self.interp.log(message)
@@ -46,16 +57,24 @@ class PyCChecker:
     """Bind-time interposer handed to :class:`PythonInterpreter`."""
 
     def __init__(
-        self, registry: Optional[SpecRegistry] = None, *, observer=None
+        self,
+        registry: Optional[SpecRegistry] = None,
+        *,
+        observer=None,
+        containment: Optional[ContainmentPolicy] = None,
+        governor=None,
     ):
         self.registry = registry if registry is not None else build_pyc_registry()
+        self.containment = containment
+        #: Optional :class:`repro.resilience.governor.OverheadGovernor`.
+        self.governor = governor
         self.rt: Optional[PyCRuntime] = None
         self._native_factory: Optional[Callable] = None
         #: Optional event-stream observer (a ``repro.trace.TraceRecorder``).
         self.observer = observer
 
     def on_api_created(self, interp, api) -> None:
-        self.rt = PyCRuntime(interp, self.registry)
+        self.rt = PyCRuntime(interp, self.registry, containment=self.containment)
         if self.observer is not None:
             self.observer.attach_pyc(self.rt, interp)
         # Synthesis is deterministic per specification: the shared cache
@@ -65,6 +84,10 @@ class PyCChecker:
             self.registry, function_table=PY_FUNCTIONS
         )
         wrappers, native_factory = build_wrappers(self.rt, api.function_table())
+        if self.governor is not None:
+            wrappers = self.governor.instrument_table(
+                wrappers, api.function_table()
+            )
         observer = self.rt.observer
         if observer is not None:
             wrappers = observer.instrument_table(wrappers)
@@ -73,6 +96,8 @@ class PyCChecker:
 
     def _wrap_extension(self, name: str, impl: Callable) -> Callable:
         wrapped = self._native_factory(name, impl)
+        if self.governor is not None:
+            wrapped = self.governor.instrument_native(name, wrapped, impl)
         observer = self.rt.observer if self.rt is not None else None
         if observer is not None:
             wrapped = observer.instrument_native(name, wrapped)

@@ -141,37 +141,88 @@ def write_trace(path: str, header: Dict[str, object], records) -> int:
     return count
 
 
-def read_trace(path: str) -> Tuple[Dict[str, object], List[list]]:
-    """Read a whole trace into memory: (header, records)."""
+def _parse_batch(batch, is_tail, on_torn) -> List[list]:
+    """Parse a batch of (line_no, line) pairs, torn-tail tolerant.
+
+    The fast path joins the lines into one JSON array.  When that
+    fails the batch is re-parsed line by line to locate the damage: an
+    unparsable *final* line of the file is a torn write — an interpreter
+    died mid-``write`` — and is reported through ``on_torn`` and
+    dropped; an unparsable line with records after it is mid-file
+    corruption and raises :class:`TraceFormatError`.
+    """
+    loads = json.loads
+    try:
+        return loads("[" + ",".join(line for _, line in batch) + "]")
+    except ValueError:
+        out: List[list] = []
+        last = len(batch) - 1
+        for i, (line_no, line) in enumerate(batch):
+            try:
+                out.append(loads(line))
+            except ValueError:
+                if is_tail and i == last:
+                    if on_torn is not None:
+                        on_torn(line_no, line)
+                    return out
+                raise TraceFormatError(
+                    "corrupt trace record at line {}".format(line_no)
+                )
+        return out
+
+
+def read_trace(path: str, *, on_torn=None) -> Tuple[Dict[str, object], List[list]]:
+    """Read a whole trace into memory: (header, records).
+
+    A torn final line (truncated by a crash mid-write) is dropped after
+    notifying ``on_torn(line_no, line)``; corruption anywhere else
+    raises :class:`TraceFormatError`.
+    """
     with open(path) as f:
         first = f.readline()
         if not first:
             raise TraceFormatError("empty trace file: " + path)
         header = parse_header(first)
-        records = [json.loads(line) for line in f if line.strip()]
+        raw = [
+            (line_no, line)
+            for line_no, line in enumerate(f, start=2)
+            if line.strip()
+        ]
+    records = _parse_batch(raw, True, on_torn) if raw else []
     return header, records
 
 
-def iter_batches(path: str, batch_size: int = 4096) -> Iterator[List[list]]:
+def iter_batches(
+    path: str, batch_size: int = 4096, *, on_torn=None
+) -> Iterator[List[list]]:
     """Decode a trace's records in batches (header line skipped).
 
     Each batch is parsed with *one* ``json.loads`` call — the lines are
     joined into a JSON array — so large corpus traces pay C-level parse
     cost per batch, not per line, without holding the whole file.
+    Torn-tail handling matches :func:`read_trace`: the reader keeps a
+    one-line lookahead so only the file's true final line may be
+    forgiven.
     """
     with open(path) as f:
         first = f.readline()
         if not first:
             raise TraceFormatError("empty trace file: " + path)
         parse_header(first)
-        loads = json.loads
-        lines: List[str] = []
-        for line in f:
+        lines: List[Tuple[int, str]] = []
+        held: Optional[Tuple[int, str]] = None
+        for line_no, line in enumerate(f, start=2):
             if not line.strip():
                 continue
-            lines.append(line)
-            if len(lines) >= batch_size:
-                yield loads("[" + ",".join(lines) + "]")
-                lines = []
+            if held is not None:
+                lines.append(held)
+                if len(lines) >= batch_size:
+                    # More lines follow, so this batch cannot hold the
+                    # file's final line: is_tail is False.
+                    yield _parse_batch(lines, False, on_torn)
+                    lines = []
+            held = (line_no, line)
+        if held is not None:
+            lines.append(held)
         if lines:
-            yield loads("[" + ",".join(lines) + "]")
+            yield _parse_batch(lines, True, on_torn)

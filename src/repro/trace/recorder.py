@@ -224,10 +224,67 @@ class _Encoder:
         raise tfmt.TraceFormatError("unknown capture kind " + repr(kind))
 
 
-class TraceRecorder:
-    """Observer that captures the FFI event stream to a trace file."""
+class JournalWriter:
+    """Crash-safe sink: length-prefixed lines, fsync-bounded loss.
 
-    def __init__(self, path: Optional[str] = None, *, workload: Optional[str] = None):
+    Each record is written as ``"<byte_len> <json>\\n"`` — the length
+    prefix lets recovery distinguish a torn final write from a complete
+    record — and the file is flushed + fsynced every ``sync_every``
+    appends, so a SIGKILL loses at most ``sync_every`` records past the
+    last sync.
+    """
+
+    def __init__(self, path: str, sync_every: int = 64):
+        if sync_every < 1:
+            raise ValueError("sync_every must be positive")
+        self.path = path
+        self.sync_every = sync_every
+        self.records_written = 0
+        self._since_sync = 0
+        self._f = open(path, "w")
+
+    def append(self, json_line: str) -> None:
+        self._f.write(
+            "{} {}\n".format(len(json_line.encode("utf-8")), json_line)
+        )
+        self.records_written += 1
+        self._since_sync += 1
+        if self._since_sync >= self.sync_every:
+            self.sync()
+
+    def sync(self) -> None:
+        import os
+
+        self._f.flush()
+        os.fsync(self._f.fileno())
+        self._since_sync = 0
+
+    def close(self) -> None:
+        if not self._f.closed:
+            self.sync()
+            self._f.close()
+
+
+class TraceRecorder:
+    """Observer that captures the FFI event stream to a trace file.
+
+    With ``journal_path`` set, recording is crash-safe: captured
+    records are encoded incrementally and appended to a
+    :class:`JournalWriter` every ``sync_every`` records, so an
+    interpreter killed mid-run leaves a journal recoverable up to the
+    last complete record (``repro trace recover``).  The recorder also
+    registers an atexit hook (and, in journal mode, a SIGTERM handler)
+    that flushes buffered captures on abnormal exit.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        workload: Optional[str] = None,
+        journal_path: Optional[str] = None,
+        sync_every: int = 64,
+    ):
         self.path = path
         self.workload = workload
         self._records: List[tuple] = []
@@ -244,6 +301,20 @@ class TraceRecorder:
         #: Number of event records captured (calls + returns).
         self.event_count = 0
         self._gc_threshold = None
+        # -- incremental encoding state (journal mode flushes early;
+        # the plain path runs the same code once, at close) -------------
+        self._enc: Optional[_Encoder] = None
+        self._encoded_lines: List[str] = []
+        self._encoded_upto = 0
+        self._emitted_classes = 0
+        self._pending_class_objects: List[object] = []
+        # -- crash safety -----------------------------------------------
+        self.sync_every = sync_every
+        self._journal: Optional[JournalWriter] = None
+        if journal_path is not None:
+            self._journal = JournalWriter(journal_path, sync_every)
+        self._atexit_registered = False
+        self._prev_sigterm = None
 
     # -- attachment ------------------------------------------------------
 
@@ -270,6 +341,101 @@ class TraceRecorder:
 
         self._gc_threshold = gc.get_threshold()
         gc.set_threshold(100000, self._gc_threshold[1], self._gc_threshold[2])
+        if self._journal is not None:
+            # The journal opens with the header so a recovered prefix is
+            # a complete, pinned trace on its own.
+            self._journal.append(tfmt.dump_record(self.header()))
+            self._journal.sync()
+        if self._journal is not None or self.path is not None:
+            self._register_crash_hooks()
+
+    # -- crash safety ----------------------------------------------------
+
+    def _register_crash_hooks(self) -> None:
+        import atexit
+
+        if not self._atexit_registered:
+            atexit.register(self._emergency_flush)
+            self._atexit_registered = True
+        if self._journal is not None and self._prev_sigterm is None:
+            import signal
+
+            try:
+                prev = signal.getsignal(signal.SIGTERM)
+
+                def _on_sigterm(signum, frame):
+                    self._emergency_flush()
+                    restore = (
+                        prev
+                        if prev not in (None, _on_sigterm)
+                        else signal.SIG_DFL
+                    )
+                    signal.signal(signum, restore)
+                    import os
+
+                    os.kill(os.getpid(), signum)
+
+                signal.signal(signal.SIGTERM, _on_sigterm)
+                self._prev_sigterm = prev
+            except ValueError:
+                # Not the main thread: atexit still covers clean exits.
+                pass
+
+    def _unregister_crash_hooks(self) -> None:
+        if self._atexit_registered:
+            import atexit
+
+            atexit.unregister(self._emergency_flush)
+            self._atexit_registered = False
+        if self._prev_sigterm is not None:
+            import signal
+
+            try:
+                signal.signal(signal.SIGTERM, self._prev_sigterm)
+            except ValueError:
+                pass
+            self._prev_sigterm = None
+
+    def _emergency_flush(self) -> None:
+        """Best-effort flush on abnormal exit (atexit / SIGTERM).
+
+        Journal mode appends and fsyncs every buffered record (no
+        end-of-trace marker — the run did not terminate cleanly); plain
+        mode falls back to a full close so a configured ``path`` is
+        still written.
+        """
+        if self._closed:
+            return
+        if self._journal is not None:
+            try:
+                self._flush_journal()
+                self._journal.sync()
+            except Exception:
+                pass
+        elif self.path is not None:
+            try:
+                self.close()
+            except Exception:
+                pass
+
+    def _journal_tick(self) -> None:
+        if len(self._records) - self._encoded_upto >= self.sync_every:
+            self._flush_journal()
+
+    def _flush_journal(self) -> None:
+        """Encode captured-but-unencoded records into the journal."""
+        journal = self._journal
+        if journal is None:
+            return
+        pending = self._records[self._encoded_upto :]
+        if not pending:
+            return
+        self._encoded_upto = len(self._records)
+        for record in self._encode_slice(pending):
+            line = tfmt.dump_record(record)
+            self._encoded_lines.append(line)
+            journal.append(line)
+        journal.sync()
 
     # -- the tap ---------------------------------------------------------
 
@@ -302,6 +468,9 @@ class TraceRecorder:
         classes = host.classes  # mutated in place, never rebound
         snappers_get = _SNAPPERS.get
         snap = _snap
+        # Journal mode pays one None-check per record; the plain path
+        # binds None and skips even that branch body.
+        jtick = self._journal_tick if self._journal is not None else None
 
         def recording_entry(env, *args):
             thread = host.current_thread
@@ -323,6 +492,8 @@ class TraceRecorder:
                     snaps_append(s(a) if s is not None else snap(a))
             seq_cell[0] = seq = seq_cell[0] + 1
             records_append(("c", seq, name, native, ctx, snaps))
+            if jtick is not None:
+                jtick()
             # If the inner wrapper raises (a propagating Java exception),
             # the live post-checks did not run either: leave the call
             # record unmatched and let the replay engine skip the return
@@ -353,6 +524,8 @@ class TraceRecorder:
                 rsnap = s(result) if s is not None else snap(result)
             seq_cell[0] = seq2 = seq_cell[0] + 1
             records_append(("r", seq2, seq, name, native, ctx, snaps, rsnap))
+            if jtick is not None:
+                jtick()
             return result
 
         return recording_entry
@@ -363,6 +536,7 @@ class TraceRecorder:
         interp = self._host
         snappers_get = _SNAPPERS.get
         snap = _snap
+        jtick = self._journal_tick if self._journal is not None else None
 
         def recording_entry(env, *args):
             exc = interp.exc_info
@@ -382,6 +556,8 @@ class TraceRecorder:
                     snaps_append(s(a) if s is not None else snap(a))
             seq_cell[0] = seq = seq_cell[0] + 1
             records_append(("c", seq, name, native, ctx, snaps))
+            if jtick is not None:
+                jtick()
             # A raised pyc violation aborts the extension: the call
             # record stays unmatched, mirroring the skipped post-checks.
             result = fn(env, *args)
@@ -408,6 +584,8 @@ class TraceRecorder:
                 rsnap = s(result) if s is not None else snap(result)
             seq_cell[0] = seq2 = seq_cell[0] + 1
             records_append(("r", seq2, seq, name, native, ctx, snaps, rsnap))
+            if jtick is not None:
+                jtick()
             return result
 
         return recording_entry
@@ -418,10 +596,16 @@ class TraceRecorder:
         self._records.append(
             ("t", thread.thread_id, thread.name, id(thread.env))
         )
+        if self._journal is not None:
+            self._journal_tick()
 
     def on_violation(self, violation) -> None:
         """Called by ``CheckerRuntime.fail`` — metadata, not replayed."""
         self._records.append(("v", violation.report()))
+        if self._journal is not None:
+            # Violations are the evidence a crashed run most needs to
+            # keep: flush eagerly, not on the count boundary.
+            self._flush_journal()
 
     def on_termination(self) -> None:
         """Mark host death.
@@ -472,11 +656,14 @@ class TraceRecorder:
         """Encode the captured stream; returns the event-record count.
 
         Writes the trace to ``self.path`` when one was given; the
-        encoded lines stay on ``self.lines`` either way.
+        encoded lines stay on ``self.lines`` either way.  In journal
+        mode the already-flushed prefix is reused — only the tail is
+        encoded here — and the journal is synced and closed.
         """
         if self._closed:
             return self.event_count
         self._closed = True
+        self._unregister_crash_hooks()
         if self._gc_threshold is not None:
             import gc
 
@@ -484,10 +671,17 @@ class TraceRecorder:
             self._gc_threshold = None
         if self._terminated:
             self._records.append(self._sync_record())
-        records = self._encode()
-        self.event_count = sum(1 for r in records if r[0] in ("c", "r"))
+        pending = self._records[self._encoded_upto :]
+        self._encoded_upto = len(self._records)
+        for record in self._encode_slice(pending):
+            line = tfmt.dump_record(record)
+            self._encoded_lines.append(line)
+            if self._journal is not None:
+                self._journal.append(line)
+        if self._journal is not None:
+            self._journal.close()
         lines = [tfmt.dump_record(self.header())]
-        lines.extend(tfmt.dump_record(record) for record in records)
+        lines.extend(self._encoded_lines)
         self.lines = lines
         if self.path is not None:
             with open(self.path, "w") as f:
@@ -495,25 +689,37 @@ class TraceRecorder:
                 f.write("\n")
         return self.event_count
 
-    def _encode(self) -> List[list]:
-        class_list: List = []
-        class_object_names: Dict[int, str] = {}
-        if self._substrate == "jni":
-            class_list = list(self._host.classes.values())
-            for jclass in class_list:
-                if jclass.class_object is not None:
-                    class_object_names[id(jclass.class_object)] = jclass.name
-        encoder = _Encoder(class_object_names)
+    def _encode_slice(self, records: List[tuple]) -> List[list]:
+        """Encode a run of captured records, advancing shared state.
+
+        Captures carry their event-time mutable state inside the tuple,
+        so encoding a slice mid-run produces exactly the lines a single
+        close-time encode would — the property journal recovery leans
+        on.  Class ("k") records are the one exception: they are read
+        from the live class at flush time, so a journal flushed early
+        may record fewer members than a close-time encode; the replay
+        decoder resolves late members on demand either way.
+        """
+        if self._enc is None:
+            self._enc = _Encoder({})
+        encoder = self._enc
+        names = encoder._class_object_names
+        class_list: List = (
+            list(self._host.classes.values())
+            if self._substrate == "jni"
+            else []
+        )
         out: List[list] = []
-        emitted_classes = 0
-        for record in self._records:
+        for record in records:
             kind = record[0]
             if kind in ("c", "r"):
                 ctx = record[4] if kind == "c" else record[5]
                 epoch = ctx[3] if self._substrate == "jni" else 0
-                while emitted_classes < min(epoch, len(class_list)):
-                    out.append(self._class_record(class_list[emitted_classes]))
-                    emitted_classes += 1
+                while self._emitted_classes < min(epoch, len(class_list)):
+                    out.append(self._emit_class(class_list, names))
+                if self._pending_class_objects:
+                    self._resolve_class_objects(names)
+                self.event_count += 1
             if kind == "c":
                 _, seq, name, native, ctx, args = record
                 out.append(
@@ -543,13 +749,34 @@ class TraceRecorder:
             elif kind == "e":
                 # Classes defined after the last event still matter to
                 # the sweep (and to late snapshots): flush the rest.
-                while emitted_classes < len(class_list):
-                    out.append(self._class_record(class_list[emitted_classes]))
-                    emitted_classes += 1
+                while self._emitted_classes < len(class_list):
+                    out.append(self._emit_class(class_list, names))
+                if self._pending_class_objects:
+                    self._resolve_class_objects(names)
                 out.append(["e", [encoder.encode(c) for c in record[1]]])
             else:  # "t", "v"
                 out.append(list(record))
         return out
+
+    def _emit_class(self, class_list: List, names: Dict[int, str]) -> list:
+        jclass = class_list[self._emitted_classes]
+        self._emitted_classes += 1
+        if jclass.class_object is not None:
+            names[id(jclass.class_object)] = jclass.name
+        else:
+            # Class objects can materialize after the class: resolve
+            # lazily so later snapshots still intern them by name.
+            self._pending_class_objects.append(jclass)
+        return self._class_record(jclass)
+
+    def _resolve_class_objects(self, names: Dict[int, str]) -> None:
+        still_pending = []
+        for jclass in self._pending_class_objects:
+            if jclass.class_object is not None:
+                names[id(jclass.class_object)] = jclass.name
+            else:
+                still_pending.append(jclass)
+        self._pending_class_objects = still_pending
 
     def _encode_ctx(self, ctx) -> list:
         if self._substrate == "jni":

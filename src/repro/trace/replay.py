@@ -564,7 +564,12 @@ class _ReplayEngine:
             context = EventContext(call_event, env, thread, jargs, {}, None, meta)
             try:
                 for encoding in pre:
-                    encoding.on_event(context)
+                    try:
+                        encoding.on_event(context)
+                    except FFIViolation:
+                        raise
+                    except Exception as exc:
+                        self.rt.contain(encoding.spec.name, exc, name, "pre")
             except FFIViolation as v:
                 self.rt.fail(env, v, default)
                 if not native:
@@ -591,7 +596,12 @@ class _ReplayEngine:
             context = EventContext(ret_event, env, thread, jargs, {}, jresult, meta)
             try:
                 for encoding in post:
-                    encoding.on_event(context)
+                    try:
+                        encoding.on_event(context)
+                    except FFIViolation:
+                        raise
+                    except Exception as exc:
+                        self.rt.contain(encoding.spec.name, exc, name, "post")
             except FFIViolation as v:
                 self.rt.fail(env, v)
             self._collect(seq)
@@ -629,6 +639,7 @@ class _ReplayEngine:
         enter = self._enter
         result = self.result
         fail = self.rt.fail
+        contain = self.rt.contain
         violations = self.rt.violations  # stable list: cleared in place
         handlers = self._handlers
         skip_post = self._skip_post
@@ -657,7 +668,12 @@ class _ReplayEngine:
                 )
                 try:
                     for encoding in pre:
-                        encoding.on_event(context)
+                        try:
+                            encoding.on_event(context)
+                        except FFIViolation:
+                            raise
+                        except Exception as exc:
+                            contain(encoding.spec.name, exc, name, "pre")
                 except FFIViolation as v:
                     fail(env, v, default)
                     if not native:
@@ -685,7 +701,12 @@ class _ReplayEngine:
                 )
                 try:
                     for encoding in post:
-                        encoding.on_event(context)
+                        try:
+                            encoding.on_event(context)
+                        except FFIViolation:
+                            raise
+                        except Exception as exc:
+                            contain(encoding.spec.name, exc, name, "post")
                 except FFIViolation as v:
                     fail(env, v)
                 if len(violations) > self._seen_violations:
@@ -741,11 +762,26 @@ def replay_path(
     shard: Optional[Tuple[int, int]] = None,
     batch_size: int = 4096,
 ) -> ReplayResult:
-    """Replay one trace file with batched decode."""
+    """Replay one trace file with batched decode.
+
+    A torn final line — the signature of a recorder killed mid-write —
+    is logged as a warning and replay stops at the last complete
+    record; corruption anywhere before the tail stays a hard
+    :class:`repro.trace.format.TraceFormatError`.
+    """
     with open(path) as f:
         header = tfmt.parse_header(f.readline())
     engine = _ReplayEngine(header, registry, force=force, shard=shard)
-    for batch in tfmt.iter_batches(path, batch_size):
+
+    def on_torn(line_no: int, line: str) -> None:
+        engine.rt.log(
+            "warning: torn final record at line {} ({} bytes) dropped; "
+            "replaying the complete prefix".format(
+                line_no, len(line.encode("utf-8"))
+            )
+        )
+
+    for batch in tfmt.iter_batches(path, batch_size, on_torn=on_torn):
         engine.run(batch)
     return engine.finish()
 

@@ -7,7 +7,13 @@ without exercising it here fails the suite (the ``_COMMANDS`` /
 
 import pytest
 
-from repro.cli import _COMMANDS, _FUZZ_COMMANDS, _TRACE_COMMANDS, main
+from repro.cli import (
+    _COMMANDS,
+    _FUZZ_COMMANDS,
+    _RESILIENCE_COMMANDS,
+    _TRACE_COMMANDS,
+    main,
+)
 
 
 @pytest.fixture(scope="module")
@@ -112,6 +118,30 @@ class TestTraceSubcommands:
         ) == 0
         assert "recorded" in capsys.readouterr().out
 
+    def test_record_with_journal_then_recover(self, tmp_path, capsys):
+        trace = str(tmp_path / "j.trace")
+        journal = str(tmp_path / "j.journal")
+        assert main(
+            ["trace", "record", "pyc/DanglingBorrow", "-o", trace,
+             "--journal", journal, "--sync-every", "4"]
+        ) == 0
+        assert "journal" in capsys.readouterr().out
+        recovered = str(tmp_path / "rec.trace")
+        assert main(["trace", "recover", journal, "-o", recovered]) == 0
+        assert '"recovered_records"' in capsys.readouterr().out
+        assert main(["trace", "replay", recovered]) == 0
+        assert "replayed" in capsys.readouterr().out
+
+    def test_replay_with_timeout_completes(self, trace_dir, capsys):
+        # The recorded pyc trace carries a violation, so the shard
+        # classifies as "violation" — still a completed run (exit 0);
+        # only hang (124) and crash (1) are nonzero here.
+        path = str(trace_dir / "pyc.trace")
+        assert main(["trace", "replay", path, "--timeout", "120"]) == 0
+        printed = capsys.readouterr().out
+        assert '"classification": "violation"' in printed
+        assert '"partial": false' in printed
+
 
 class TestFuzzSubcommands:
     def test_run_smoke_gate_passes(self, capsys):
@@ -159,16 +189,73 @@ class TestFuzzSubcommands:
         assert main(["fuzz", "graph", "--substrate", "pyc"]) == 0
         assert "owned_ref" in capsys.readouterr().out
 
+    def test_run_with_timeout_completes(self, capsys):
+        assert main(
+            ["fuzz", "run", "--smoke", "--substrate", "pyc",
+             "--seed", "3", "--timeout", "120"]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert '"classification": "clean"' in printed
+        assert '"partial": false' in printed
+
+
+class TestResilienceSubcommands:
+    def test_chaos_gate_passes(self, capsys):
+        assert main(
+            ["resilience", "chaos", "--seed", "3", "--substrate", "pyc"]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "gate: PASS" in printed
+        assert "quarantined" in printed
+
+    def test_supervise_fuzz_shard(self, capsys):
+        assert main(
+            ["resilience", "supervise", "fuzz:3", "--substrate", "pyc",
+             "--timeout", "120"]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert '"ok": true' in printed
+        assert '"clean": 1' in printed
+
+    def test_supervise_rejects_unknown_spec(self, capsys):
+        assert main(["resilience", "supervise", "bogus:thing"]) == 2
+
+    def test_recover_alias(self, tmp_path, capsys):
+        trace = str(tmp_path / "j.trace")
+        journal = str(tmp_path / "j.journal")
+        assert main(
+            ["trace", "record", "pyc/DanglingBorrow", "-o", trace,
+             "--journal", journal]
+        ) == 0
+        capsys.readouterr()
+        assert main(["resilience", "recover", journal]) == 0
+        assert '"recovered_records"' in capsys.readouterr().out
+
+    def test_status_governed_run(self, capsys):
+        assert main(
+            ["resilience", "status", "--seed", "5", "--substrate", "pyc",
+             "--repeats", "2"]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert '"governor"' in printed
+        assert '"budget"' in printed
+
 
 class TestCommandSurfaceIsCovered:
     def test_every_top_level_command_is_smoked(self):
-        smoked = {argv[0] for argv in SIMPLE_COMMANDS} | {"trace", "fuzz"}
+        smoked = {argv[0] for argv in SIMPLE_COMMANDS} | {
+            "trace", "fuzz", "resilience",
+        }
         assert smoked == set(_COMMANDS)
 
     def test_every_trace_subcommand_is_smoked(self):
-        smoked = {"record", "replay", "diff", "corpus"}
+        smoked = {"record", "replay", "diff", "corpus", "recover"}
         assert smoked == set(_TRACE_COMMANDS)
 
     def test_every_fuzz_subcommand_is_smoked(self):
         smoked = {"run", "shrink", "corpus", "faults", "graph"}
         assert smoked == set(_FUZZ_COMMANDS)
+
+    def test_every_resilience_subcommand_is_smoked(self):
+        smoked = {"chaos", "supervise", "recover", "status"}
+        assert smoked == set(_RESILIENCE_COMMANDS)

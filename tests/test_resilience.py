@@ -1,0 +1,420 @@
+"""Supervised checking sessions: containment, chaos, supervisor, governor.
+
+The containment tests drive *real* checked runs (the fuzz op
+interpreters with chaos injectors installed through the ``setup``
+hook), so the degradation ladder is exercised exactly where production
+wrappers call it — not against mocks.
+"""
+
+import json
+
+import pytest
+
+from repro.core.runtime import (
+    LEVEL_FULL,
+    LEVEL_OFF,
+    LEVEL_QUARANTINE,
+    LEVEL_SAMPLING,
+    CheckerHealth,
+    ContainmentPolicy,
+)
+from repro.fuzz.engine import task_rng
+from repro.fuzz.faults import fault_by_name
+from repro.fuzz.gen import generate_sequence
+from repro.fuzz.ops import run_jni_ops, run_pyc_ops
+from repro.resilience import (
+    CLEAN,
+    CRASH,
+    HANG,
+    VIOLATION,
+    GovernorPolicy,
+    InternalFaultInjector,
+    OverheadGovernor,
+    Shard,
+    Supervisor,
+    backoff_delay,
+    chaos_gate,
+    chaos_run,
+    governed_run,
+    injector_plan,
+)
+
+
+def _pyc_sequence(seed=5):
+    return generate_sequence(task_rng(seed, "test-resilience", "pyc"), "pyc")
+
+
+def _faulty_pyc_sequence(seed=5, fault="over_decref"):
+    sequence = _pyc_sequence(seed)
+    return fault_by_name(fault).inject(
+        task_rng(seed, "test-resilience-fault"), sequence
+    )
+
+
+# ----------------------------------------------------------------------
+# The degradation ladder
+# ----------------------------------------------------------------------
+
+
+class TestDegradationLadder:
+    def test_health_walks_full_ladder(self):
+        policy = ContainmentPolicy(
+            quarantine_after=2, sampling_after=3, off_after=5
+        )
+        health = CheckerHealth(policy)
+        err = RuntimeError("boom")
+        assert health.record("m1", err, "f", "pre") == []
+        assert health.level == LEVEL_FULL
+        assert health.record("m1", err, "f", "pre") == ["quarantine"]
+        assert health.level == LEVEL_QUARANTINE
+        assert health.quarantined == ["m1"]
+        assert health.record("m2", err, "g", "post") == ["sampling"]
+        assert health.level == LEVEL_SAMPLING
+        health.record("m2", err, "g", "post")
+        assert health.record("m3", err, "h", "pre") == ["off"]
+        assert health.level == LEVEL_OFF
+
+    def test_quarantined_machine_stops_firing(self):
+        injector = InternalFaultInjector("owned_ref", RuntimeError, start=1)
+        sequence = _pyc_sequence()
+        outcome = run_pyc_ops(
+            list(sequence.ops),
+            setup=injector.install_on_agent,
+            containment=ContainmentPolicy(quarantine_after=1),
+        )
+        assert outcome.outcome in ("completed", "violation")
+        assert injector.fired >= 1
+        health = outcome.health
+        assert "owned_ref" in health["quarantine_order"]
+        # After quarantine the runtime dispatches to the inert stand-in,
+        # so the injector sees no further calls: the single recorded
+        # fault is the one that triggered quarantine.
+        assert health["machines"]["owned_ref"]["faults"] == 1
+        assert injector.fired == 1
+
+    def test_surviving_machines_still_detect_faults(self):
+        # Quarantine borrowed_ref by chaos while the workload carries a
+        # real over_decref fault: owned_ref must still catch it.
+        injector = InternalFaultInjector("borrowed_ref", KeyError, start=1)
+        sequence = _faulty_pyc_sequence(fault="over_decref")
+        outcome = run_pyc_ops(
+            list(sequence.ops),
+            setup=injector.install_on_agent,
+            containment=ContainmentPolicy(quarantine_after=1),
+        )
+        assert outcome.outcome in ("completed", "violation")
+        machines = {v.machine for v in outcome.violations}
+        assert "owned_ref" in machines
+        if injector.fired:
+            assert "borrowed_ref" in outcome.health["quarantine_order"]
+
+    def test_containment_disabled_propagates(self):
+        injector = InternalFaultInjector("owned_ref", ZeroDivisionError, start=1)
+        sequence = _pyc_sequence()
+        outcome = run_pyc_ops(
+            list(sequence.ops),
+            setup=injector.install_on_agent,
+            containment=ContainmentPolicy(enabled=False),
+        )
+        # The internal error escapes the checker and aborts the host
+        # run: exactly what containment exists to prevent.
+        assert outcome.outcome not in ("completed", "violation")
+
+    def test_termination_diagnostics_deterministic(self):
+        def one_run():
+            injector = InternalFaultInjector(
+                "owned_ref", RuntimeError, start=1
+            )
+            sequence = _pyc_sequence()
+            return run_pyc_ops(
+                list(sequence.ops),
+                setup=injector.install_on_agent,
+                containment=ContainmentPolicy(quarantine_after=1),
+            )
+
+        first, second = one_run(), one_run()
+        assert first.health == second.health
+        assert json.dumps(first.health, sort_keys=True) == json.dumps(
+            second.health, sort_keys=True
+        )
+
+    def test_jni_containment_too(self):
+        injector = InternalFaultInjector("local_ref", TypeError, start=1)
+        sequence = generate_sequence(
+            task_rng(5, "test-resilience", "jni"), "jni"
+        )
+        outcome = run_jni_ops(
+            list(sequence.ops),
+            setup=injector.install_on_agent,
+            containment=ContainmentPolicy(quarantine_after=1),
+        )
+        assert outcome.outcome in ("completed", "violation")
+        if injector.fired:
+            assert "local_ref" in outcome.health["quarantine_order"]
+
+    def test_violation_is_never_contained(self):
+        # A detected violation raised inside a check arm must propagate
+        # as a violation, not be swallowed as an internal fault.
+        sequence = _faulty_pyc_sequence(fault="over_decref")
+        outcome = run_pyc_ops(
+            list(sequence.ops),
+            containment=ContainmentPolicy(quarantine_after=1),
+        )
+        assert outcome.reports
+        assert outcome.health["total_faults"] == 0
+
+
+# ----------------------------------------------------------------------
+# Chaos
+# ----------------------------------------------------------------------
+
+
+class TestChaos:
+    def test_chaos_run_contains_every_fault(self):
+        report = chaos_run(3, substrate="pyc", rounds=1)
+        gate = chaos_gate(report)
+        assert gate == {
+            "no_host_crashes": True,
+            "all_faults_answered": True,
+            "faults_landed": True,
+        }
+        assert report["machines_quarantined"] >= 1
+
+    def test_chaos_run_deterministic(self):
+        first = chaos_run(7, substrate="pyc", rounds=1)
+        second = chaos_run(7, substrate="pyc", rounds=1)
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_injector_plan_is_seeded(self):
+        a = [
+            (i.machine, i.error_type, i.start)
+            for i in (injector_plan(9, m) for m in ("owned_ref", "gil_state"))
+        ]
+        b = [
+            (i.machine, i.error_type, i.start)
+            for i in (injector_plan(9, m) for m in ("owned_ref", "gil_state"))
+        ]
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+# The supervisor
+# ----------------------------------------------------------------------
+
+
+class TestSupervisor:
+    def test_clean_shard(self):
+        sup = Supervisor(timeout=120.0, retries=0)
+        result = sup.run_shard(Shard("ok", "fuzz", {
+            "seed": 3, "rounds": 1, "substrate": "pyc",
+        }))
+        assert result.classification == CLEAN
+        assert result.attempts == 1
+        assert result.payload["totals"]["runs"] > 0
+
+    def test_crash_shard_classified_by_signal(self):
+        sup = Supervisor(timeout=30.0, retries=0)
+        result = sup.run_shard(Shard("dead", "crash", {}))
+        assert result.classification == CRASH
+        assert "signal 9" in result.detail
+
+    def test_raising_body_is_a_crash_with_detail(self):
+        sup = Supervisor(timeout=30.0, retries=0)
+        result = sup.run_shard(Shard("boom", "raise", {"message": "nope"}))
+        assert result.classification == CRASH
+        assert "RuntimeError: nope" in result.detail
+
+    def test_hang_shard_killed_by_watchdog(self):
+        sup = Supervisor(timeout=0.5, retries=0)
+        result = sup.run_shard(Shard("stuck", "hang", {"seconds": 60}))
+        assert result.classification == HANG
+        assert "watchdog" in result.detail
+
+    def test_retries_with_deterministic_backoff(self):
+        sup = Supervisor(
+            timeout=30.0, retries=2, backoff_base=0.01, backoff_cap=0.05,
+            seed=42,
+        )
+        result = sup.run_shard(Shard("dead", "crash", {}))
+        assert result.classification == CRASH
+        assert result.attempts == 3
+        expected = [
+            backoff_delay(42, "dead", attempt, base=0.01, cap=0.05)
+            for attempt in range(2)
+        ]
+        assert result.backoffs == expected
+
+    def test_incident_report_merges_and_redacts_timing(self):
+        sup = Supervisor(timeout=0.5, retries=0)
+        report = sup.run(
+            [
+                Shard("dead", "crash", {}),
+                Shard("stuck", "hang", {"seconds": 60}),
+            ]
+        )
+        assert report.counts[CRASH] == 1
+        assert report.counts[HANG] == 1
+        assert not report.ok
+        body = json.dumps(report.to_json())
+        assert "seconds" not in body
+
+    def test_backoff_delay_deterministic_and_capped(self):
+        a = backoff_delay(1, "s", 4, base=0.05, cap=0.2)
+        b = backoff_delay(1, "s", 4, base=0.05, cap=0.2)
+        assert a == b
+        assert a <= 0.2 * 1.25
+
+
+# ----------------------------------------------------------------------
+# The governor
+# ----------------------------------------------------------------------
+
+
+def _fake_clock(advance):
+    """A deterministic clock: each read advances by ``advance[0]``."""
+    cell = [0]
+
+    def clock():
+        cell[0] += advance[0]
+        return cell[0]
+
+    return clock
+
+
+class TestGovernor:
+    def _governed(self, policy=None):
+        gov = OverheadGovernor(policy or GovernorPolicy(
+            budget=0.3, window=16, sample_period=4, max_period=16, hot_min=8
+        ))
+        advance = [1]
+        gov._clock = _fake_clock(advance)
+        return gov, advance
+
+    def test_hot_expensive_pair_degrades(self):
+        gov, advance = self._governed()
+        checked_calls = [0]
+
+        def checked(env, *args):
+            checked_calls[0] += 1
+            advance[0] = 1000  # expensive checking
+            return "ok"
+
+        def raw(env, *args):
+            advance[0] = 1  # cheap raw call
+            return "ok"
+
+        table = gov.instrument_table({"fn": checked}, {"fn": raw})
+        for _ in range(200):
+            table["fn"](None)
+        state = gov.pairs["fn"]
+        assert state.period > 1
+        assert state.total_sampled_out > 0
+        assert "fn" in gov.degraded_pairs()
+
+    def test_cold_pair_never_degrades(self):
+        gov, advance = self._governed()
+
+        def expensive(env):
+            advance[0] = 5000
+            return "ok"
+
+        def hot_checked(env):
+            advance[0] = 1000
+            return "ok"
+
+        def raw(env):
+            advance[0] = 1
+            return "ok"
+
+        table = gov.instrument_table(
+            {"cold": expensive, "hot": hot_checked},
+            {"cold": raw, "hot": raw},
+        )
+        for i in range(400):
+            table["hot"](None)
+            if i % 100 == 0:  # 4 calls total: far below hot_min
+                table["cold"](None)
+        assert gov.pairs["cold"].period == 1
+        assert gov.pairs["cold"].total_sampled_out == 0
+
+    def test_sampled_in_calls_run_the_real_wrapper(self):
+        gov, advance = self._governed()
+        checked_calls = [0]
+
+        def checked(env):
+            checked_calls[0] += 1
+            advance[0] = 1000
+            return "checked"
+
+        def raw(env):
+            advance[0] = 1
+            return "raw"
+
+        table = gov.instrument_table({"fn": checked}, {"fn": raw})
+        results = [table["fn"](None) for _ in range(300)]
+        state = gov.pairs["fn"]
+        assert state.period > 1
+        # Sampled-in calls returned the checked wrapper's result — the
+        # governor swaps nothing, it only skips — and the accounting is
+        # exact: every non-sampled-out call went through the wrapper.
+        assert "checked" in results
+        assert checked_calls[0] == state.total_calls - state.total_sampled_out
+        assert state.total_calls == 300
+
+    def test_restore_when_load_drops(self):
+        gov, advance = self._governed()
+
+        def checked(env):
+            advance[0] = checked_cost[0]
+            return "ok"
+
+        def raw(env):
+            advance[0] = 1
+            return "ok"
+
+        checked_cost = [1000]
+        table = gov.instrument_table({"fn": checked}, {"fn": raw})
+        for _ in range(200):
+            table["fn"](None)
+        degraded_period = gov.pairs["fn"].period
+        assert degraded_period > 1
+        checked_cost[0] = 1  # checking is now as cheap as raw
+        for _ in range(400):
+            table["fn"](None)
+        assert gov.pairs["fn"].period < degraded_period
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            GovernorPolicy(budget=1.5)
+        with pytest.raises(ValueError):
+            GovernorPolicy(window=2)
+        with pytest.raises(ValueError):
+            GovernorPolicy(sample_period=1)
+
+    def test_report_shape(self):
+        gov, _ = self._governed()
+        table = gov.instrument_table(
+            {"fn": lambda env: None}, {"fn": lambda env: None}
+        )
+        table["fn"](None)
+        report = gov.report()
+        assert set(report) == {
+            "budget", "window", "rebalances", "share", "degraded", "pairs",
+        }
+        assert report["pairs"]["fn"]["calls"] == 1
+
+    def test_governed_run_integration(self):
+        report = governed_run(
+            5,
+            substrate="pyc",
+            policy=GovernorPolicy(budget=0.3, window=32, hot_min=8),
+            repeats=4,
+        )
+        assert report["outcome"] in ("completed", "violation")
+        assert report["governor"]["pairs"]
+        # Every call the governor saw ran under either the checked
+        # wrapper or the timed raw path; nothing is dropped.
+        for stats in report["governor"]["pairs"].values():
+            assert stats["calls"] >= stats["sampled_out"]
