@@ -30,6 +30,8 @@ import json
 import os
 import time
 
+from benchmarks.conftest import write_bench_json
+
 QUICK_SEED = 2026
 QUICK_ROUNDS = 2
 
@@ -111,9 +113,7 @@ def run_fuzz_quick(out_path: str) -> dict:
         "shrink_fixpoint_ok": fixpoint_ok,
         "shrink_fingerprint_ok": fingerprint_ok,
     }
-    with open(out_path, "w") as f:
-        json.dump(report, f, indent=2, sort_keys=True)
-        f.write("\n")
+    write_bench_json(out_path, report)
     return report
 
 

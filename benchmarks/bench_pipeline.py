@@ -1,0 +1,239 @@
+"""Fused interceptor pipeline vs the nested wrapper stack.
+
+The tentpole claim: compiling the recorder tap, governor meter, machine
+checks, and containment arms into one flat entry per crossing
+(``pipeline="fused"``, the default) costs no more than the historic
+composition of closures (recorder proxy over governor proxy over
+generated wrapper over raw), and the dispatch-index speedups measured
+in ``BENCH_interpretive_dispatch.json`` survive the move onto the
+pipeline.
+
+Two comparisons, both best-of-N on the luindex kernel (the hottest
+operation mix):
+
+- ``stack``: a fully instrumented agent — trace recorder attached,
+  governor metering (budget 1.0 so the control law never degrades and
+  both variants check every call), containment enabled — run fused and
+  nested.  A fused crossing is one entry frame plus two pre-bound
+  recorder hook calls; a nested one stacks three wrapper frames and
+  repacks ``*args`` at each.
+- ``checking_only``: the bare checker with no optional stages, where
+  fused and nested both execute the synthesizer's inline checks — the
+  floor that shows fusion adds nothing when there is nothing to fuse.
+
+Plus the interpretive dispatch re-check: index vs fan-out timed through
+the fused pipeline, gating that the index is still no worse on the full
+registry and still wins on a sparse one.
+"""
+
+import os
+
+from benchmarks.conftest import write_bench_json
+from repro.workloads.dacapo import run_workload
+
+#: Kernel and size, matching the dispatch gate in bench_table3_overhead.
+QUICK_WORKLOAD = "luindex"
+QUICK_ITERATIONS = 500
+QUICK_TRIALS = 7
+
+#: The fused path must cost no more than nested, modulo timer noise on
+#: shared CI machines.  Both paths snapshot every argument through the
+#: same recorder code and meter through the same governor clock, so the
+#: comparison is an A-vs-A' measurement whose true ratio sits within a
+#: few percent of 1.0; the gate guards against a structural regression
+#: (an extra frame or repack per crossing shows up as +5-10%), not
+#: jitter.  The gated statistic is the *median of paired ratios* from
+#: interleaved trials — pairing cancels machine-load drift and the
+#: median discards outlier trials — bounded by the same 1.10 noise
+#: margin ``bench_trace_replay.py`` uses for its A/A record-overhead
+#: gate.
+STACK_MARGIN = 1.10
+
+
+def _stack_agent(pipeline: str, instrumented: bool):
+    from repro.core.runtime import ContainmentPolicy
+    from repro.jinn.agent import JinnAgent
+    from repro.resilience import GovernorPolicy, OverheadGovernor
+    from repro.trace import TraceRecorder
+
+    recorder = None
+    governor = None
+    containment = None
+    if instrumented:
+        recorder = TraceRecorder()
+        # budget=1.0: the checking share can never exceed it, so no pair
+        # is ever degraded — both pipelines check every single call and
+        # the comparison measures composition cost, not sampling luck.
+        governor = OverheadGovernor(GovernorPolicy(budget=1.0))
+        containment = ContainmentPolicy()
+    agent = JinnAgent(
+        mode="generated",
+        pipeline=pipeline,
+        observer=recorder,
+        containment=containment,
+        governor=governor,
+    )
+    return agent, recorder
+
+
+def _one_trial(pipeline: str, instrumented: bool, iterations: int) -> float:
+    agent, recorder = _stack_agent(pipeline, instrumented)
+    result = run_workload(
+        QUICK_WORKLOAD, iterations=iterations, agents=[agent]
+    )
+    if recorder is not None:
+        recorder.close()  # restores the gc threshold it raised
+    return result.elapsed
+
+
+def _time_stacks(instrumented: bool):
+    """Interleaved paired trials for fused and nested.
+
+    Interleaving (nested, fused, nested, fused, ...) instead of timing
+    one variant's whole block first keeps slow drift on a shared
+    machine — thermal, page cache, a neighbor waking up — from landing
+    entirely on one side of the comparison.  Each round yields one
+    paired ratio fused/nested; the median of those ratios is the gated
+    statistic (two independent best-of-N minima compare one variant's
+    luckiest trial against the other's, which flips sign on a tie).
+    """
+    _one_trial("fused", instrumented, QUICK_ITERATIONS // 5)  # warm-up
+    best = {"fused": None, "nested": None}
+    ratios = []
+    for _ in range(QUICK_TRIALS):
+        round_times = {}
+        for pipeline in ("nested", "fused"):
+            elapsed = _one_trial(pipeline, instrumented, QUICK_ITERATIONS)
+            round_times[pipeline] = elapsed
+            if best[pipeline] is None or elapsed < best[pipeline]:
+                best[pipeline] = elapsed
+        ratios.append(round_times["fused"] / round_times["nested"])
+    ratios.sort()
+    median_ratio = ratios[len(ratios) // 2]
+    return best["fused"], best["nested"], median_ratio, ratios
+
+
+def test_fused_stack_no_slower(benchmark):
+    """pytest surface: one instrumented fused kernel, timed."""
+    agent, recorder = _stack_agent("fused", instrumented=True)
+    try:
+        benchmark(
+            lambda: run_workload(
+                QUICK_WORKLOAD, iterations=50, agents=[agent]
+            )
+        )
+    finally:
+        recorder.close()
+
+
+def run_pipeline_quick(out_path: str) -> dict:
+    """Time fused vs nested; re-check the dispatch speedups; gate."""
+    from benchmarks.bench_table3_overhead import (
+        _sparse_registry,
+        _time_interpretive,
+    )
+    from repro.jinn.machines import build_registry
+
+    report = {
+        "workload": QUICK_WORKLOAD,
+        "iterations": QUICK_ITERATIONS,
+        "trials": QUICK_TRIALS,
+        "stacks": {},
+        "dispatch": {},
+    }
+    for label, instrumented in (
+        ("stack", True),
+        ("checking_only", False),
+    ):
+        fused, nested, median_ratio, ratios = _time_stacks(instrumented)
+        report["stacks"][label] = {
+            "fused_seconds": fused,
+            "nested_seconds": nested,
+            "speedup": nested / fused if fused else 0.0,
+            "median_paired_ratio": median_ratio,
+            "paired_ratios": [round(r, 4) for r in ratios],
+        }
+
+    # The dispatch-index ablation, now through the fused pipeline (the
+    # agents here default to pipeline="fused"): the index must keep the
+    # wins BENCH_interpretive_dispatch.json recorded for the nested path.
+    for label, registry in (
+        ("full", build_registry()),
+        ("sparse", _sparse_registry()),
+    ):
+        fanout = _time_interpretive(registry, "fanout")
+        indexed = _time_interpretive(registry, "index")
+        report["dispatch"][label] = {
+            "fanout_seconds": fanout,
+            "index_seconds": indexed,
+            "speedup": fanout / indexed if indexed else 0.0,
+        }
+
+    stack = report["stacks"]["stack"]
+    dispatch = report["dispatch"]
+    report["gate"] = {
+        "fused_no_slower": stack["median_paired_ratio"] <= STACK_MARGIN,
+        "dispatch_full_ok": (
+            dispatch["full"]["index_seconds"]
+            <= dispatch["full"]["fanout_seconds"] * 1.15
+        ),
+        "dispatch_sparse_ok": (
+            dispatch["sparse"]["index_seconds"]
+            < dispatch["sparse"]["fanout_seconds"]
+        ),
+    }
+    write_bench_json(out_path, report)
+    return report
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Quick fused-pipeline benchmark gate"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="run the pipeline gate"
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_pipeline.json",
+        ),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    if not args.quick:
+        parser.error("this entry point only supports --quick "
+                     "(use pytest for the timed fixture)")
+    report = run_pipeline_quick(args.out)
+    for label, stats in sorted(report["stacks"].items()):
+        print(
+            "{:>14}: nested {:.4f}s  fused {:.4f}s  speedup {:.2f}x  "
+            "median paired ratio {:.3f}".format(
+                label,
+                stats["nested_seconds"],
+                stats["fused_seconds"],
+                stats["speedup"],
+                stats["median_paired_ratio"],
+            )
+        )
+    for label, stats in sorted(report["dispatch"].items()):
+        print(
+            "{:>14}: fanout {:.4f}s  index {:.4f}s  speedup {:.2f}x".format(
+                "dispatch/" + label,
+                stats["fanout_seconds"],
+                stats["index_seconds"],
+                stats["speedup"],
+            )
+        )
+    print("report written to {}".format(args.out))
+    if not all(report["gate"].values()):
+        print("PIPELINE GATE FAILED: {}".format(report["gate"]))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

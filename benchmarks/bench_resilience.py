@@ -25,6 +25,8 @@ import os
 import tempfile
 import time
 
+from benchmarks.conftest import write_bench_json
+
 CHAOS_SEED = 2026
 RECOVERY_SEED = 7
 GOVERNOR_SEED = 5
@@ -225,9 +227,7 @@ def run_resilience_quick(out_path: str) -> dict:
         "recovery_ok": report["recovery"]["ok"],
         "governor_ok": report["governor"]["ok"],
     }
-    with open(out_path, "w") as f:
-        json.dump(report, f, indent=2, sort_keys=True)
-        f.write("\n")
+    write_bench_json(out_path, report)
     return report
 
 

@@ -27,7 +27,7 @@ import os
 
 import pytest
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, write_bench_json
 from repro.workloads.dacapo import (
     BENCHMARK_NAMES,
     PAPER_OVERHEADS,
@@ -205,9 +205,7 @@ def run_dispatch_quick(out_path: str) -> dict:
         "full_ok": full["index_seconds"] <= full["fanout_seconds"] * 1.15,
         "sparse_ok": sparse["index_seconds"] < sparse["fanout_seconds"],
     }
-    with open(out_path, "w") as f:
-        json.dump(report, f, indent=2, sort_keys=True)
-        f.write("\n")
+    write_bench_json(out_path, report)
     return report
 
 

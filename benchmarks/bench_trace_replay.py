@@ -45,6 +45,8 @@ import os
 import tempfile
 import time
 
+from benchmarks.conftest import write_bench_json
+
 #: Corpus benchmarks: eight distinct operation mixes.  Each records a
 #: fixed event *target* (rather than paper-scaled transition counts) so
 #: the trace files are comparably sized: sharded replay's critical path
@@ -247,9 +249,7 @@ def run_replay_quick(out_path: str) -> dict:
         "record_overhead_ok": report["record"]["plain_run_overhead"] <= 1.10,
         "shard_speedup_ok": report["replay"]["critical_path_speedup"] > 1.0,
     }
-    with open(out_path, "w") as f:
-        json.dump(report, f, indent=2, sort_keys=True)
-        f.write("\n")
+    write_bench_json(out_path, report)
     return report
 
 

@@ -9,9 +9,21 @@ evaluation (see DESIGN.md's experiment index).  Conventions:
   and *asserted* against the paper where the paper's claim is exact.
 """
 
+import json
 import sys
 
 collect_ignore_glob = []
+
+
+def write_bench_json(out_path, report):
+    """Write one ``BENCH_*.json`` report in the canonical shape.
+
+    Every writer routes through here so reports are diffable across
+    runs: sorted keys, two-space indent, trailing newline.
+    """
+    with open(out_path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
 
 
 def print_table(title, header, rows):

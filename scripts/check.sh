@@ -2,7 +2,8 @@
 # Tier-1 gate: tests, bytecode compilation, the fixed-seed fuzz smoke,
 # the resilience smoke (chaos containment + crash recovery), and the
 # quick benchmark gates (write BENCH_interpretive_dispatch.json,
-# BENCH_trace_replay.json, BENCH_fuzz.json, and BENCH_resilience.json).
+# BENCH_trace_replay.json, BENCH_fuzz.json, BENCH_resilience.json, and
+# BENCH_pipeline.json).
 #
 # Usage: scripts/check.sh [--no-bench]
 set -euo pipefail
@@ -39,6 +40,9 @@ if [[ "${1:-}" != "--no-bench" ]]; then
 
     echo "== resilience bench gate (quick) =="
     timeout 600 python benchmarks/bench_resilience.py --quick
+
+    echo "== fused pipeline bench gate (quick) =="
+    timeout 600 python benchmarks/bench_pipeline.py --quick
 fi
 
 echo "OK"

@@ -1,0 +1,8 @@
+"""``python -m repro.cli`` entry point (same surface as ``python -m repro``)."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

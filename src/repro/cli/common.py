@@ -1,0 +1,30 @@
+"""Helpers shared across CLI command groups."""
+
+from __future__ import annotations
+
+
+def supervised_one(kind: str, params: dict, timeout: float,
+                   *, ok_is_zero: bool = False) -> int:
+    """Run one body under the supervisor watchdog (the --timeout path).
+
+    Always prints a JSON result.  Exit codes: 124 when the watchdog
+    killed a hang (the partial result says so), 1 for a crash, and for
+    completed runs either 0 (``ok_is_zero``) or the gate verdict.
+    """
+    import json as _json
+
+    from repro.resilience.supervisor import CRASH, HANG, run_with_timeout
+
+    result = run_with_timeout(kind, params, timeout)
+    body = result.to_json()
+    body["partial"] = result.classification in (CRASH, HANG)
+    if result.payload is not None:
+        body["payload"] = result.payload
+    print(_json.dumps(body, indent=2, sort_keys=True))
+    if result.classification == HANG:
+        return 124
+    if result.classification == CRASH:
+        return 1
+    if ok_is_zero:
+        return 0
+    return 1 if result.violations else 0

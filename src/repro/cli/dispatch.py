@@ -1,0 +1,72 @@
+"""The ``dispatch`` command: dispatch-index and wrapper-cache statistics."""
+
+from __future__ import annotations
+
+
+def _index_stats(substrate: str):
+    from repro.core.cache import WRAPPER_CACHE
+
+    if substrate == "pyc":
+        from repro.pyc.machines import build_pyc_registry
+        from repro.pyc.spec import PY_FUNCTIONS
+
+        registry, table = build_pyc_registry(), PY_FUNCTIONS
+    else:
+        from repro.jinn.machines import build_registry
+        from repro.jni.functions import FUNCTIONS
+
+        registry, table = build_registry(), FUNCTIONS
+
+    index = WRAPPER_CACHE.dispatch_for(registry, table)
+    return {
+        "substrate": substrate,
+        "machines": len(registry.names()),
+        "functions": len(table),
+        "non_empty_buckets": index.bucket_count(),
+        "indexed_handlers": index.handler_count(),
+        "fanout_handlers": index.fanout_handler_count(),
+        "sparsity": index.sparsity(),
+        "per_machine": dict(index.per_machine_counts()),
+        "wrapper_cache": WRAPPER_CACHE.stats(),
+    }
+
+
+def _cmd_dispatch(args) -> int:
+    stats = _index_stats(args.substrate)
+    if getattr(args, "json", False):
+        import json as _json
+
+        print(_json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print("substrate:         " + stats["substrate"])
+    print("machines:          {}".format(stats["machines"]))
+    print("functions:         {}".format(stats["functions"]))
+    print("non-empty buckets: {}".format(stats["non_empty_buckets"]))
+    print("indexed handlers:  {}".format(stats["indexed_handlers"]))
+    print("fan-out handlers:  {}".format(stats["fanout_handlers"]))
+    print("sparsity:          {:.1%} of fan-out work skipped".format(
+        stats["sparsity"]
+    ))
+    print("per machine (function,direction) pairs:")
+    for name, count in stats["per_machine"].items():
+        print("  {:<18} {}".format(name, count))
+    print("wrapper cache:")
+    for key, value in stats["wrapper_cache"].items():
+        print("  {:<18} {}".format(key, value))
+    return 0
+
+
+def add_parsers(sub) -> None:
+    dispatch = sub.add_parser(
+        "dispatch", help="dispatch-index statistics (core)"
+    )
+    dispatch.add_argument(
+        "--substrate", choices=("jni", "pyc"), default="jni"
+    )
+    dispatch.add_argument(
+        "--json", action="store_true",
+        help="print the statistics as canonical JSON",
+    )
+
+
+COMMANDS = {"dispatch": _cmd_dispatch}

@@ -1,0 +1,152 @@
+"""The ``resilience`` command group: supervised checking sessions."""
+
+from __future__ import annotations
+
+from repro.cli.trace import _cmd_trace_recover
+
+
+def _cmd_resilience_chaos(args) -> int:
+    import json as _json
+
+    from repro.resilience import chaos_gate, chaos_run
+
+    report = chaos_run(
+        args.seed, substrate=args.substrate, rounds=args.rounds
+    )
+    gate = chaos_gate(report)
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            "chaos seed {} [{}]: {} run(s), {} machine(s) faulted, "
+            "{} quarantined, {} host crash(es), {} unanswered fault(s)".format(
+                report["seed"], report["substrate"], len(report["runs"]),
+                report["machines_faulted"], report["machines_quarantined"],
+                report["host_crashes"], report["unanswered_faults"],
+            )
+        )
+        never = report["machines_never_faulted"]
+        if never:
+            print("never exercised by this workload: " + ", ".join(never))
+    failures = [name for name, ok in sorted(gate.items()) if not ok]
+    if failures:
+        for name in failures:
+            print("GATE FAIL: " + name)
+        return 1
+    print("gate: PASS")
+    return 0
+
+
+def _cmd_resilience_supervise(args) -> int:
+    import json as _json
+    import os as _os
+
+    from repro.resilience import Shard, Supervisor
+
+    specs = args.targets or ["fuzz:{}".format(args.seed)]
+    shards = []
+    for spec in specs:
+        kind, _, rest = spec.partition(":")
+        if kind == "fuzz":
+            seed = int(rest) if rest else args.seed
+            shards.append(Shard(
+                "fuzz-{}".format(seed), "fuzz",
+                {"seed": seed, "rounds": 1, "substrate": args.substrate},
+            ))
+        elif kind == "replay":
+            shards.append(Shard(
+                "replay-{}".format(_os.path.basename(rest)), "replay",
+                {"path": rest},
+            ))
+        else:
+            print("unknown shard spec {!r} (want fuzz:<seed> or "
+                  "replay:<path>)".format(spec))
+            return 2
+    supervisor = Supervisor(
+        timeout=args.timeout, retries=args.retries, seed=args.seed
+    )
+    report = supervisor.run(shards)
+    print(_json.dumps(report.to_json(), indent=2, sort_keys=True))
+    return 0 if report.ok else 1
+
+
+def _cmd_resilience_status(args) -> int:
+    import json as _json
+
+    from repro.resilience import GovernorPolicy, governed_run
+
+    policy = GovernorPolicy(budget=args.budget, window=args.window)
+    report = governed_run(
+        args.seed,
+        substrate=args.substrate,
+        policy=policy,
+        repeats=args.repeats,
+    )
+    print(_json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_resilience(args) -> int:
+    return SUBCOMMANDS[args.resilience_command](args)
+
+
+def add_parsers(sub) -> None:
+    resilience = sub.add_parser(
+        "resilience", help="supervised checking sessions"
+    )
+    res_sub = resilience.add_subparsers(
+        dest="resilience_command", required=True
+    )
+
+    chaos = res_sub.add_parser(
+        "chaos", help="inject internal checker faults; prove containment"
+    )
+    chaos.add_argument("--seed", type=int, default=2026)
+    chaos.add_argument("--rounds", type=int, default=1)
+    chaos.add_argument(
+        "--substrate", choices=("both", "jni", "pyc"), default="both"
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="print the canonical report"
+    )
+
+    supervise = res_sub.add_parser(
+        "supervise", help="run shards in watched child processes"
+    )
+    supervise.add_argument(
+        "targets", nargs="*",
+        help="shard specs: fuzz:<seed> or replay:<trace path>",
+    )
+    supervise.add_argument("--seed", type=int, default=2026)
+    supervise.add_argument("--timeout", type=float, default=60.0)
+    supervise.add_argument("--retries", type=int, default=1)
+    supervise.add_argument(
+        "--substrate", choices=("both", "jni", "pyc"), default="pyc"
+    )
+
+    res_recover = res_sub.add_parser(
+        "recover", help="rebuild a replayable trace from a crashed journal"
+    )
+    res_recover.add_argument("journal", help="journal file from --journal")
+    res_recover.add_argument("-o", "--output", default=None)
+
+    status = res_sub.add_parser(
+        "status", help="run one governed workload; print the governor report"
+    )
+    status.add_argument("--seed", type=int, default=2026)
+    status.add_argument(
+        "--substrate", choices=("jni", "pyc"), default="pyc"
+    )
+    status.add_argument("--budget", type=float, default=0.3)
+    status.add_argument("--window", type=int, default=64)
+    status.add_argument("--repeats", type=int, default=8)
+
+
+SUBCOMMANDS = {
+    "chaos": _cmd_resilience_chaos,
+    "supervise": _cmd_resilience_supervise,
+    "recover": _cmd_trace_recover,
+    "status": _cmd_resilience_status,
+}
+
+COMMANDS = {"resilience": _cmd_resilience}

@@ -47,6 +47,7 @@ class WrapperCache:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self._wrappers: "OrderedDict[tuple, Callable]" = OrderedDict()
+        self._plans: "OrderedDict[tuple, Callable]" = OrderedDict()
         self._indexes: "OrderedDict[tuple, DispatchIndex]" = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -94,6 +95,39 @@ class WrapperCache:
             self._put(self._wrappers, key, built)
         return built
 
+    def plans_for(
+        self,
+        registry: SpecRegistry,
+        *,
+        function_table=None,
+        checking: bool = True,
+        record: bool = False,
+        govern: bool = False,
+    ) -> Callable:
+        """The compiled fused-pipeline ``build_entries`` for one spec set.
+
+        Keyed like :meth:`wrappers_for` plus the active stage flags: a
+        plan with the recorder tap fused in is a different compiled
+        module than one without it.
+        """
+        key = (
+            registry.fingerprint(),
+            _table_key(function_table),
+            checking,
+            record,
+            govern,
+        )
+        built = self._get(self._plans, key)
+        if built is None:
+            from repro.jinn.synthesizer import Synthesizer
+
+            synthesizer = Synthesizer(registry, function_table=function_table)
+            built = synthesizer.build_pipeline(
+                checking=checking, record=record, govern=govern
+            )
+            self._put(self._plans, key, built)
+        return built
+
     def dispatch_for(
         self, registry: SpecRegistry, function_table=None
     ) -> DispatchIndex:
@@ -113,6 +147,7 @@ class WrapperCache:
 
     def clear(self) -> None:
         self._wrappers.clear()
+        self._plans.clear()
         self._indexes.clear()
         self._hits = 0
         self._misses = 0
@@ -121,6 +156,7 @@ class WrapperCache:
     def stats(self) -> Dict[str, int]:
         return {
             "wrapper_modules": len(self._wrappers),
+            "plan_modules": len(self._plans),
             "dispatch_indexes": len(self._indexes),
             "max_entries": self.max_entries,
             "hits": self._hits,

@@ -40,21 +40,23 @@ class ExecutionResult:
     replay_reports: List[str]
     diff: Dict[str, object]
     event_count: int
+    #: The recorded trace lines, for byte-level parity checks.
+    trace_lines: Optional[List[str]] = None
 
     @property
     def divergent(self) -> bool:
         return bool(self.diff["drift"])
 
 
-def run_ops(substrate: str, ops) -> ExecutionResult:
+def run_ops(substrate: str, ops, *, pipeline: str = "fused") -> ExecutionResult:
     """Run ops live under a recorder, replay the trace, diff the streams."""
     from repro.trace import TraceRecorder, diff_reports, replay_lines
 
     recorder = TraceRecorder()
     if substrate == "pyc":
-        live = run_pyc_ops(ops, observer=recorder)
+        live = run_pyc_ops(ops, observer=recorder, pipeline=pipeline)
     else:
-        live = run_jni_ops(ops, observer=recorder)
+        live = run_jni_ops(ops, observer=recorder, pipeline=pipeline)
     recorder.close()
     replay = replay_lines(recorder.lines)
     return ExecutionResult(
@@ -62,6 +64,7 @@ def run_ops(substrate: str, ops) -> ExecutionResult:
         replay_reports=replay.violations,
         diff=diff_reports(live.reports, replay.violations),
         event_count=replay.event_count,
+        trace_lines=recorder.lines,
     )
 
 

@@ -332,7 +332,7 @@ def _define_host(vm) -> None:
 
 def run_jni_ops(
     ops, *, observer=None, vendor=None, setup=None, containment=None,
-    governor=None,
+    governor=None, pipeline="fused",
 ) -> RunOutcome:
     """Interpret a JNI op list on a fresh checked VM.
 
@@ -359,8 +359,8 @@ def run_jni_ops(
     )
 
     agent = JinnAgent(
-        mode="generated", observer=observer, containment=containment,
-        governor=governor,
+        mode="generated", pipeline=pipeline, observer=observer,
+        containment=containment, governor=governor,
     )
     vm = JavaVM(vendor=vendor if vendor is not None else HOTSPOT, agents=[agent])
     if setup is not None:
@@ -502,7 +502,8 @@ _PYC_OPS = {
 
 
 def run_pyc_ops(
-    ops, *, observer=None, setup=None, containment=None, governor=None
+    ops, *, observer=None, setup=None, containment=None, governor=None,
+    pipeline="fused",
 ) -> RunOutcome:
     """Interpret a Python/C op list under a fresh checked interpreter.
 
@@ -520,7 +521,8 @@ def run_pyc_ops(
     from repro.pyc import PyCChecker, PythonInterpreter
 
     checker = PyCChecker(
-        observer=observer, containment=containment, governor=governor
+        pipeline=pipeline, observer=observer, containment=containment,
+        governor=governor,
     )
     interp = PythonInterpreter(agents=[checker])
     if setup is not None:

@@ -23,6 +23,13 @@ transitions match that (function, direction) pair, mirroring the
 specialization the generated wrappers get from Algorithm 1.  The
 pre-index fan-out (every event visits every machine) is retained as
 ``dispatch="fanout"`` so the overhead benchmark can quantify the win.
+
+All modes install their entries through the fused interceptor pipeline
+(:mod:`repro.pipeline`) by default — recorder tap, governor meter,
+machine checks, and containment arms compiled into one flat entry per
+crossing.  ``pipeline="nested"`` retains the historic closure stack
+(recorder proxy over governor proxy over wrapper) as the parity
+baseline.
 """
 
 from __future__ import annotations
@@ -40,6 +47,11 @@ from repro.jvm.jvmti import JVMTIAgent
 
 _MODES = ("generated", "interpose", "interpretive")
 _DISPATCHES = ("index", "fanout")
+#: ``fused`` compiles one flat entry per crossing through
+#: :class:`repro.pipeline.PipelinePlan`; ``nested`` keeps the historic
+#: recorder -> governor -> wrapper -> raw closure stack (retained for
+#: the parity suite and the pipeline benchmark's baseline).
+_PIPELINES = ("fused", "nested")
 
 
 class JinnAgent(JVMTIAgent):
@@ -53,6 +65,7 @@ class JinnAgent(JVMTIAgent):
         *,
         mode: str = "generated",
         dispatch: str = "index",
+        pipeline: str = "fused",
         observer=None,
         containment=None,
         governor=None,
@@ -61,9 +74,12 @@ class JinnAgent(JVMTIAgent):
             raise ValueError("mode must be one of {}".format(_MODES))
         if dispatch not in _DISPATCHES:
             raise ValueError("dispatch must be one of {}".format(_DISPATCHES))
+        if pipeline not in _PIPELINES:
+            raise ValueError("pipeline must be one of {}".format(_PIPELINES))
         self.registry = registry if registry is not None else build_registry()
         self.mode = mode
         self.dispatch = dispatch
+        self.pipeline = pipeline
         #: Optional event-stream observer (a ``repro.trace.TraceRecorder``).
         #: When None the agent installs untapped wrapper tables — the
         #: recording layer costs nothing unless a recorder is attached.
@@ -78,6 +94,7 @@ class JinnAgent(JVMTIAgent):
         self._build_wrappers = None
         self._native_factory: Optional[Callable] = None
         self._index = None
+        self._plan = None
         #: Leak violations found at VM death.
         self.termination_violations: List[FFIViolation] = []
 
@@ -94,6 +111,10 @@ class JinnAgent(JVMTIAgent):
         self.rt = JinnRuntime(vm, self.registry, containment=self.containment)
         if self.observer is not None:
             self.observer.attach_jinn(self.rt, vm)
+        if self.pipeline == "fused":
+            # The plan resolves its own compiled module (or dispatch
+            # index) through the shared cache.
+            return
         if self.mode in ("generated", "interpose"):
             # The shared cache keys on the registry fingerprint (full
             # spec identity), so agents for the same specification reuse
@@ -112,6 +133,10 @@ class JinnAgent(JVMTIAgent):
         observer = self.rt.observer
         if observer is not None:
             observer.on_thread_start(thread)
+        if self.pipeline == "fused":
+            plan = self._pipeline_plan()
+            env.install_function_table(plan.entries(env.function_table()))
+            return
         if self.mode == "interpretive":
             wrappers = self._interpretive_table(env)
         else:
@@ -131,6 +156,10 @@ class JinnAgent(JVMTIAgent):
         env.install_function_table(wrappers)
 
     def on_native_method_bind(self, vm, method, impl: Callable) -> Callable:
+        if self.pipeline == "fused":
+            return self._pipeline_plan().native_entry(
+                method.mangled_name(), impl
+            )
         if self.mode == "interpretive":
             wrapped = self._interpretive_native(method, impl)
         else:
@@ -158,6 +187,26 @@ class JinnAgent(JVMTIAgent):
             # replayed sweep sees the same final object states.
             observer.on_termination()
         self.termination_violations = self.rt.at_termination()
+
+    # ------------------------------------------------------------------
+    # The fused pipeline (default call path)
+    # ------------------------------------------------------------------
+
+    def _pipeline_plan(self):
+        """The plan for this runtime's stage set, built on first use."""
+        plan = self._plan
+        if plan is None or plan.recorder is not self.rt.observer:
+            from repro.pipeline import PipelinePlan
+
+            self._plan = plan = PipelinePlan(
+                self.rt,
+                self.registry,
+                mode=self.mode,
+                dispatch=self.dispatch,
+                recorder=self.rt.observer,
+                governor=self.governor,
+            )
+        return plan
 
     # ------------------------------------------------------------------
     # Interpretive mode (ablation: no generated code)

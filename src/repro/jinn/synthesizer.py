@@ -247,6 +247,243 @@ class Synthesizer:
         return lines
 
     # ------------------------------------------------------------------
+    # Fused pipeline code generation (repro.pipeline)
+    # ------------------------------------------------------------------
+
+    def generate_pipeline_source(
+        self,
+        *,
+        checking: bool = True,
+        record: bool = False,
+        govern: bool = False,
+    ) -> str:
+        """The fused pipeline module: one flat entry per FFI function.
+
+        Where :meth:`generate_source` emits only the machine guards —
+        historically stacked under separate recorder and governor
+        wrapper closures — this emits the *whole* per-call path in a
+        single function body: the trace tap's call/return hooks, the
+        governor's counters and sampling branch, the machine checks with
+        their containment arms, and the raw call.  One entry frame per
+        crossing, one ``*args`` pack, no nested proxies.
+
+        The stage order matches the legacy nesting exactly (recorder
+        outermost, governor inside it, checks innermost) so the fused
+        and nested compositions produce byte-identical violation and
+        trace streams.
+        """
+        plan = self.machine_plan() if checking else None
+        stages = [s for s, on in (
+            ("record", record), ("govern", govern),
+            ("check", checking), ("contain", checking),
+        ) if on]
+        out: List[str] = [
+            '"""Fused pipeline entries generated by the Jinn synthesizer.',
+            "",
+            "Machines: {}.".format(", ".join(self.registry.names())),
+            "Stages: {}.".format(", ".join(stages) or "interpose only"),
+            "DO NOT EDIT: regenerate from the state machine specifications.",
+            '"""',
+            "",
+            "from repro.fsm.errors import FFIViolation",
+            "",
+            "",
+            "def build_entries(rt, raw, recorder, governor):",
+            '    """Bind fused entries to one runtime, raw table, and stages.',
+            "",
+            "    Returns (entries, make_native_entry).",
+            '    """',
+        ]
+        if govern:
+            out.append(
+                "    gov_clock, gov_tick, gov_window, gov_rebalance"
+                " = governor.fused_shared()"
+            )
+        out.append("    entries = {}")
+        for name, meta in self.function_table.items():
+            pre = plan[name][Site.PRE] if plan else []
+            post = plan[name][Site.POST] if plan else []
+            out.extend(
+                self._emit_fused_entry(name, meta, pre, post, record, govern)
+            )
+        native_pre = plan[NATIVE_KEY][Site.PRE] if plan else []
+        native_post = plan[NATIVE_KEY][Site.POST] if plan else []
+        out.extend(
+            self._emit_fused_native_factory(
+                native_pre, native_post, record, govern
+            )
+        )
+        out.append("    return entries, make_native_entry")
+        out.append("")
+        return "\n".join(out)
+
+    def _emit_fused_entry(
+        self,
+        name: str,
+        meta: functions.FunctionMeta,
+        pre: List[tuple],
+        post: List[tuple],
+        record: bool,
+        govern: bool,
+    ) -> List[str]:
+        default = default_literal(meta.returns)
+        lines = ["", "    raw_{} = raw[{!r}]".format(name, name)]
+        if record:
+            lines.append(
+                "    rc_{} = recorder.call_hook({!r}, False)".format(name, name)
+            )
+            lines.append(
+                "    rr_{} = recorder.return_hook({!r}, False)".format(name, name)
+            )
+        if govern:
+            lines.append(
+                "    st_{} = governor.fused_binding({!r})".format(name, name)
+            )
+        lines.append("    def entry_{}(env, *args):".format(name))
+        body = "        "
+        if record:
+            lines.append(body + "callseq = rc_{}(env, args)".format(name))
+        if govern:
+            lines.extend([
+                body + "st_{}.total_calls += 1".format(name),
+                body + "st_{}.window_calls += 1".format(name),
+                body + "gov_tick[0] += 1",
+                body + "if gov_tick[0] >= gov_window:",
+                body + "    gov_rebalance()",
+                body + "if st_{}.period > 1:".format(name),
+                body + "    st_{}.slot += 1".format(name),
+                body + "    if st_{0}.slot % st_{0}.period:".format(name),
+                body + "        st_{}.total_sampled_out += 1".format(name),
+                body + "        t0 = gov_clock()",
+                body + "        result = raw_{}(env, *args)".format(name),
+                body + "        st_{}.raw_ns += gov_clock() - t0".format(name),
+                body + "        st_{}.raw_calls += 1".format(name),
+            ])
+            if record:
+                lines.append(
+                    body + "        rr_{}(env, args, result, callseq)".format(name)
+                )
+            lines.append(body + "        return result")
+            lines.append(body + "t0 = gov_clock()")
+        epilogue: List[str] = []
+        if govern:
+            epilogue.append("st_{}.checked_ns += gov_clock() - t0".format(name))
+            epilogue.append("st_{}.checked_calls += 1".format(name))
+        if record:
+            epilogue.append("rr_{}(env, args, result, callseq)".format(name))
+        if pre:
+            lines.append(body + "try:")
+            lines.extend(
+                self._emit_contained_groups(pre, body + "    ", repr(name), "pre")
+            )
+            lines.append(body + "except FFIViolation as v:")
+            if epilogue:
+                # The failure policy decides whether the epilogue runs:
+                # JNI pends the exception and returns the default (so
+                # the governor meters and the recorder logs the return);
+                # pyc raises, leaving an unmatched call record and no
+                # checked-time sample — exactly as the nested stack did.
+                lines.append(
+                    body + "    result = rt.fail(env, v, {})".format(default)
+                )
+                lines.extend(body + "    " + step for step in epilogue)
+                lines.append(body + "    return result")
+            else:
+                lines.append(
+                    body + "    return rt.fail(env, v, {})".format(default)
+                )
+        lines.append(body + "result = raw_{}(env, *args)".format(name))
+        if post:
+            lines.append(body + "try:")
+            lines.extend(
+                self._emit_contained_groups(post, body + "    ", repr(name), "post")
+            )
+            lines.append(body + "except FFIViolation as v:")
+            lines.append(body + "    rt.fail(env, v)")
+        lines.extend(body + step for step in epilogue)
+        lines.append(body + "return result")
+        lines.append("    entries[{!r}] = entry_{}".format(name, name))
+        return lines
+
+    def _emit_fused_native_factory(
+        self,
+        pre: List[tuple],
+        post: List[tuple],
+        record: bool,
+        govern: bool,
+    ) -> List[str]:
+        lines = [
+            "",
+            "    def make_native_entry(method_name, impl):",
+            '        """Fused entry factory applied at NativeMethodBind time."""',
+        ]
+        if record:
+            lines.append("        rc = recorder.call_hook(method_name, True)")
+            lines.append("        rr = recorder.return_hook(method_name, True)")
+        if govern:
+            lines.append(
+                "        st = governor.fused_binding('native:' + method_name)"
+            )
+        lines.append("        def native_entry(env, this, *args):")
+        body = "            "
+        lines.append(body + "handles = (this,) + args")
+        if record:
+            lines.append(body + "callseq = rc(env, handles)")
+        if govern:
+            lines.extend([
+                body + "st.total_calls += 1",
+                body + "st.window_calls += 1",
+                body + "gov_tick[0] += 1",
+                body + "if gov_tick[0] >= gov_window:",
+                body + "    gov_rebalance()",
+                body + "if st.period > 1:",
+                body + "    st.slot += 1",
+                body + "    if st.slot % st.period:",
+                body + "        st.total_sampled_out += 1",
+                body + "        t0 = gov_clock()",
+                body + "        result = impl(env, this, *args)",
+                body + "        st.raw_ns += gov_clock() - t0",
+                body + "        st.raw_calls += 1",
+            ])
+            if record:
+                lines.append(
+                    body + "        rr(env, handles, result, callseq)"
+                )
+            lines.append(body + "        return result")
+            lines.append(body + "t0 = gov_clock()")
+        epilogue: List[str] = []
+        if govern:
+            epilogue.append("st.checked_ns += gov_clock() - t0")
+            epilogue.append("st.checked_calls += 1")
+        if record:
+            epilogue.append("rr(env, handles, result, callseq)")
+        if pre:
+            lines.append(body + "try:")
+            lines.extend(
+                self._emit_contained_groups(
+                    pre, body + "    ", "method_name", "pre"
+                )
+            )
+            lines.append(body + "except FFIViolation as v:")
+            # No early return: a native pre-violation pends (JNI) and
+            # the implementation still runs, or raises out (pyc).
+            lines.append(body + "    rt.fail(env, v)")
+        lines.append(body + "result = impl(env, this, *args)")
+        if post:
+            lines.append(body + "try:")
+            lines.extend(
+                self._emit_contained_groups(
+                    post, body + "    ", "method_name", "post"
+                )
+            )
+            lines.append(body + "except FFIViolation as v:")
+            lines.append(body + "    rt.fail(env, v)")
+        lines.extend(body + step for step in epilogue)
+        lines.append(body + "return result")
+        lines.append("        return native_entry")
+        return lines
+
+    # ------------------------------------------------------------------
     # Compilation
     # ------------------------------------------------------------------
 
@@ -256,6 +493,21 @@ class Synthesizer:
         namespace: Dict[str, object] = {"__name__": "repro.jinn._generated"}
         exec(compile(source, "<jinn-generated>", "exec"), namespace)
         return namespace["build_wrappers"]
+
+    def build_pipeline(
+        self,
+        *,
+        checking: bool = True,
+        record: bool = False,
+        govern: bool = False,
+    ):
+        """Compile the fused module; returns its ``build_entries``."""
+        source = self.generate_pipeline_source(
+            checking=checking, record=record, govern=govern
+        )
+        namespace: Dict[str, object] = {"__name__": "repro.pipeline._generated"}
+        exec(compile(source, "<jinn-pipeline>", "exec"), namespace)
+        return namespace["build_entries"]
 
     def write_source(self, path: str, *, checking: bool = True) -> int:
         """Write the generated module to ``path``; returns its line count."""

@@ -60,16 +60,24 @@ class PyCChecker:
         self,
         registry: Optional[SpecRegistry] = None,
         *,
+        pipeline: str = "fused",
         observer=None,
         containment: Optional[ContainmentPolicy] = None,
         governor=None,
     ):
+        if pipeline not in ("fused", "nested"):
+            raise ValueError("pipeline must be 'fused' or 'nested'")
         self.registry = registry if registry is not None else build_pyc_registry()
+        #: ``fused`` installs one flat entry per crossing through
+        #: :class:`repro.pipeline.PipelinePlan`; ``nested`` keeps the
+        #: historic wrapper stack (the parity-suite baseline).
+        self.pipeline = pipeline
         self.containment = containment
         #: Optional :class:`repro.resilience.governor.OverheadGovernor`.
         self.governor = governor
         self.rt: Optional[PyCRuntime] = None
         self._native_factory: Optional[Callable] = None
+        self._plan = None
         #: Optional event-stream observer (a ``repro.trace.TraceRecorder``).
         self.observer = observer
 
@@ -77,6 +85,20 @@ class PyCChecker:
         self.rt = PyCRuntime(interp, self.registry, containment=self.containment)
         if self.observer is not None:
             self.observer.attach_pyc(self.rt, interp)
+        if self.pipeline == "fused":
+            from repro.pipeline import PipelinePlan
+
+            self._plan = PipelinePlan(
+                self.rt,
+                self.registry,
+                PY_FUNCTIONS,
+                recorder=self.rt.observer,
+                governor=self.governor,
+            )
+            api.install_function_table(
+                self._plan.entries(api.function_table())
+            )
+            return
         # Synthesis is deterministic per specification: the shared cache
         # reuses one compiled module per spec fingerprint instead of
         # re-synthesizing at every interpreter construction.
@@ -94,7 +116,12 @@ class PyCChecker:
         api.install_function_table(wrappers)
         self._native_factory = native_factory
 
+    def _attached(self) -> bool:
+        return self._plan is not None or self._native_factory is not None
+
     def _wrap_extension(self, name: str, impl: Callable) -> Callable:
+        if self._plan is not None:
+            return self._plan.native_entry(name, impl)
         wrapped = self._native_factory(name, impl)
         if self.governor is not None:
             wrapped = self.governor.instrument_native(name, wrapped, impl)
@@ -104,7 +131,7 @@ class PyCChecker:
         return wrapped
 
     def on_extension_bind(self, interp, name: str, impl: Callable) -> Callable:
-        if self._native_factory is None:
+        if not self._attached():
             # Bound before on_api_created: wrap lazily so checking is
             # never silently disabled for early-bound extensions.  The
             # entry resolves the factory at first call and fails loudly
@@ -123,7 +150,7 @@ class PyCChecker:
 
         def deferred_entry(api, self_obj, args_tuple):
             if state["wrapped"] is None:
-                if self._native_factory is None:
+                if not self._attached():
                     raise RuntimeError(
                         "PyCChecker: extension {!r} was bound before the "
                         "checker was attached to an API (on_api_created "

@@ -137,14 +137,21 @@ def _registry_machines(substrate: str) -> List[str]:
     return build_registry().names()
 
 
-def _run(substrate: str, ops, injectors, policy: ContainmentPolicy):
+def _run(
+    substrate: str, ops, injectors, policy: ContainmentPolicy,
+    pipeline: str = "fused",
+):
     def setup(agent_or_checker):
         for injector in injectors:
             injector.install(agent_or_checker.rt)
 
     if substrate == "pyc":
-        return run_pyc_ops(ops, setup=setup, containment=policy)
-    return run_jni_ops(ops, setup=setup, containment=policy)
+        return run_pyc_ops(
+            ops, setup=setup, containment=policy, pipeline=pipeline
+        )
+    return run_jni_ops(
+        ops, setup=setup, containment=policy, pipeline=pipeline
+    )
 
 
 def chaos_run(
@@ -153,6 +160,7 @@ def chaos_run(
     substrate: str = "both",
     rounds: int = 1,
     policy: Optional[ContainmentPolicy] = None,
+    pipeline: str = "fused",
 ) -> Dict[str, object]:
     """Inject internal faults into every machine; report containment.
 
@@ -197,7 +205,7 @@ def chaos_run(
             targets = [[m] for m in machines] + [machines]
             for target in targets:
                 injectors = [injector_plan(seed, m) for m in target]
-                outcome = _run(sub, sequence.ops, injectors, policy)
+                outcome = _run(sub, sequence.ops, injectors, policy, pipeline)
                 entry = _summarize(sub, round_no, target, injectors, outcome)
                 runs.append(entry)
                 report["host_crashes"] += 0 if entry["survived"] else 1

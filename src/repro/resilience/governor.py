@@ -155,11 +155,29 @@ class OverheadGovernor:
         # Natives bind once per method: build the proxy eagerly.
         return self._proxy("native:" + name, wrapped, impl)
 
-    def _proxy(self, name: str, checked: Callable, raw: Callable) -> Callable:
+    # -- fused-pipeline surface ------------------------------------------
+    #
+    # The fused pipeline inlines the proxy's bookkeeping into each
+    # generated entry instead of stacking a `governed` closure around
+    # the checked wrapper.  These two accessors hand an entry everything
+    # the closure would have closed over, in the same shapes, so the
+    # fused and nested compositions share state objects — and therefore
+    # reports — exactly.
+
+    def fused_binding(self, name: str) -> PairState:
+        """The (created-on-demand) pair state one fused entry pre-binds."""
         state = self.pairs.get(name)
         if state is None:
             state = PairState(name)
             self.pairs[name] = state
+        return state
+
+    def fused_shared(self):
+        """``(clock, tick cell, window size, rebalance)`` for entries."""
+        return self._clock, self._tick, self.policy.window, self._rebalance
+
+    def _proxy(self, name: str, checked: Callable, raw: Callable) -> Callable:
+        state = self.fused_binding(name)
         clock = self._clock
         tick = self._tick
         window = self.policy.window

@@ -590,6 +590,177 @@ class TraceRecorder:
 
         return recording_entry
 
+    # -- fused-pipeline hooks --------------------------------------------
+    #
+    # The fused pipeline splits the recording entry above into its two
+    # halves so a generated entry can inline the call capture before its
+    # checks and the return capture after them without an extra wrapper
+    # frame.  The hooks share the recorder's sequence cell and record
+    # list with the nested entries, and build byte-identical records;
+    # the capture bodies are deliberately duplicated from
+    # ``_make_jni_entry`` / ``_make_pyc_entry`` (which stay as the
+    # nested baseline) rather than shared through another call layer.
+
+    def call_hook(self, name: str, native: bool):
+        """``fn(env, args) -> callseq``: capture one call record."""
+        if self._substrate == "jni":
+            return self._jni_call_hook(name, native)
+        return self._pyc_call_hook(name, native)
+
+    def return_hook(self, name: str, native: bool):
+        """``fn(env, args, result, callseq)``: capture one return."""
+        if self._substrate == "jni":
+            return self._jni_return_hook(name, native)
+        return self._pyc_return_hook(name, native)
+
+    def _jni_call_hook(self, name: str, native: bool):
+        records_append = self._records.append
+        seq_cell = self._seq
+        host = self._host
+        classes = host.classes
+        snappers_get = _SNAPPERS.get
+        snap = _snap
+        jtick = self._journal_tick if self._journal is not None else None
+
+        def call_hook(env, args):
+            thread = host.current_thread
+            pending = thread.pending_exception
+            ctx = (
+                thread.thread_id,
+                id(env),
+                None if pending is None else pending.describe(),
+                len(classes),
+            )
+            snaps = []
+            snaps_append = snaps.append
+            for a in args:
+                cls = a.__class__
+                if cls is int or cls is str:
+                    snaps_append(a)
+                else:
+                    s = snappers_get(cls)
+                    snaps_append(s(a) if s is not None else snap(a))
+            seq_cell[0] = seq = seq_cell[0] + 1
+            records_append(("c", seq, name, native, ctx, snaps))
+            if jtick is not None:
+                jtick()
+            return seq
+
+        return call_hook
+
+    def _jni_return_hook(self, name: str, native: bool):
+        records_append = self._records.append
+        seq_cell = self._seq
+        host = self._host
+        classes = host.classes
+        snappers_get = _SNAPPERS.get
+        snap = _snap
+        jtick = self._journal_tick if self._journal is not None else None
+
+        def return_hook(env, args, result, callseq):
+            thread = host.current_thread
+            pending = thread.pending_exception
+            ctx = (
+                thread.thread_id,
+                id(env),
+                None if pending is None else pending.describe(),
+                len(classes),
+            )
+            snaps = []
+            snaps_append = snaps.append
+            for a in args:
+                cls = a.__class__
+                if cls is int or cls is str:
+                    snaps_append(a)
+                else:
+                    s = snappers_get(cls)
+                    snaps_append(s(a) if s is not None else snap(a))
+            rcls = result.__class__
+            if rcls is int or rcls is str:
+                rsnap = result
+            else:
+                s = snappers_get(rcls)
+                rsnap = s(result) if s is not None else snap(result)
+            seq_cell[0] = seq2 = seq_cell[0] + 1
+            records_append(
+                ("r", seq2, callseq, name, native, ctx, snaps, rsnap)
+            )
+            if jtick is not None:
+                jtick()
+
+        return return_hook
+
+    def _pyc_call_hook(self, name: str, native: bool):
+        records_append = self._records.append
+        seq_cell = self._seq
+        interp = self._host
+        snappers_get = _SNAPPERS.get
+        snap = _snap
+        jtick = self._journal_tick if self._journal is not None else None
+
+        def call_hook(env, args):
+            exc = interp.exc_info
+            ctx = (
+                interp.current_thread,
+                interp.gil_holder,
+                None if exc is None else list(exc),
+            )
+            snaps = []
+            snaps_append = snaps.append
+            for a in args:
+                cls = a.__class__
+                if cls is int or cls is str:
+                    snaps_append(a)
+                else:
+                    s = snappers_get(cls)
+                    snaps_append(s(a) if s is not None else snap(a))
+            seq_cell[0] = seq = seq_cell[0] + 1
+            records_append(("c", seq, name, native, ctx, snaps))
+            if jtick is not None:
+                jtick()
+            return seq
+
+        return call_hook
+
+    def _pyc_return_hook(self, name: str, native: bool):
+        records_append = self._records.append
+        seq_cell = self._seq
+        interp = self._host
+        snappers_get = _SNAPPERS.get
+        snap = _snap
+        jtick = self._journal_tick if self._journal is not None else None
+
+        def return_hook(env, args, result, callseq):
+            exc = interp.exc_info
+            ctx = (
+                interp.current_thread,
+                interp.gil_holder,
+                None if exc is None else list(exc),
+            )
+            snaps = []
+            snaps_append = snaps.append
+            for a in args:
+                cls = a.__class__
+                if cls is int or cls is str:
+                    snaps_append(a)
+                else:
+                    s = snappers_get(cls)
+                    snaps_append(s(a) if s is not None else snap(a))
+            rcls = result.__class__
+            if rcls is int or rcls is str:
+                rsnap = result
+            else:
+                s = snappers_get(rcls)
+                rsnap = s(result) if s is not None else snap(result)
+            seq_cell[0] = seq2 = seq_cell[0] + 1
+            records_append(
+                ("r", seq2, callseq, name, native, ctx, snaps, rsnap)
+            )
+            if jtick is not None:
+                jtick()
+
+        return return_hook
+
     # -- non-event hooks -------------------------------------------------
 
     def on_thread_start(self, thread) -> None:

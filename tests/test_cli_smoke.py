@@ -10,8 +10,10 @@ import pytest
 from repro.cli import (
     _COMMANDS,
     _FUZZ_COMMANDS,
+    _PIPELINE_COMMANDS,
     _RESILIENCE_COMMANDS,
     _TRACE_COMMANDS,
+    build_parser,
     main,
 )
 
@@ -43,6 +45,12 @@ SIMPLE_COMMANDS = [
     ["demo", "Nullness", "--checker", "xcheck", "--vendor", "J9"],
     ["dispatch"],
     ["dispatch", "--substrate", "pyc"],
+    ["dispatch", "--json"],
+    ["pipeline", "show"],
+    ["pipeline", "show", "--substrate", "pyc"],
+    ["pipeline", "show", "--mode", "interpretive", "--dispatch", "fanout"],
+    ["pipeline", "show", "--json"],
+    ["pipeline", "show", "--function", "DeleteLocalRef"],
 ]
 
 
@@ -241,6 +249,78 @@ class TestResilienceSubcommands:
         assert '"budget"' in printed
 
 
+class TestJsonSurfaces:
+    """--json outputs parse and carry the fields tooling reads."""
+
+    def test_dispatch_json(self, capsys):
+        import json
+
+        assert main(["dispatch", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["substrate"] == "jni"
+        assert stats["indexed_handlers"] < stats["fanout_handlers"]
+        assert "hits" in stats["wrapper_cache"]
+
+    def test_pipeline_show_json(self, capsys):
+        import json
+
+        assert main(["pipeline", "show", "--substrate", "pyc", "--json"]) == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["mode"] == "generated"
+        assert plan["substrate"] == "pyc"
+        assert [s["name"] for s in plan["interceptors"]] == [
+            "machines", "containment",
+        ]
+        assert plan["functions"] == len(plan["per_function"]) - 1
+        assert "plan_modules" in plan["wrapper_cache"]
+        # Every fused op list brackets the raw call.
+        for steps in plan["per_function"].values():
+            assert "raw" in steps
+
+
+#: The exact subcommand surface from before the cli package split; every
+#: argv here must still parse against the assembled parser.
+PRE_SPLIT_ARGVS = [
+    ["table1"],
+    ["table2"],
+    ["coverage"],
+    ["machines"],
+    ["generate", "-o", "out.py", "--interpose-only"],
+    ["fig9"],
+    ["fig10", "--entries", "5"],
+    ["fig11"],
+    ["demo", "ExceptionState", "--checker", "xcheck", "--vendor", "J9"],
+    ["dispatch", "--substrate", "pyc"],
+    ["trace", "record", "t", "-o", "x", "--journal", "j", "--sync-every", "4"],
+    ["trace", "replay", "a", "b", "--shards", "2", "--force"],
+    ["trace", "replay", "a", "--timeout", "5"],
+    ["trace", "diff", "old", "new", "--force"],
+    ["trace", "corpus", "-o", "d", "--scale", "10", "--benchmarks", "x"],
+    ["trace", "recover", "j", "-o", "t"],
+    ["fuzz", "run", "--seed", "1", "--rounds", "2", "--substrate", "pyc",
+     "--smoke", "--json", "--timeout", "5"],
+    ["fuzz", "shrink", "f", "--seed", "1"],
+    ["fuzz", "corpus", "-o", "d", "--seed", "1", "--substrate", "jni",
+     "--check"],
+    ["fuzz", "faults"],
+    ["fuzz", "graph", "local_ref", "--substrate", "jni"],
+    ["fuzz", "graph"],
+    ["resilience", "chaos", "--seed", "1", "--rounds", "2",
+     "--substrate", "both", "--json"],
+    ["resilience", "supervise", "fuzz:1", "--seed", "1", "--timeout", "5",
+     "--retries", "2", "--substrate", "pyc"],
+    ["resilience", "recover", "j", "-o", "t"],
+    ["resilience", "status", "--seed", "1", "--substrate", "jni",
+     "--budget", "0.5", "--window", "32", "--repeats", "2"],
+]
+
+
+@pytest.mark.parametrize("argv", PRE_SPLIT_ARGVS, ids=lambda a: " ".join(a))
+def test_pre_split_surface_still_parses(argv):
+    args = build_parser().parse_args(argv)
+    assert args.command == argv[0]
+
+
 class TestCommandSurfaceIsCovered:
     def test_every_top_level_command_is_smoked(self):
         smoked = {argv[0] for argv in SIMPLE_COMMANDS} | {
@@ -259,3 +339,7 @@ class TestCommandSurfaceIsCovered:
     def test_every_resilience_subcommand_is_smoked(self):
         smoked = {"chaos", "supervise", "recover", "status"}
         assert smoked == set(_RESILIENCE_COMMANDS)
+
+    def test_every_pipeline_subcommand_is_smoked(self):
+        smoked = {"show"}
+        assert smoked == set(_PIPELINE_COMMANDS)

@@ -1,0 +1,199 @@
+"""Fused-vs-nested parity: the pipeline refactor changes no behavior.
+
+Every test runs the same inputs through both call-path substrates —
+``pipeline="fused"`` (one flat entry per crossing, the default) and
+``pipeline="nested"`` (the historic recorder → governor → wrapper →
+raw closure stack) — and asserts byte-identical violation streams,
+replay results, and recorded trace lines.
+
+Trace lines need one normalization on JNI: the recorded ``env_token``
+is ``id(env)``, a memory address that differs between two runs in the
+same process.  Tokens are remapped first-seen → ordinal on both sides
+before comparing; everything else must match byte for byte.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.fuzz import FAULTS
+from repro.fuzz.engine import run_ops, task_rng
+from repro.fuzz.gen import generate_sequence
+from repro.fuzz.ops import run_jni_ops, run_pyc_ops
+from repro.resilience import GovernorPolicy, OverheadGovernor, chaos_run
+from repro.core.runtime import ContainmentPolicy
+
+CORPUS_MANIFEST = os.path.join(
+    os.path.dirname(__file__), "data", "fuzz_corpus", "manifest.json"
+)
+
+
+def normalized_lines(lines, substrate):
+    """Trace lines with JNI env address tokens remapped to ordinals."""
+    if substrate != "jni":
+        return list(lines)
+    env_ids = {}
+
+    def remap(token):
+        if token not in env_ids:
+            env_ids[token] = len(env_ids)
+        return env_ids[token]
+
+    out = []
+    for line in lines:
+        record = json.loads(line)
+        if not isinstance(record, list):
+            out.append(line)  # the header object
+            continue
+        kind = record[0]
+        if kind == "t":
+            record[3] = remap(record[3])
+        elif kind == "c":
+            record[4][1] = remap(record[4][1])
+        elif kind == "r":
+            record[5][1] = remap(record[5][1])
+        out.append(json.dumps(record))
+    return out
+
+
+def assert_execution_parity(substrate, ops):
+    fused = run_ops(substrate, ops, pipeline="fused")
+    nested = run_ops(substrate, ops, pipeline="nested")
+    assert fused.live.outcome == nested.live.outcome
+    assert fused.live.reports == nested.live.reports
+    assert fused.replay_reports == nested.replay_reports
+    assert fused.diff == nested.diff
+    assert fused.event_count == nested.event_count
+    assert normalized_lines(
+        fused.trace_lines, substrate
+    ) == normalized_lines(nested.trace_lines, substrate)
+    return fused
+
+
+@pytest.mark.parametrize("substrate", ["jni", "pyc"])
+def test_valid_sequence_parity(substrate):
+    sequence = generate_sequence(
+        task_rng(2026, "pipeline-parity", substrate), substrate
+    )
+    result = assert_execution_parity(substrate, sequence.ops)
+    assert result.live.reports == []  # valid sequences stay clean
+
+
+def _corpus_entries():
+    with open(CORPUS_MANIFEST) as f:
+        manifest = json.load(f)
+    return manifest["entries"]
+
+
+@pytest.mark.parametrize(
+    "entry", _corpus_entries(), ids=lambda e: e["name"]
+)
+def test_fuzz_corpus_parity(entry):
+    """Every minimized corpus slice detects identically on both paths."""
+    ops = [tuple(op) for op in entry["ops"]]
+    result = assert_execution_parity(entry["substrate"], ops)
+    assert len(result.live.reports) >= 1  # the slice still detects
+
+
+@pytest.mark.parametrize(
+    "fault", FAULTS, ids=lambda f: "{}-{}".format(f.substrate, f.name)
+)
+def test_injected_fault_parity(fault):
+    """Freshly injected fault sequences, not just the frozen corpus."""
+    base = generate_sequence(
+        task_rng(2026, "pipeline-fault", fault.name), fault.substrate
+    )
+    injected = fault.inject(task_rng(2026, "pipeline-inject", fault.name), base)
+    assert_execution_parity(fault.substrate, injected.ops)
+
+
+@pytest.mark.parametrize("substrate", ["jni", "pyc"])
+def test_chaos_report_parity(substrate):
+    """Internal checker faults contain identically on both paths."""
+    fused = chaos_run(3, substrate=substrate, pipeline="fused")
+    nested = chaos_run(3, substrate=substrate, pipeline="nested")
+    assert fused == nested
+    assert fused["machines_quarantined"] > 0  # the scenario bites
+
+
+def _structural(report):
+    """The deterministic slice of a governor report (timings dropped)."""
+    return {
+        "budget": report["budget"],
+        "window": report["window"],
+        "degraded": report["degraded"],
+        "pairs": report["pairs"],
+    }
+
+
+def _preset_governor(substrate, period):
+    """A governor with deterministic sampling: preset periods, no
+    rebalance (the window is far larger than any test workload)."""
+    governor = OverheadGovernor(GovernorPolicy(window=10**6))
+    if substrate == "pyc":
+        from repro.pyc.spec import PY_FUNCTIONS as table
+    else:
+        from repro.jni.functions import FUNCTIONS as table
+    for name in table:
+        governor.fused_binding(name).period = period
+    return governor
+
+
+@pytest.mark.parametrize("substrate", ["jni", "pyc"])
+def test_governed_sampling_parity(substrate):
+    """Slot-counted sampling skips the same calls on both paths."""
+    fault = next(f for f in FAULTS if f.substrate == substrate)
+    base = generate_sequence(
+        task_rng(2026, "pipeline-govern", substrate), substrate
+    )
+    injected = fault.inject(task_rng(2026, "pipeline-govern"), base)
+    ops = [tuple(op) for op in injected.ops] * 3
+    runner = run_pyc_ops if substrate == "pyc" else run_jni_ops
+    outcomes = {}
+    reports = {}
+    for pipeline in ("fused", "nested"):
+        governor = _preset_governor(substrate, period=3)
+        outcomes[pipeline] = runner(
+            ops, governor=governor, pipeline=pipeline
+        )
+        reports[pipeline] = _structural(governor.report())
+    assert outcomes["fused"].outcome == outcomes["nested"].outcome
+    assert outcomes["fused"].reports == outcomes["nested"].reports
+    assert reports["fused"] == reports["nested"]
+    sampled_out = sum(
+        p["sampled_out"] for p in reports["fused"]["pairs"].values()
+    )
+    assert sampled_out > 0  # sampling actually engaged
+
+
+@pytest.mark.parametrize("substrate", ["jni", "pyc"])
+def test_full_stack_parity(substrate):
+    """Recorder + governor + containment all attached at once."""
+    from repro.trace import TraceRecorder
+
+    fault = next(f for f in FAULTS if f.substrate == substrate)
+    base = generate_sequence(
+        task_rng(2026, "pipeline-stack", substrate), substrate
+    )
+    injected = fault.inject(task_rng(2026, "pipeline-stack"), base)
+    runner = run_pyc_ops if substrate == "pyc" else run_jni_ops
+    lines = {}
+    outcomes = {}
+    for pipeline in ("fused", "nested"):
+        recorder = TraceRecorder()
+        # budget=1.0: the share can never exceed it, so the control
+        # law never degrades a pair and the run stays deterministic.
+        governor = OverheadGovernor(GovernorPolicy(budget=1.0))
+        outcomes[pipeline] = runner(
+            injected.ops,
+            observer=recorder,
+            governor=governor,
+            containment=ContainmentPolicy(),
+            pipeline=pipeline,
+        )
+        recorder.close()
+        lines[pipeline] = normalized_lines(recorder.lines, substrate)
+    assert outcomes["fused"].outcome == outcomes["nested"].outcome
+    assert outcomes["fused"].reports == outcomes["nested"].reports
+    assert lines["fused"] == lines["nested"]

@@ -1,0 +1,287 @@
+"""Unit tests for the interceptor protocol and the plan compiler."""
+
+import pytest
+
+from repro.core.cache import WrapperCache
+from repro.core.dispatch import NATIVE_KEY
+from repro.jinn.agent import JinnAgent
+from repro.jinn.machines import build_registry
+from repro.jni.functions import FUNCTIONS
+from repro.jvm import HOTSPOT, JavaVM
+from repro.pipeline import (
+    CallSite,
+    ContainmentGuard,
+    GovernorMeter,
+    Interceptor,
+    MachineDispatchStage,
+    PipelinePlan,
+    RecorderTap,
+)
+
+
+def jni_runtime():
+    agent = JinnAgent()
+    JavaVM(vendor=HOTSPOT, agents=[agent])
+    return agent
+
+
+class TestInterceptorProtocol:
+    def test_base_defaults(self):
+        stage = Interceptor()
+        site = CallSite("GetVersion")
+        assert stage.on_call(site) is None
+        assert stage.on_return(site) is None
+        stage.on_violation(object())  # optional surfaces are no-ops
+        stage.on_reset()
+        assert stage.describe() == {"name": "interceptor"}
+
+    def test_callsite_governor_key(self):
+        assert CallSite("NewStringUTF").governor_key() == "NewStringUTF"
+        assert (
+            CallSite("Java_Lib_work", native=True).governor_key()
+            == "native:Java_Lib_work"
+        )
+
+    def test_recorder_tap_hands_out_hooks(self):
+        from repro.trace import TraceRecorder
+
+        agent = jni_runtime()
+        recorder = TraceRecorder()
+        recorder.attach_jinn(agent.rt, agent.vm)
+        try:
+            tap = RecorderTap(recorder)
+            site = CallSite("GetVersion")
+            assert callable(tap.on_call(site))
+            assert callable(tap.on_return(site))
+            assert tap.describe() == {"name": "recorder", "journal": False}
+        finally:
+            recorder.close()
+
+    def test_governor_meter_shares_pair_state(self):
+        from repro.resilience import OverheadGovernor
+
+        governor = OverheadGovernor()
+        meter = GovernorMeter(governor)
+        state = meter.binding(CallSite("NewStringUTF"))
+        # The same PairState object the nested proxy would close over.
+        assert state is governor.fused_binding("NewStringUTF")
+        clock, tick, window, rebalance = meter.shared()
+        assert tick is governor._tick
+        assert window == governor.policy.window
+
+    def test_machine_stage_resolves_encodings(self):
+        from repro.fsm.events import Direction
+
+        agent = jni_runtime()
+        stage = MachineDispatchStage(agent.rt, agent.registry)
+        pre = stage.encodings(
+            "DeleteLocalRef", Direction.CALL_NATIVE_TO_MANAGED
+        )
+        assert len(pre) == len(agent.registry.names())  # unindexed fan-out
+        unchecked = MachineDispatchStage(
+            agent.rt, agent.registry, checking=False
+        )
+        assert unchecked.encodings(
+            "DeleteLocalRef", Direction.CALL_NATIVE_TO_MANAGED
+        ) == []
+
+    def test_containment_guard_reports_health(self):
+        agent = jni_runtime()
+        guard = ContainmentGuard(agent.rt)
+        described = guard.describe()
+        assert described["name"] == "containment"
+        assert described["enabled"] is True
+        assert described["level"] == "full"
+
+
+class TestPlanComposition:
+    def test_bare_stack(self):
+        agent = jni_runtime()
+        plan = PipelinePlan(agent.rt, agent.registry)
+        assert [s.name for s in plan.interceptors()] == [
+            "machines", "containment",
+        ]
+
+    def test_full_stack_outermost_first(self):
+        from repro.resilience import OverheadGovernor
+        from repro.trace import TraceRecorder
+
+        agent = jni_runtime()
+        recorder = TraceRecorder()
+        recorder.attach_jinn(agent.rt, agent.vm)
+        try:
+            plan = PipelinePlan(
+                agent.rt,
+                agent.registry,
+                recorder=recorder,
+                governor=OverheadGovernor(),
+            )
+            assert [s.name for s in plan.interceptors()] == [
+                "recorder", "governor", "machines", "containment",
+            ]
+        finally:
+            recorder.close()
+
+    def test_rejects_unknown_mode_and_dispatch(self):
+        agent = jni_runtime()
+        with pytest.raises(ValueError, match="mode"):
+            PipelinePlan(agent.rt, agent.registry, mode="jit")
+        with pytest.raises(ValueError, match="dispatch"):
+            PipelinePlan(agent.rt, agent.registry, dispatch="hash")
+
+    def test_reset_forwards_to_runtime(self):
+        agent = jni_runtime()
+        plan = PipelinePlan(agent.rt, agent.registry)
+        agent.rt.health.level = "degraded"
+        plan.reset()
+        assert agent.rt.health.level == "full"
+
+
+class TestPlanEntries:
+    def test_generated_entries_cover_the_table(self):
+        agent = jni_runtime()
+        plan = PipelinePlan(agent.rt, agent.registry)
+        thread = agent.vm.current_thread
+        entries = plan.entries(thread.env.function_table())
+        assert set(entries) == set(thread.env.function_table())
+        for entry in entries.values():
+            assert callable(entry)
+
+    def test_native_entry_without_prior_table(self):
+        # Binding a native before any thread's table was installed must
+        # work: the factory self-binds against a stub raw table.
+        agent = jni_runtime()
+        plan = PipelinePlan(agent.rt, agent.registry)
+        calls = []
+
+        def impl(env, this, *args):
+            calls.append(args)
+            return 0
+
+        entry = plan.native_entry("Java_Lib_work", impl)
+        assert callable(entry)
+
+    def test_interpretive_entries_match_generated_surface(self):
+        agent = jni_runtime()
+        thread = agent.vm.current_thread
+        raw = thread.env.function_table()
+        generated = PipelinePlan(agent.rt, agent.registry).entries(raw)
+        interpretive = PipelinePlan(
+            agent.rt, agent.registry, mode="interpretive"
+        ).entries(raw)
+        assert set(generated) == set(interpretive)
+
+
+class TestPlanDescribe:
+    def test_generated_describe(self):
+        agent = jni_runtime()
+        plan = PipelinePlan(agent.rt, agent.registry)
+        described = plan.describe()
+        assert described["mode"] == "generated"
+        assert described["functions"] == len(FUNCTIONS)
+        assert described["checked_sites"] > 0
+        per_function = described["per_function"]
+        assert NATIVE_KEY in per_function
+        assert len(per_function) == len(FUNCTIONS) + 1
+        for steps in per_function.values():
+            assert "raw" in steps
+
+    def test_interpose_checks_nothing(self):
+        agent = jni_runtime()
+        plan = PipelinePlan(agent.rt, agent.registry, mode="interpose")
+        described = plan.describe()
+        assert described["checked_sites"] == 0
+        assert all(
+            steps == ["raw"]
+            for steps in described["per_function"].values()
+        )
+
+    def test_fanout_visits_every_machine(self):
+        agent = jni_runtime()
+        indexed = PipelinePlan(
+            agent.rt, agent.registry, mode="interpretive"
+        ).describe()
+        fanout = PipelinePlan(
+            agent.rt, agent.registry, mode="interpretive", dispatch="fanout"
+        ).describe()
+        machines = len(agent.registry.names())
+        fanout_steps = fanout["per_function"]["DeleteLocalRef"]
+        assert sum(
+            1 for s in fanout_steps if s.startswith("check:") and
+            s.endswith(":pre")
+        ) == machines
+        indexed_steps = indexed["per_function"]["DeleteLocalRef"]
+        assert len(indexed_steps) < len(fanout_steps)
+
+    def test_stage_flags_show_in_op_lists(self):
+        from repro.resilience import OverheadGovernor
+        from repro.trace import TraceRecorder
+
+        agent = jni_runtime()
+        recorder = TraceRecorder()
+        recorder.attach_jinn(agent.rt, agent.vm)
+        try:
+            plan = PipelinePlan(
+                agent.rt,
+                agent.registry,
+                recorder=recorder,
+                governor=OverheadGovernor(),
+            )
+            steps = plan.describe()["per_function"]["DeleteLocalRef"]
+            assert steps[0] == "record:call"
+            assert steps[1] == "govern:sample"
+            assert steps[-2] == "govern:meter"
+            assert steps[-1] == "record:return"
+        finally:
+            recorder.close()
+
+
+class TestPlanCache:
+    def test_same_spec_and_flags_share_one_module(self):
+        cache = WrapperCache()
+        registry = build_registry()
+        first = cache.plans_for(registry)
+        second = cache.plans_for(build_registry())
+        assert first is second
+        stats = cache.stats()
+        assert stats["plan_modules"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_stage_flags_key_distinct_modules(self):
+        cache = WrapperCache()
+        registry = build_registry()
+        plain = cache.plans_for(registry)
+        recording = cache.plans_for(registry, record=True)
+        governed = cache.plans_for(registry, record=True, govern=True)
+        assert plain is not recording
+        assert recording is not governed
+        assert cache.stats()["plan_modules"] == 3
+
+    def test_plan_uses_injected_cache(self):
+        agent = jni_runtime()
+        cache = WrapperCache()
+        PipelinePlan(agent.rt, agent.registry, cache=cache)
+        assert cache.stats()["plan_modules"] == 1
+
+
+class TestFusedFanoutDetection:
+    def test_interpretive_fanout_still_detects(self):
+        """The fused interpretive fan-out entry reaches every machine."""
+        from repro.workloads.microbench import scenario_by_name
+
+        streams = {}
+        for dispatch in ("index", "fanout"):
+            agent = JinnAgent(mode="interpretive", dispatch=dispatch)
+            vm = JavaVM(vendor=HOTSPOT, agents=[agent])
+            try:
+                scenario_by_name("Nullness").run(vm)
+            except Exception:
+                pass
+            vm.shutdown()
+            streams[dispatch] = [
+                (v.machine, v.error_state, v.function)
+                for v in agent.rt.violations
+            ]
+        assert streams["index"] == streams["fanout"]
+        assert streams["index"]  # the scenario demonstrates a bug
