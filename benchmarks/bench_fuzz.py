@@ -113,7 +113,11 @@ def run_fuzz_quick(out_path: str) -> dict:
         "shrink_fixpoint_ok": fixpoint_ok,
         "shrink_fingerprint_ok": fingerprint_ok,
     }
-    write_bench_json(out_path, report)
+    write_bench_json(out_path, report, thresholds={
+        "detection_rate_min": 1.0,
+        "divergences_max": 0,
+        "valid_sequence_violations_max": 0,
+    })
     return report
 
 

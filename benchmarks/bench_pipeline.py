@@ -182,7 +182,11 @@ def run_pipeline_quick(out_path: str) -> dict:
             < dispatch["sparse"]["fanout_seconds"]
         ),
     }
-    write_bench_json(out_path, report)
+    write_bench_json(out_path, report, thresholds={
+        "fused_median_paired_ratio_max": STACK_MARGIN,
+        "dispatch_full_index_margin": 1.15,
+        "dispatch_sparse_index_ratio_max": 1.0,
+    })
     return report
 
 

@@ -205,7 +205,10 @@ def run_dispatch_quick(out_path: str) -> dict:
         "full_ok": full["index_seconds"] <= full["fanout_seconds"] * 1.15,
         "sparse_ok": sparse["index_seconds"] < sparse["fanout_seconds"],
     }
-    write_bench_json(out_path, report)
+    write_bench_json(out_path, report, thresholds={
+        "full_index_margin": 1.15,
+        "sparse_index_ratio_max": 1.0,
+    })
     return report
 
 

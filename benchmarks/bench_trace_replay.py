@@ -249,7 +249,11 @@ def run_replay_quick(out_path: str) -> dict:
         "record_overhead_ok": report["record"]["plain_run_overhead"] <= 1.10,
         "shard_speedup_ok": report["replay"]["critical_path_speedup"] > 1.0,
     }
-    write_bench_json(out_path, report)
+    write_bench_json(out_path, report, thresholds={
+        "replay_rate_ratio_min": 5.0,
+        "record_overhead_max": 1.10,
+        "shard_critical_path_speedup_min": 1.0,
+    })
     return report
 
 

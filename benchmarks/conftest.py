@@ -15,14 +15,21 @@ import sys
 collect_ignore_glob = []
 
 
-def write_bench_json(out_path, report):
+def write_bench_json(out_path, report, thresholds=None):
     """Write one ``BENCH_*.json`` report in the canonical shape.
 
     Every writer routes through here so reports are diffable across
-    runs: sorted keys, two-space indent, trailing newline.
+    runs: sorted keys, two-space indent, trailing newline.  Each report
+    is stamped with ``schema: 1`` and, when the caller passes its gate
+    ``thresholds``, records them next to the measurements — a report
+    must say what bar it was held to, not just whether it passed.
     """
+    document = dict(report)
+    document.setdefault("schema", 1)
+    if thresholds is not None:
+        document["thresholds"] = thresholds
     with open(out_path, "w") as f:
-        json.dump(report, f, indent=2, sort_keys=True)
+        json.dump(document, f, indent=2, sort_keys=True)
         f.write("\n")
 
 

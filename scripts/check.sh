@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: tests, bytecode compilation, the fixed-seed fuzz smoke,
-# the resilience smoke (chaos containment + crash recovery), and the
-# quick benchmark gates (write BENCH_interpretive_dispatch.json,
-# BENCH_trace_replay.json, BENCH_fuzz.json, BENCH_resilience.json, and
-# BENCH_pipeline.json).
+# the resilience smoke (chaos containment + crash recovery), the obs
+# CLI smoke, and the quick benchmark gates (write
+# BENCH_interpretive_dispatch.json, BENCH_trace_replay.json,
+# BENCH_fuzz.json, BENCH_resilience.json, BENCH_pipeline.json, and
+# BENCH_obs.json).
 #
 # Usage: scripts/check.sh [--no-bench]
 set -euo pipefail
@@ -28,6 +29,14 @@ echo "== resilience smoke (fixed-seed chaos + crash recovery) =="
 timeout 300 python -m repro.cli resilience chaos --seed 2026 --substrate pyc
 timeout 300 python -m pytest -q tests/test_trace_journal.py
 
+echo "== obs smoke (deterministic snapshot + status roll-up) =="
+timeout 300 python -m repro.cli obs snapshot --fake-clock --repeats 2 \
+    -o /tmp/obs_smoke.json
+timeout 300 python -m repro.cli obs top --input /tmp/obs_smoke.json
+timeout 300 python -m repro.cli obs export --input /tmp/obs_smoke.json \
+    --format prometheus > /dev/null
+timeout 300 python -m repro.cli status --repeats 2
+
 if [[ "${1:-}" != "--no-bench" ]]; then
     echo "== dispatch-index bench gate (quick) =="
     python benchmarks/bench_table3_overhead.py --quick
@@ -43,6 +52,9 @@ if [[ "${1:-}" != "--no-bench" ]]; then
 
     echo "== fused pipeline bench gate (quick) =="
     timeout 600 python benchmarks/bench_pipeline.py --quick
+
+    echo "== observability bench gate (quick) =="
+    timeout 600 python benchmarks/bench_obs.py --quick
 fi
 
 echo "OK"

@@ -18,12 +18,16 @@ Gives downstream users the paper's artifacts without writing code:
 - ``fuzz``       — spec-driven FFI fuzzing: ``run``, ``shrink``,
   ``corpus``, ``faults``, ``graph``;
 - ``resilience`` — supervised checking sessions: ``chaos``,
-  ``supervise``, ``recover``, ``status``.
+  ``supervise``, ``recover``, ``status``;
+- ``obs``        — observe a checked run: ``snapshot``, ``top``,
+  ``diff``, ``export``;
+- ``status``     — one roll-up of pipeline, governor, caches, telemetry.
 
 One module per command group (``repro.cli.paper``, ``.dispatch``,
-``.pipeline``, ``.trace``, ``.fuzz``, ``.resilience``); each exposes a
-``COMMANDS`` mapping and an ``add_parsers(sub)`` hook this package
-assembles into the single ``repro`` parser.
+``.pipeline``, ``.trace``, ``.fuzz``, ``.resilience``, ``.obs``,
+``.status``); each exposes a ``COMMANDS`` mapping and an
+``add_parsers(sub)`` hook this package assembles into the single
+``repro`` parser.
 """
 
 from __future__ import annotations
@@ -34,9 +38,11 @@ from typing import List, Optional
 
 from repro.cli import dispatch as _dispatch_group
 from repro.cli import fuzz as _fuzz_group
+from repro.cli import obs as _obs_group
 from repro.cli import paper as _paper_group
 from repro.cli import pipeline as _pipeline_group
 from repro.cli import resilience as _resilience_group
+from repro.cli import status as _status_group
 from repro.cli import trace as _trace_group
 
 #: Parser-registration order fixes ``repro --help``'s command listing.
@@ -47,6 +53,8 @@ _GROUPS = (
     _trace_group,
     _fuzz_group,
     _resilience_group,
+    _obs_group,
+    _status_group,
 )
 
 
@@ -69,6 +77,7 @@ _TRACE_COMMANDS = _trace_group.SUBCOMMANDS
 _FUZZ_COMMANDS = _fuzz_group.SUBCOMMANDS
 _RESILIENCE_COMMANDS = _resilience_group.SUBCOMMANDS
 _PIPELINE_COMMANDS = _pipeline_group.SUBCOMMANDS
+_OBS_COMMANDS = _obs_group.SUBCOMMANDS
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -24,6 +24,7 @@ from repro.core.cache import (
     dispatch_for,
     wrappers_for,
 )
+from repro.core.clock import SYSTEM_CLOCK, Clock, FakeClock, SystemClock
 from repro.core.defaults import (
     RETURN_DEFAULT_LITERALS,
     RETURN_DEFAULTS,
@@ -39,8 +40,12 @@ from repro.core.runtime import (
 
 __all__ = [
     "CheckerRuntime",
+    "Clock",
     "DispatchIndex",
     "FailurePolicy",
+    "FakeClock",
+    "SYSTEM_CLOCK",
+    "SystemClock",
     "NATIVE_KEY",
     "RETURN_DEFAULTS",
     "RETURN_DEFAULT_LITERALS",

@@ -103,12 +103,13 @@ class WrapperCache:
         checking: bool = True,
         record: bool = False,
         govern: bool = False,
+        telemetry: bool = False,
     ) -> Callable:
         """The compiled fused-pipeline ``build_entries`` for one spec set.
 
         Keyed like :meth:`wrappers_for` plus the active stage flags: a
-        plan with the recorder tap fused in is a different compiled
-        module than one without it.
+        plan with the recorder tap (or the telemetry tap) fused in is a
+        different compiled module than one without it.
         """
         key = (
             registry.fingerprint(),
@@ -116,6 +117,7 @@ class WrapperCache:
             checking,
             record,
             govern,
+            telemetry,
         )
         built = self._get(self._plans, key)
         if built is None:
@@ -123,7 +125,8 @@ class WrapperCache:
 
             synthesizer = Synthesizer(registry, function_table=function_table)
             built = synthesizer.build_pipeline(
-                checking=checking, record=record, govern=govern
+                checking=checking, record=record, govern=govern,
+                telemetry=telemetry,
             )
             self._put(self._plans, key, built)
         return built

@@ -356,6 +356,11 @@ class CheckerRuntime:
         #: table-install time, and install untapped wrappers when it is
         #: unset (guard, don't wrap).
         self.observer = None
+        #: Optional telemetry sink (a ``repro.obs.ObsHub``), wired by
+        #: the pipeline plan when a TelemetryTap stage is attached.
+        #: Same guard-don't-wrap contract as ``observer``: one None
+        #: check on the failure path, nothing anywhere else.
+        self.telemetry = None
 
     # -- substrate hook --------------------------------------------------
 
@@ -375,6 +380,8 @@ class CheckerRuntime:
         self.violations.append(violation)
         if self.observer is not None:
             self.observer.on_violation(violation)
+        if self.telemetry is not None:
+            self.telemetry.on_violation(violation)
         self.log("{}: {}".format(self.log_prefix, violation.report()))
         return self.policy.handle(self, env, violation, default)
 
@@ -467,6 +474,8 @@ class CheckerRuntime:
                 self.violations.append(leak)
                 if self.observer is not None:
                     self.observer.on_violation(leak)
+                if self.telemetry is not None:
+                    self.telemetry.on_violation(leak)
                 self.log("{}: {}".format(self.log_prefix, leak.report()))
                 found.append(leak)
         for line in self.health.diagnostics():

@@ -69,6 +69,7 @@ class JinnAgent(JVMTIAgent):
         observer=None,
         containment=None,
         governor=None,
+        telemetry=None,
     ):
         if mode not in _MODES:
             raise ValueError("mode must be one of {}".format(_MODES))
@@ -76,6 +77,11 @@ class JinnAgent(JVMTIAgent):
             raise ValueError("dispatch must be one of {}".format(_DISPATCHES))
         if pipeline not in _PIPELINES:
             raise ValueError("pipeline must be one of {}".format(_PIPELINES))
+        if telemetry is not None and pipeline != "fused":
+            raise ValueError(
+                "telemetry requires the fused pipeline "
+                "(the nested stack has no tap stage)"
+            )
         self.registry = registry if registry is not None else build_registry()
         self.mode = mode
         self.dispatch = dispatch
@@ -89,6 +95,9 @@ class JinnAgent(JVMTIAgent):
         #: Optional :class:`repro.resilience.governor.OverheadGovernor`;
         #: when set, installed tables route through its metering proxies.
         self.governor = governor
+        #: Optional :class:`repro.obs.ObsHub` (or a prepared
+        #: :class:`repro.obs.TelemetryTap`); fused into the entries.
+        self.telemetry = telemetry
         self.rt: Optional[JinnRuntime] = None
         self.vm = None
         self._build_wrappers = None
@@ -205,6 +214,7 @@ class JinnAgent(JVMTIAgent):
                 dispatch=self.dispatch,
                 recorder=self.rt.observer,
                 governor=self.governor,
+                telemetry=self.telemetry,
             )
         return plan
 

@@ -256,25 +256,28 @@ class Synthesizer:
         checking: bool = True,
         record: bool = False,
         govern: bool = False,
+        telemetry: bool = False,
     ) -> str:
         """The fused pipeline module: one flat entry per FFI function.
 
         Where :meth:`generate_source` emits only the machine guards —
         historically stacked under separate recorder and governor
         wrapper closures — this emits the *whole* per-call path in a
-        single function body: the trace tap's call/return hooks, the
-        governor's counters and sampling branch, the machine checks with
-        their containment arms, and the raw call.  One entry frame per
-        crossing, one ``*args`` pack, no nested proxies.
+        single function body: the telemetry tap's span hooks, the trace
+        tap's call/return hooks, the governor's counters and sampling
+        branch, the machine checks with their containment arms, and the
+        raw call.  One entry frame per crossing, one ``*args`` pack, no
+        nested proxies.
 
-        The stage order matches the legacy nesting exactly (recorder
-        outermost, governor inside it, checks innermost) so the fused
-        and nested compositions produce byte-identical violation and
-        trace streams.
+        The stage order matches the legacy nesting exactly (telemetry
+        outermost, then recorder, governor inside it, checks innermost)
+        so the fused and nested compositions produce byte-identical
+        violation and trace streams — the telemetry hooks only observe,
+        they never branch the entry's control flow.
         """
         plan = self.machine_plan() if checking else None
         stages = [s for s, on in (
-            ("record", record), ("govern", govern),
+            ("telemetry", telemetry), ("record", record), ("govern", govern),
             ("check", checking), ("contain", checking),
         ) if on]
         out: List[str] = [
@@ -288,7 +291,7 @@ class Synthesizer:
             "from repro.fsm.errors import FFIViolation",
             "",
             "",
-            "def build_entries(rt, raw, recorder, governor):",
+            "def build_entries(rt, raw, recorder, governor, telemetry=None):",
             '    """Bind fused entries to one runtime, raw table, and stages.',
             "",
             "    Returns (entries, make_native_entry).",
@@ -299,23 +302,62 @@ class Synthesizer:
                 "    gov_clock, gov_tick, gov_window, gov_rebalance"
                 " = governor.fused_shared()"
             )
+        if telemetry:
+            out.append(
+                "    (tel_clock, tel_vc, tel_vs, tel_ring, tel_cap, tel_sc,"
+                " tel_mask) = telemetry.fused_shared()"
+            )
+            out.append("    tel_smp = 1 & tel_mask")
         out.append("    entries = {}")
         for name, meta in self.function_table.items():
             pre = plan[name][Site.PRE] if plan else []
             post = plan[name][Site.POST] if plan else []
             out.extend(
-                self._emit_fused_entry(name, meta, pre, post, record, govern)
+                self._emit_fused_entry(
+                    name, meta, pre, post, record, govern, telemetry
+                )
             )
         native_pre = plan[NATIVE_KEY][Site.PRE] if plan else []
         native_post = plan[NATIVE_KEY][Site.POST] if plan else []
         out.extend(
             self._emit_fused_native_factory(
-                native_pre, native_post, record, govern
+                native_pre, native_post, record, govern, telemetry
             )
         )
         out.append("    return entries, make_native_entry")
         out.append("")
         return "\n".join(out)
+
+    @staticmethod
+    def _tel_prologue_lines(suffix: str) -> List[str]:
+        """Count the call; open duration capture on sampled crossings."""
+        return [
+            "tel_n = tel_c{}[0] + 1".format(suffix),
+            "tel_c{}[0] = tel_n".format(suffix),
+            "tel_do = tel_n & tel_mask == tel_smp",
+            "if tel_do:",
+            "    tel_t0 = tel_clock()",
+            "    tel_mark = tel_vc[0]",
+        ]
+
+    @staticmethod
+    def _tel_epilogue_lines(suffix: str, label: str, native: str) -> List[str]:
+        """Close a sampled checked crossing: histogram + span write."""
+        return [
+            "if tel_do:",
+            "    tel_now = tel_clock()",
+            "    tel_el = tel_now - tel_t0",
+            "    tel_h{}[0] += 1".format(suffix),
+            "    tel_h{}[1] += tel_el".format(suffix),
+            "    tel_i = tel_el.bit_length()",
+            "    tel_b{0}[tel_i if tel_i < tel_bc{0} else tel_bc{0}]"
+            " += 1".format(suffix),
+            "    tel_seq = tel_sc[0]",
+            "    tel_ring[tel_seq % tel_cap] = (tel_seq, {}, {}, tel_t0, "
+            "tel_now, tel_m{}, tel_vs(tel_mark) if tel_vc[0] != tel_mark "
+            "else ())".format(label, native, suffix),
+            "    tel_sc[0] = tel_seq + 1",
+        ]
 
     def _emit_fused_entry(
         self,
@@ -325,9 +367,18 @@ class Synthesizer:
         post: List[tuple],
         record: bool,
         govern: bool,
+        telemetry: bool,
     ) -> List[str]:
         default = default_literal(meta.returns)
         lines = ["", "    raw_{} = raw[{!r}]".format(name, name)]
+        if telemetry:
+            lines.append(
+                "    tel_c_{0}, tel_h_{0}, tel_b_{0}, tel_s_{0}, tel_m_{0}"
+                " = telemetry.fused_site({1!r}, False)".format(name, name)
+            )
+            lines.append(
+                "    tel_bc_{0} = len(tel_b_{0}) - 1".format(name)
+            )
         if record:
             lines.append(
                 "    rc_{} = recorder.call_hook({!r}, False)".format(name, name)
@@ -341,6 +392,10 @@ class Synthesizer:
             )
         lines.append("    def entry_{}(env, *args):".format(name))
         body = "        "
+        if telemetry:
+            lines.extend(
+                body + step for step in self._tel_prologue_lines("_" + name)
+            )
         if record:
             lines.append(body + "callseq = rc_{}(env, args)".format(name))
         if govern:
@@ -363,6 +418,9 @@ class Synthesizer:
                 lines.append(
                     body + "        rr_{}(env, args, result, callseq)".format(name)
                 )
+            if telemetry:
+                # Sampled-out: count it, never a span or a clock read.
+                lines.append(body + "        tel_s_{}[0] += 1".format(name))
             lines.append(body + "        return result")
             lines.append(body + "t0 = gov_clock()")
         epilogue: List[str] = []
@@ -371,6 +429,10 @@ class Synthesizer:
             epilogue.append("st_{}.checked_calls += 1".format(name))
         if record:
             epilogue.append("rr_{}(env, args, result, callseq)".format(name))
+        if telemetry:
+            epilogue.extend(
+                self._tel_epilogue_lines("_" + name, repr(name), "False")
+            )
         if pre:
             lines.append(body + "try:")
             lines.extend(
@@ -411,12 +473,19 @@ class Synthesizer:
         post: List[tuple],
         record: bool,
         govern: bool,
+        telemetry: bool,
     ) -> List[str]:
         lines = [
             "",
             "    def make_native_entry(method_name, impl):",
             '        """Fused entry factory applied at NativeMethodBind time."""',
         ]
+        if telemetry:
+            lines.append(
+                "        tel_c, tel_h, tel_b, tel_s, tel_m"
+                " = telemetry.fused_site(method_name, True)"
+            )
+            lines.append("        tel_bc = len(tel_b) - 1")
         if record:
             lines.append("        rc = recorder.call_hook(method_name, True)")
             lines.append("        rr = recorder.return_hook(method_name, True)")
@@ -426,6 +495,10 @@ class Synthesizer:
             )
         lines.append("        def native_entry(env, this, *args):")
         body = "            "
+        if telemetry:
+            lines.extend(
+                body + step for step in self._tel_prologue_lines("")
+            )
         lines.append(body + "handles = (this,) + args")
         if record:
             lines.append(body + "callseq = rc(env, handles)")
@@ -449,6 +522,8 @@ class Synthesizer:
                 lines.append(
                     body + "        rr(env, handles, result, callseq)"
                 )
+            if telemetry:
+                lines.append(body + "        tel_s[0] += 1")
             lines.append(body + "        return result")
             lines.append(body + "t0 = gov_clock()")
         epilogue: List[str] = []
@@ -457,6 +532,10 @@ class Synthesizer:
             epilogue.append("st.checked_calls += 1")
         if record:
             epilogue.append("rr(env, handles, result, callseq)")
+        if telemetry:
+            epilogue.extend(
+                self._tel_epilogue_lines("", "method_name", "True")
+            )
         if pre:
             lines.append(body + "try:")
             lines.extend(
@@ -500,10 +579,12 @@ class Synthesizer:
         checking: bool = True,
         record: bool = False,
         govern: bool = False,
+        telemetry: bool = False,
     ):
         """Compile the fused module; returns its ``build_entries``."""
         source = self.generate_pipeline_source(
-            checking=checking, record=record, govern=govern
+            checking=checking, record=record, govern=govern,
+            telemetry=telemetry,
         )
         namespace: Dict[str, object] = {"__name__": "repro.pipeline._generated"}
         exec(compile(source, "<jinn-pipeline>", "exec"), namespace)

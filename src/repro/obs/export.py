@@ -1,0 +1,207 @@
+"""Snapshot exporters: Prometheus text, canonical JSON, and diffing.
+
+Snapshots are plain dicts (see :meth:`repro.obs.hub.ObsHub.snapshot`);
+this module turns them into the two formats fleet tooling consumes —
+the Prometheus text exposition format for scrapers and canonical JSON
+for archival — and diffs two snapshots of the same process so "what
+changed between these two points" is one command, not an eyeball pass.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+
+def canonical_json(document) -> str:
+    """The repo-wide canonical JSON shape: sorted, indented, newline."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def _split_series(flat: str) -> Tuple[str, str]:
+    """``name{labels}`` -> (name, labels-with-braces-or-empty)."""
+    brace = flat.find("{")
+    if brace < 0:
+        return flat, ""
+    return flat[:brace], flat[brace:]
+
+
+def _merge_labels(labels: str, extra: str) -> str:
+    """Insert one extra ``k="v"`` pair into a flat label block."""
+    if not labels:
+        return "{" + extra + "}"
+    return labels[:-1] + "," + extra + "}"
+
+
+def to_prometheus(snapshot: Dict[str, object]) -> str:
+    """The metrics section in Prometheus text exposition format.
+
+    Counters and gauges map directly; histograms emit the conventional
+    ``_bucket`` (cumulative, with ``le``), ``_sum``, and ``_count``
+    series.  Only the metrics section exports — spans and triage are
+    inspection surfaces, not scrape targets (triage cluster counts are
+    mirrored as ``obs_triage_cluster_total`` by the hub).
+    """
+    metrics = snapshot.get("metrics", snapshot)
+    lines: List[str] = []
+    seen_types = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append("# TYPE {} {}".format(name, kind))
+
+    for flat, value in metrics.get("counters", {}).items():
+        name, _ = _split_series(flat)
+        type_line(name, "counter")
+        lines.append("{} {}".format(flat, value))
+    for flat, value in metrics.get("gauges", {}).items():
+        name, _ = _split_series(flat)
+        type_line(name, "gauge")
+        lines.append("{} {}".format(flat, value))
+    for flat, hist in metrics.get("histograms", {}).items():
+        name, labels = _split_series(flat)
+        type_line(name, "histogram")
+        buckets = hist.get("buckets", {})
+        ordered = sorted(
+            (
+                (float("inf") if edge == "+Inf" else int(edge), edge, count)
+                for edge, count in buckets.items()
+            ),
+        )
+        cumulative = 0
+        for _, edge, count in ordered:
+            cumulative += count
+            lines.append(
+                "{}_bucket{} {}".format(
+                    name, _merge_labels(labels, 'le="{}"'.format(edge)),
+                    cumulative,
+                )
+            )
+        lines.append(
+            "{}_bucket{} {}".format(
+                name, _merge_labels(labels, 'le="+Inf"'), hist["count"]
+            )
+        )
+        lines.append("{}_sum{} {}".format(name, labels, hist["sum"]))
+        lines.append("{}_count{} {}".format(name, labels, hist["count"]))
+    return "\n".join(lines) + "\n"
+
+
+def diff_snapshots(
+    before: Dict[str, object], after: Dict[str, object]
+) -> Dict[str, object]:
+    """What changed between two snapshots of the same process.
+
+    Counters and histogram totals report deltas (series present only in
+    ``after`` count from zero; series that vanished report their loss);
+    gauges report ``(before, after)`` transitions; triage reports
+    clusters that appeared and clusters whose counts grew.
+    """
+    b_metrics = before.get("metrics", {})
+    a_metrics = after.get("metrics", {})
+
+    counters: Dict[str, int] = {}
+    b_counters = b_metrics.get("counters", {})
+    a_counters = a_metrics.get("counters", {})
+    for flat in sorted(set(b_counters) | set(a_counters)):
+        delta = a_counters.get(flat, 0) - b_counters.get(flat, 0)
+        if delta:
+            counters[flat] = delta
+
+    gauges: Dict[str, List[float]] = {}
+    b_gauges = b_metrics.get("gauges", {})
+    a_gauges = a_metrics.get("gauges", {})
+    for flat in sorted(set(b_gauges) | set(a_gauges)):
+        old = b_gauges.get(flat)
+        new = a_gauges.get(flat)
+        if old != new:
+            gauges[flat] = [old, new]
+
+    histograms: Dict[str, Dict[str, int]] = {}
+    b_hists = b_metrics.get("histograms", {})
+    a_hists = a_metrics.get("histograms", {})
+    for flat in sorted(set(b_hists) | set(a_hists)):
+        old = b_hists.get(flat, {"count": 0, "sum": 0})
+        new = a_hists.get(flat, {"count": 0, "sum": 0})
+        d_count = new["count"] - old["count"]
+        d_sum = new["sum"] - old["sum"]
+        if d_count or d_sum:
+            histograms[flat] = {"count": d_count, "sum": d_sum}
+
+    triage: Dict[str, object] = {"new_clusters": [], "grown_clusters": []}
+    b_clusters = {
+        c["id"]: c
+        for c in before.get("triage", {}).get("clusters", [])
+    }
+    for cluster in after.get("triage", {}).get("clusters", []):
+        old = b_clusters.get(cluster["id"])
+        if old is None:
+            triage["new_clusters"].append(
+                {"id": cluster["id"], "machine": cluster["machine"],
+                 "count": cluster["count"], "example": cluster["example"]}
+            )
+        elif cluster["count"] > old["count"]:
+            triage["grown_clusters"].append(
+                {"id": cluster["id"], "machine": cluster["machine"],
+                 "delta": cluster["count"] - old["count"]}
+            )
+
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "triage": triage,
+        "spans": {
+            "recorded_delta": (
+                after.get("spans", {}).get("recorded", 0)
+                - before.get("spans", {}).get("recorded", 0)
+            ),
+        },
+    }
+
+
+def top_sites(
+    snapshot: Dict[str, object], *, n: int = 10, by: str = "time"
+) -> List[Dict[str, object]]:
+    """The hottest (function, direction) sites from one snapshot.
+
+    ``by="time"`` ranks by total crossing nanoseconds (histogram sums);
+    ``by="calls"`` ranks by call count.  Ties break on the series name
+    so the table is deterministic.
+    """
+    if by not in ("time", "calls"):
+        raise ValueError("by must be 'time' or 'calls'")
+    metrics = snapshot.get("metrics", snapshot)
+    rows: Dict[str, Dict[str, object]] = {}
+
+    def parse_labels(labels: str) -> Dict[str, str]:
+        out = {}
+        for part in labels.strip("{}").split(","):
+            if "=" in part:
+                k, _, v = part.partition("=")
+                out[k] = v.strip('"')
+        return out
+
+    for flat, hist in metrics.get("histograms", {}).items():
+        name, labels = _split_series(flat)
+        if name != "ffi_crossing_ns":
+            continue
+        info = parse_labels(labels)
+        rows[labels] = {
+            "function": info.get("function", "?"),
+            "direction": info.get("direction", "?"),
+            "substrate": info.get("substrate", "?"),
+            "calls": hist["count"],
+            "total_ns": hist["sum"],
+            "mean_ns": hist["sum"] // hist["count"] if hist["count"] else 0,
+        }
+    for flat, value in metrics.get("counters", {}).items():
+        name, labels = _split_series(flat)
+        if name == "ffi_calls_total" and labels in rows:
+            rows[labels]["calls"] = value
+    rank_key = "total_ns" if by == "time" else "calls"
+    ranked = sorted(
+        rows.items(), key=lambda item: (-item[1][rank_key], item[0])
+    )
+    return [row for _, row in ranked[:n]]

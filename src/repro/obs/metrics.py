@@ -1,0 +1,241 @@
+"""The metrics registry: counters, gauges, log-spaced histograms.
+
+Production-scale checking needs aggregate visibility over millions of
+crossings, which means the instrument itself must be cheap and out of
+the way:
+
+- **Per-thread shards.**  Counter and histogram cells live in the
+  calling thread's own shard (created on first touch, registered under
+  a lock once).  A hot-path increment is ``cell[0] += 1`` on a
+  pre-bound list — no lock, no allocation, no dict lookup.  Shards are
+  merged only at :meth:`MetricsRegistry.snapshot` time.
+- **Fixed log-spaced bins.**  Histograms bucket by ``value.bit_length()``
+  — power-of-two bin edges from 1 ns up — so observing a duration is a
+  bit-length and two list increments, and every registry agrees on bin
+  edges without configuration.
+- **Deterministic snapshots.**  A snapshot is a pure function of the
+  recorded values: series are keyed by a canonical flattened name
+  (labels sorted), shard merge order never shows through (counters and
+  histogram cells merge by summation), and gauges are registry-global
+  (set rarely, from publish paths, under the registry lock).
+
+Labels are free-form key/value pairs; the conventional keys across the
+repo are ``subsystem``, ``machine``, ``function``, ``direction``, and
+``substrate``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple
+
+#: Histogram bin count: bin ``i`` holds values with ``bit_length() == i``,
+#: i.e. upper edge ``2**i - 1`` ns; the last bin is the overflow bin.
+#: 63 regular bins cover everything below ~292 years.
+HISTOGRAM_BINS = 64
+
+# Cell layouts (plain lists so fused entries mutate them directly).
+_KIND_COUNTER = "c"
+_KIND_HISTOGRAM = "h"
+
+
+def label_key(labels: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+    """Canonical (sorted, stringified) identity of one label set."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def flatten(name: str, key: Tuple[Tuple[str, str], ...]) -> str:
+    """The canonical flattened series name, Prometheus-style."""
+    if not key:
+        return name
+    return "{}{{{}}}".format(
+        name, ",".join('{}="{}"'.format(k, v) for k, v in key)
+    )
+
+
+class Counter:
+    """A monotonically increasing count.  ``cell[0]`` is the value."""
+
+    __slots__ = ("cell",)
+
+    def __init__(self, cell: List[int]):
+        self.cell = cell
+
+    def inc(self, n: int = 1) -> None:
+        self.cell[0] += n
+
+    @property
+    def value(self) -> int:
+        return self.cell[0]
+
+
+class Gauge:
+    """A point-in-time value (registry-global, publish-path only)."""
+
+    __slots__ = ("cell",)
+
+    def __init__(self, cell: List[float]):
+        self.cell = cell
+
+    def set(self, value) -> None:
+        self.cell[0] = value
+
+    @property
+    def value(self):
+        return self.cell[0]
+
+
+class Histogram:
+    """Fixed log-spaced bins: ``cell = [count, sum, bins list]``."""
+
+    __slots__ = ("cell",)
+
+    def __init__(self, cell):
+        self.cell = cell
+
+    def observe(self, value: int) -> None:
+        cell = self.cell
+        cell[0] += 1
+        cell[1] += value
+        if value < 0:
+            value = 0
+        index = value.bit_length()
+        if index >= HISTOGRAM_BINS:
+            index = HISTOGRAM_BINS - 1
+        cell[2][index] += 1
+
+    @property
+    def count(self) -> int:
+        return self.cell[0]
+
+    @property
+    def sum(self) -> int:
+        return self.cell[1]
+
+
+def _new_cell(kind: str):
+    if kind == _KIND_COUNTER:
+        return [0]
+    return [0, 0, [0] * HISTOGRAM_BINS]
+
+
+class MetricsRegistry:
+    """Sharded-by-thread metric store with deterministic merge."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        #: Every shard ever created, in creation order (merge sums, so
+        #: order never affects a snapshot).
+        self._shards: List[Dict[tuple, list]] = []
+        #: Gauges are registry-global: publish paths set them rarely.
+        self._gauges: Dict[tuple, List[float]] = {}
+
+    # -- shard plumbing --------------------------------------------------
+
+    def _shard(self) -> Dict[tuple, list]:
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            shard = {}
+            with self._lock:
+                self._shards.append(shard)
+            self._local.shard = shard
+        return shard
+
+    def _series(self, kind: str, name: str, labels) -> list:
+        key = (kind, name, label_key(labels))
+        shard = self._shard()
+        cell = shard.get(key)
+        if cell is None:
+            cell = shard[key] = _new_cell(kind)
+        return cell
+
+    # -- handles ---------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The calling thread's counter cell for one series."""
+        return Counter(self._series(_KIND_COUNTER, name, labels))
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return Histogram(self._series(_KIND_HISTOGRAM, name, labels))
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, label_key(labels))
+        with self._lock:
+            cell = self._gauges.get(key)
+            if cell is None:
+                cell = self._gauges[key] = [0.0]
+        return Gauge(cell)
+
+    # -- snapshot --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Merge every shard into one deterministic, JSON-safe document.
+
+        Counters sum across shards; histogram counts, sums, and bins sum
+        elementwise; gauges report their current value.  Series appear
+        under canonical flattened names, so two registries that recorded
+        the same values produce byte-identical canonical JSON.
+        """
+        merged: Dict[tuple, list] = {}
+        with self._lock:
+            shards = list(self._shards)
+            gauges = {key: cell[0] for key, cell in self._gauges.items()}
+        for shard in shards:
+            # Shard dicts are mutated by their owner thread; values are
+            # ints appended in place, so reading concurrently yields a
+            # consistent-enough view (snapshots are quiescent-time ops).
+            for key, cell in list(shard.items()):
+                into = merged.get(key)
+                if into is None:
+                    merged[key] = [
+                        cell[0], cell[1], list(cell[2])
+                    ] if key[0] == _KIND_HISTOGRAM else list(cell)
+                elif key[0] == _KIND_COUNTER:
+                    into[0] += cell[0]
+                else:
+                    into[0] += cell[0]
+                    into[1] += cell[1]
+                    bins = into[2]
+                    for i, b in enumerate(cell[2]):
+                        bins[i] += b
+        counters: Dict[str, int] = {}
+        histograms: Dict[str, dict] = {}
+        for (kind, name, key) in sorted(merged):
+            cell = merged[(kind, name, key)]
+            flat = flatten(name, key)
+            if kind == _KIND_COUNTER:
+                counters[flat] = cell[0]
+            else:
+                buckets = {
+                    str((1 << i) - 1) if i < HISTOGRAM_BINS - 1 else "+Inf": n
+                    for i, n in enumerate(cell[2])
+                    if n
+                }
+                histograms[flat] = {
+                    "count": cell[0],
+                    "sum": cell[1],
+                    "buckets": buckets,
+                }
+        return {
+            "counters": counters,
+            "gauges": {
+                flatten(name, key): gauges[(name, key)]
+                for name, key in sorted(gauges)
+            },
+            "histograms": histograms,
+        }
+
+    def reset(self) -> None:
+        """Zero every series (shards stay registered to their threads)."""
+        with self._lock:
+            for shard in self._shards:
+                for key, cell in shard.items():
+                    if key[0] == _KIND_COUNTER:
+                        cell[0] = 0
+                    else:
+                        cell[0] = 0
+                        cell[1] = 0
+                        cell[2][:] = [0] * HISTOGRAM_BINS
+            for cell in self._gauges.values():
+                cell[0] = 0.0

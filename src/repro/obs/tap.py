@@ -1,0 +1,245 @@
+"""The telemetry tap: the pipeline's fifth interceptor stage.
+
+Default off.  When attached (``telemetry=`` on the agent or checker),
+the :class:`~repro.pipeline.plan.PipelinePlan` compiles its pre-bound
+hooks into the flat entry exactly like the recorder tap's — generated
+modes emit the hook calls as source, interpretive modes close over them
+— as the *outermost* stage, so a crossing's span covers everything the
+crossing paid for (recording, metering, checks, the raw call).
+
+The tap is a pure observer: it never branches the entry's control flow
+and never touches arguments or results, so violation and trace streams
+are byte-identical with the stage on or off (gated by the pipeline
+parity suite).  Span capture runs in lockstep with the governor: the
+fused entry passes ``checked=False`` on the sampled-out raw path, and
+the tap records only a counter there — span overhead rides the
+governor's existing budget instead of adding a knob of its own.
+
+Cost discipline: the per-crossing mandatory work is one list-cell
+increment and one mask test.  Duration capture — the two clock reads,
+the histogram update, and the span write — runs on 1 in
+``hub.sample_period`` checked crossings per site, decided by the site's
+own call counter so the choice is deterministic and seed-stable.
+Violation *triage* is never sampled (it rides ``CheckerRuntime.fail``,
+not the tap), so cluster counts stay exact; only span attribution and
+duration histograms are sampled views.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.hub import ObsHub
+from repro.pipeline.interceptors import CallSite, Interceptor
+
+#: Direction label per site kind: JNI/API functions are crossed by
+#: native code calling into the managed runtime; natives (and bound
+#: extensions) by managed code calling out.
+_DIR_FUNCTION = "native_to_managed"
+_DIR_NATIVE = "managed_to_native"
+
+
+class TelemetryTap(Interceptor):
+    """The observability hub as an interceptor (outermost stage)."""
+
+    name = "telemetry"
+
+    def __init__(self, hub: ObsHub, *, substrate: str = "jni"):
+        self.hub = hub
+        self.substrate = substrate
+        #: (function, native) -> eligible machine-check count, filled by
+        #: :meth:`configure` from the dispatch index; -1 when unknown.
+        self._machines: Dict[str, int] = {}
+        self._native_machines = -1
+
+    # -- plan wiring -----------------------------------------------------
+
+    def configure(self, registry, function_table=None) -> None:
+        """Resolve per-site eligible-machine counts from the index.
+
+        Uses the shared :data:`~repro.core.cache.WRAPPER_CACHE` dispatch
+        index, so configuring a tap costs one cache hit after the first
+        plan for a spec set.
+        """
+        from repro.core.cache import WRAPPER_CACHE
+        from repro.fsm.events import Direction
+
+        index = WRAPPER_CACHE.dispatch_for(registry, function_table)
+        if function_table is None:
+            from repro.jni import functions
+
+            function_table = functions.FUNCTIONS
+        counts: Dict[str, int] = {}
+        for name in function_table:
+            counts[name] = len(
+                index.machines(name, Direction.CALL_NATIVE_TO_MANAGED)
+            ) + len(index.machines(name, Direction.RETURN_MANAGED_TO_NATIVE))
+        self._machines = counts
+        self._native_machines = len(
+            index.native_machines(Direction.CALL_MANAGED_TO_NATIVE)
+        ) + len(index.native_machines(Direction.RETURN_NATIVE_TO_MANAGED))
+
+    def machines_at(self, function: str, native: bool) -> int:
+        if native:
+            return self._native_machines
+        return self._machines.get(function, -1)
+
+    # -- fused-codegen surface -------------------------------------------
+    #
+    # Generated modules inline the tap's bookkeeping as source instead
+    # of calling the closure hooks below — two fewer frames per
+    # crossing.  These accessors hand the emitted code the same cells
+    # the closures close over, so both compilations share state.
+
+    def fused_shared(self):
+        """``(clock, viol cell, viols_since, ring, cap, span cell, mask)``."""
+        hub = self.hub
+        ring, capacity, span_count = hub.spans.ring_parts()
+        return (
+            hub.clock_ns, hub._viol_count, hub.violations_since,
+            ring, capacity, span_count, hub._sample_mask,
+        )
+
+    def fused_site(self, function: str, native: bool):
+        """``(calls cell, hist cell, bins, sampled cell, machines)``."""
+        hub = self.hub
+        direction = _DIR_NATIVE if native else _DIR_FUNCTION
+        labels = {
+            "subsystem": "pipeline",
+            "substrate": self.substrate,
+            "function": function,
+            "direction": direction,
+        }
+        hist = hub.metrics.histogram("ffi_crossing_ns", **labels).cell
+        return (
+            hub.metrics.counter("ffi_calls_total", **labels).cell,
+            hist,
+            hist[2],
+            hub.metrics.counter("ffi_sampled_out_total", **labels).cell,
+            self.machines_at(function, native),
+        )
+
+    # -- hook factories (bound per site at plan-compile time) ------------
+
+    def call_hook(self, function: str, native: bool):
+        """A zero-arg hook: count the call; ``(t0, viol mark)`` or None.
+
+        Returns None on crossings the timing sampler skips — the return
+        hook then does no duration work for them.
+        """
+        hub = self.hub
+        cell = hub.metrics.counter(
+            "ffi_calls_total",
+            subsystem="pipeline",
+            substrate=self.substrate,
+            function=function,
+            direction=_DIR_NATIVE if native else _DIR_FUNCTION,
+        ).cell
+        clock = hub.clock_ns
+        viol_count = hub._viol_count
+        mask = hub._sample_mask
+        phase = 1 & mask
+
+        def telemetry_call():
+            count = cell[0] + 1
+            cell[0] = count
+            if count & mask == phase:
+                return (clock(), viol_count[0])
+            return None
+
+        return telemetry_call
+
+    def return_hook(self, function: str, native: bool):
+        """``fn(token, checked)``: close the crossing's histogram/span."""
+        hub = self.hub
+        direction = _DIR_NATIVE if native else _DIR_FUNCTION
+        hist = hub.metrics.histogram(
+            "ffi_crossing_ns",
+            subsystem="pipeline",
+            substrate=self.substrate,
+            function=function,
+            direction=direction,
+        ).cell
+        sampled = hub.metrics.counter(
+            "ffi_sampled_out_total",
+            subsystem="pipeline",
+            substrate=self.substrate,
+            function=function,
+            direction=direction,
+        ).cell
+        clock = hub.clock_ns
+        ring, capacity, span_count = hub.spans.ring_parts()
+        viol_count = hub._viol_count
+        violations_since = hub.violations_since
+        machines = self.machines_at(function, native)
+        bins = hist[2]
+        bins_cap = len(bins) - 1
+
+        def telemetry_return(token, checked):
+            if not checked:
+                sampled[0] += 1
+                return
+            if token is None:
+                return
+            t0, mark = token
+            now = clock()
+            elapsed = now - t0
+            hist[0] += 1
+            hist[1] += elapsed
+            index = elapsed.bit_length()
+            bins[index if index < bins_cap else bins_cap] += 1
+            # Span fields go straight into the ring slot; cluster
+            # refs are resolved only when this crossing fired one.
+            seq = span_count[0]
+            ring[seq % capacity] = (
+                seq, function, native, t0, now, machines,
+                violations_since(mark) if viol_count[0] != mark else (),
+            )
+            span_count[0] = seq + 1
+
+        return telemetry_return
+
+    # -- interceptor protocol --------------------------------------------
+
+    def on_call(self, site: CallSite):
+        return self.call_hook(site.function, site.native)
+
+    def on_return(self, site: CallSite):
+        return self.return_hook(site.function, site.native)
+
+    def on_violation(self, violation) -> None:
+        self.hub.on_violation(violation)
+
+    def on_reset(self) -> None:
+        # The hub deliberately survives runtime resets, like the
+        # governor: fleet telemetry spans runs.
+        return None
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "substrate": self.substrate,
+            "span_capacity": self.hub.spans.capacity,
+            "sites": len(self._machines) + (
+                1 if self._native_machines >= 0 else 0
+            ),
+        }
+
+
+def as_tap(telemetry, *, substrate: str) -> Optional[TelemetryTap]:
+    """Normalize a user-supplied ``telemetry=`` value to a tap.
+
+    Accepts an :class:`ObsHub` (the common case), an existing
+    :class:`TelemetryTap`, or None.
+    """
+    if telemetry is None:
+        return None
+    if isinstance(telemetry, TelemetryTap):
+        return telemetry
+    if isinstance(telemetry, ObsHub):
+        return TelemetryTap(telemetry, substrate=substrate)
+    raise TypeError(
+        "telemetry must be an ObsHub or TelemetryTap, not {!r}".format(
+            type(telemetry).__name__
+        )
+    )

@@ -68,6 +68,7 @@ class PipelinePlan:
         dispatch: str = "index",
         recorder=None,
         governor=None,
+        telemetry=None,
         cache=None,
     ):
         if mode not in _MODES:
@@ -90,6 +91,17 @@ class PipelinePlan:
             function_table = functions.FUNCTIONS
         self.function_table = function_table
         # -- the interceptor stack, outermost first --------------------
+        self._telemetry = None
+        if telemetry is not None:
+            from repro.obs.tap import as_tap
+
+            self._telemetry = as_tap(
+                telemetry, substrate=self._infer_substrate()
+            )
+            self._telemetry.configure(registry, self._table_arg)
+            # The runtime forwards violations straight to the hub so
+            # triage sees every failure, not just sampled spans.
+            rt.telemetry = self._telemetry.hub
         self._tap = RecorderTap(recorder) if recorder is not None else None
         self._meter = GovernorMeter(governor) if governor is not None else None
         index = None
@@ -107,12 +119,28 @@ class PipelinePlan:
                 checking=(mode == "generated"),
                 record=recorder is not None,
                 govern=governor is not None,
+                telemetry=self._telemetry is not None,
             )
         self._native_factory: Optional[Callable] = None
+
+    def _infer_substrate(self) -> str:
+        """Label telemetry series by the table this plan compiles for."""
+        if self._table_arg is None:
+            return "jni"
+        try:
+            from repro.pyc.spec import PY_FUNCTIONS
+
+            if self._table_arg is PY_FUNCTIONS:
+                return "pyc"
+        except ImportError:
+            pass
+        return "custom"
 
     def interceptors(self) -> List:
         """The active stages, outermost first."""
         stack = []
+        if self._telemetry is not None:
+            stack.append(self._telemetry)
         if self._tap is not None:
             stack.append(self._tap)
         if self._meter is not None:
@@ -132,7 +160,7 @@ class PipelinePlan:
         """The fused entry table for one raw function table."""
         if self._build is not None:
             entries, native_factory = self._build(
-                self.rt, raw, self.recorder, self.governor
+                self.rt, raw, self.recorder, self.governor, self._telemetry
             )
             self._native_factory = native_factory
             return entries
@@ -149,6 +177,7 @@ class PipelinePlan:
                     _raw_stub(self.function_table),
                     self.recorder,
                     self.governor,
+                    self._telemetry,
                 )
             return self._native_factory(method_name, impl)
         return self._interpretive_native(method_name, impl)
@@ -156,10 +185,13 @@ class PipelinePlan:
     # -- interpretive templates ------------------------------------------
 
     def _site_hooks(self, site: CallSite):
+        tap = self._telemetry
+        tc = tap.call_hook(site.function, site.native) if tap is not None else None
+        tr = tap.return_hook(site.function, site.native) if tap is not None else None
         rc = self._tap.on_call(site) if self._tap is not None else None
         rr = self._tap.on_return(site) if self._tap is not None else None
         state = self._meter.binding(site) if self._meter is not None else None
-        return rc, rr, state
+        return tc, tr, rc, rr, state
 
     def _interpretive_entries(self, raw: Dict[str, Callable]) -> Dict[str, Callable]:
         shared = self._meter.shared() if self._meter is not None else None
@@ -169,9 +201,10 @@ class PipelinePlan:
             meta = self.function_table[name]
             pre = machines.encodings(name, Direction.CALL_NATIVE_TO_MANAGED)
             post = machines.encodings(name, Direction.RETURN_MANAGED_TO_NATIVE)
-            rc, rr, state = self._site_hooks(CallSite(name, False, meta))
+            tc, tr, rc, rr, state = self._site_hooks(CallSite(name, False, meta))
             table[name] = _fused_interp_entry(
-                self.rt, name, meta, raw_fn, pre, post, rc, rr, state, shared
+                self.rt, name, meta, raw_fn, pre, post,
+                tc, tr, rc, rr, state, shared,
             )
         return table
 
@@ -180,9 +213,9 @@ class PipelinePlan:
         machines = self._machines
         pre = machines.native_encodings(Direction.CALL_MANAGED_TO_NATIVE)
         post = machines.native_encodings(Direction.RETURN_NATIVE_TO_MANAGED)
-        rc, rr, state = self._site_hooks(CallSite(method_name, True))
+        tc, tr, rc, rr, state = self._site_hooks(CallSite(method_name, True))
         return _fused_interp_native(
-            self.rt, method_name, impl, pre, post, rc, rr, state, shared
+            self.rt, method_name, impl, pre, post, tc, tr, rc, rr, state, shared
         )
 
     # -- introspection ---------------------------------------------------
@@ -192,9 +225,12 @@ class PipelinePlan:
         per_function: Dict[str, List[str]] = {}
         record = self._tap is not None
         govern = self._meter is not None
+        observe = self._telemetry is not None
 
         def ops(pre_machines, post_machines) -> List[str]:
             steps: List[str] = []
+            if observe:
+                steps.append("obs:call")
             if record:
                 steps.append("record:call")
             if govern:
@@ -206,6 +242,8 @@ class PipelinePlan:
                 steps.append("govern:meter")
             if record:
                 steps.append("record:return")
+            if observe:
+                steps.append("obs:return")
             return steps
 
         if self.mode in ("generated", "interpose"):
@@ -271,7 +309,8 @@ class PipelinePlan:
 
 
 def _fused_interp_entry(
-    rt, name, meta, raw_fn, pre_encodings, post_encodings, rc, rr, state, shared
+    rt, name, meta, raw_fn, pre_encodings, post_encodings,
+    tc, tr, rc, rr, state, shared,
 ):
     """The interpretive fused entry: one closure, stages inlined.
 
@@ -288,6 +327,8 @@ def _fused_interp_entry(
         clock, tick, window, rebalance = shared
 
     def entry(env, *args):
+        if tc is not None:
+            tt = tc()
         if rc is not None:
             callseq = rc(env, args)
         if state is not None:
@@ -306,6 +347,8 @@ def _fused_interp_entry(
                     state.raw_calls += 1
                     if rr is not None:
                         rr(env, args, result, callseq)
+                    if tr is not None:
+                        tr(tt, False)
                     return result
             t0 = clock()
         thread = rt.vm.current_thread
@@ -326,6 +369,8 @@ def _fused_interp_entry(
                     state.checked_calls += 1
                 if rr is not None:
                     rr(env, args, result, callseq)
+                if tr is not None:
+                    tr(tt, True)
                 return result
         result = raw_fn(env, *args)
         if post_encodings:
@@ -347,6 +392,8 @@ def _fused_interp_entry(
             state.checked_calls += 1
         if rr is not None:
             rr(env, args, result, callseq)
+        if tr is not None:
+            tr(tt, True)
         return result
 
     entry.__name__ = "entry_" + name
@@ -354,7 +401,8 @@ def _fused_interp_entry(
 
 
 def _fused_interp_native(
-    rt, method_name, impl, pre_encodings, post_encodings, rc, rr, state, shared
+    rt, method_name, impl, pre_encodings, post_encodings,
+    tc, tr, rc, rr, state, shared,
 ):
     contain = rt.contain
     fail = rt.fail
@@ -367,6 +415,8 @@ def _fused_interp_native(
 
     def native_entry(env, this, *args):
         handles = (this,) + args
+        if tc is not None:
+            tt = tc()
         if rc is not None:
             callseq = rc(env, handles)
         if state is not None:
@@ -385,6 +435,8 @@ def _fused_interp_native(
                     state.raw_calls += 1
                     if rr is not None:
                         rr(env, handles, result, callseq)
+                    if tr is not None:
+                        tr(tt, False)
                     return result
             t0 = clock()
         thread = rt.vm.current_thread
@@ -422,6 +474,8 @@ def _fused_interp_native(
             state.checked_calls += 1
         if rr is not None:
             rr(env, handles, result, callseq)
+        if tr is not None:
+            tr(tt, True)
         return result
 
     native_entry.__name__ = "entry_" + method_name

@@ -64,9 +64,15 @@ class PyCChecker:
         observer=None,
         containment: Optional[ContainmentPolicy] = None,
         governor=None,
+        telemetry=None,
     ):
         if pipeline not in ("fused", "nested"):
             raise ValueError("pipeline must be 'fused' or 'nested'")
+        if telemetry is not None and pipeline != "fused":
+            raise ValueError(
+                "telemetry requires the fused pipeline "
+                "(the nested stack has no tap stage)"
+            )
         self.registry = registry if registry is not None else build_pyc_registry()
         #: ``fused`` installs one flat entry per crossing through
         #: :class:`repro.pipeline.PipelinePlan`; ``nested`` keeps the
@@ -75,6 +81,9 @@ class PyCChecker:
         self.containment = containment
         #: Optional :class:`repro.resilience.governor.OverheadGovernor`.
         self.governor = governor
+        #: Optional :class:`repro.obs.ObsHub` (or a prepared
+        #: :class:`repro.obs.TelemetryTap`); fused into the entries.
+        self.telemetry = telemetry
         self.rt: Optional[PyCRuntime] = None
         self._native_factory: Optional[Callable] = None
         self._plan = None
@@ -94,6 +103,7 @@ class PyCChecker:
                 PY_FUNCTIONS,
                 recorder=self.rt.observer,
                 governor=self.governor,
+                telemetry=self.telemetry,
             )
             api.install_function_table(
                 self._plan.entries(api.function_table())

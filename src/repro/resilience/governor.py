@@ -28,8 +28,9 @@ report says exactly which pairs paid it.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict, List, Optional
+
+from repro.core.clock import SYSTEM_CLOCK, Clock
 
 
 class GovernorPolicy:
@@ -131,12 +132,21 @@ class PairState:
 class OverheadGovernor:
     """Meters wrapper tables and degrades hot pairs to call sampling."""
 
-    def __init__(self, policy: Optional[GovernorPolicy] = None):
+    def __init__(
+        self,
+        policy: Optional[GovernorPolicy] = None,
+        *,
+        clock: Optional[Clock] = None,
+    ):
         self.policy = policy or GovernorPolicy()
         self.pairs: Dict[str, PairState] = {}
         self._tick = [0]
         self._rebalances = 0
-        self._clock = time.perf_counter_ns
+        #: The injectable time source; ``_clock`` pre-binds its
+        #: ``monotonic_ns`` (the raw platform builtin on a SystemClock)
+        #: for the metered path.
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self._clock = self.clock.monotonic_ns
 
     # -- instrumentation -------------------------------------------------
 

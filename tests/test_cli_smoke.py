@@ -10,6 +10,7 @@ import pytest
 from repro.cli import (
     _COMMANDS,
     _FUZZ_COMMANDS,
+    _OBS_COMMANDS,
     _PIPELINE_COMMANDS,
     _RESILIENCE_COMMANDS,
     _TRACE_COMMANDS,
@@ -249,6 +250,89 @@ class TestResilienceSubcommands:
         assert '"budget"' in printed
 
 
+class TestObsSubcommands:
+    OBS_RUN = ["--substrate", "pyc", "--repeats", "2", "--fake-clock"]
+
+    @pytest.fixture(scope="class")
+    def snapshot_files(self, tmp_path_factory):
+        """Two snapshot files from runs of different sizes, for diff."""
+        directory = tmp_path_factory.mktemp("obs")
+        paths = []
+        for name, repeats in (("before.json", "2"), ("after.json", "3")):
+            path = str(directory / name)
+            assert main(
+                ["obs", "snapshot", "--substrate", "pyc", "--fake-clock",
+                 "--repeats", repeats, "-o", path]
+            ) == 0
+            paths.append(path)
+        return paths
+
+    def test_snapshot_prints_document(self, capsys):
+        import json
+
+        assert main(["obs", "snapshot"] + self.OBS_RUN) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["schema"] == 1
+        assert set(snapshot) == {"schema", "metrics", "spans", "triage"}
+
+    def test_snapshot_writes_file(self, snapshot_files, capsys):
+        # The fixture already exercised -o; assert the summary line.
+        assert main(
+            ["obs", "snapshot", "-o", snapshot_files[0]] + self.OBS_RUN
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "wrote" in printed and "crossings" in printed
+
+    @pytest.mark.parametrize("by", ["time", "calls"])
+    def test_top_ranks_sites(self, by, capsys):
+        assert main(["obs", "top", "--by", by, "-n", "3"] + self.OBS_RUN) == 0
+        printed = capsys.readouterr().out
+        assert "function" in printed and "calls" in printed
+
+    def test_top_from_input_file(self, snapshot_files, capsys):
+        assert main(["obs", "top", "--input", snapshot_files[0]]) == 0
+        assert "function" in capsys.readouterr().out
+
+    def test_diff_between_snapshot_files(self, snapshot_files, capsys):
+        import json
+
+        before, after = snapshot_files
+        assert main(["obs", "diff", before, after]) == 0
+        diff = json.loads(capsys.readouterr().out)
+        assert set(diff) >= {"counters", "gauges", "histograms", "triage"}
+
+    @pytest.mark.parametrize("fmt", ["prometheus", "json"])
+    def test_export_formats(self, fmt, capsys):
+        assert main(["obs", "export", "--format", fmt] + self.OBS_RUN) == 0
+        printed = capsys.readouterr().out
+        if fmt == "prometheus":
+            assert "# TYPE ffi_calls_total counter" in printed
+        else:
+            import json
+
+            assert json.loads(printed)["schema"] == 1
+
+
+class TestStatusCommand:
+    STATUS_RUN = ["--substrate", "pyc", "--repeats", "2"]
+
+    def test_status_text_rollup(self, capsys):
+        assert main(["status"] + self.STATUS_RUN) == 0
+        printed = capsys.readouterr().out
+        for section in ("workload", "pipeline", "governor", "cache", "obs"):
+            assert section in printed
+
+    def test_status_json(self, capsys):
+        import json
+
+        assert main(["status", "--json"] + self.STATUS_RUN) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["schema"] == 1
+        assert status["workload"]["substrate"] == "pyc"
+        assert status["pipeline"]["pipeline"] == "fused"
+        assert status["obs"]["crossings"] > 0
+
+
 class TestJsonSurfaces:
     """--json outputs parse and carry the fields tooling reads."""
 
@@ -324,7 +408,7 @@ def test_pre_split_surface_still_parses(argv):
 class TestCommandSurfaceIsCovered:
     def test_every_top_level_command_is_smoked(self):
         smoked = {argv[0] for argv in SIMPLE_COMMANDS} | {
-            "trace", "fuzz", "resilience",
+            "trace", "fuzz", "resilience", "obs", "status",
         }
         assert smoked == set(_COMMANDS)
 
@@ -343,3 +427,7 @@ class TestCommandSurfaceIsCovered:
     def test_every_pipeline_subcommand_is_smoked(self):
         smoked = {"show"}
         assert smoked == set(_PIPELINE_COMMANDS)
+
+    def test_every_obs_subcommand_is_smoked(self):
+        smoked = {"snapshot", "top", "diff", "export"}
+        assert smoked == set(_OBS_COMMANDS)

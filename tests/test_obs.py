@@ -1,0 +1,390 @@
+"""The observability subsystem: metrics, spans, triage, export, hub.
+
+Structural coverage for ``repro.obs`` — the timing-free half of what
+``benchmarks/bench_obs.py`` gates.  Everything here is deterministic:
+timing-sensitive assertions run on a :class:`~repro.core.clock.FakeClock`
+or assert structure (counts, IDs, ordering), never wall-clock values.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.clock import FakeClock
+from repro.obs import (
+    HISTOGRAM_BINS,
+    MetricsRegistry,
+    ObsHub,
+    SpanBuffer,
+    TelemetryTap,
+    ViolationTriage,
+    as_tap,
+    canonical_json,
+    diff_snapshots,
+    to_prometheus,
+    top_sites,
+)
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("calls", subsystem="pipeline").inc(3)
+        reg.gauge("share", subsystem="governor").set(0.25)
+        hist = reg.histogram("ns", subsystem="pipeline")
+        hist.observe(5)   # bit_length 3
+        hist.observe(900)  # bit_length 10
+        snap = reg.snapshot()
+        assert snap["counters"]['calls{subsystem="pipeline"}'] == 3
+        assert snap["gauges"]['share{subsystem="governor"}'] == 0.25
+        h = snap["histograms"]['ns{subsystem="pipeline"}']
+        assert h["count"] == 2 and h["sum"] == 905
+        # bin edges are 2**i - 1: 5 lands in the "7" bucket, 900 in "1023"
+        assert h["buckets"] == {"7": 1, "1023": 1}
+
+    def test_histogram_overflow_bin(self):
+        reg = MetricsRegistry()
+        reg.histogram("ns").observe(1 << 200)
+        snap = reg.snapshot()
+        assert snap["histograms"]["ns"]["buckets"] == {"+Inf": 1}
+        reg.histogram("ns").observe(-5)  # clamps to bin 0
+        assert reg.snapshot()["histograms"]["ns"]["buckets"]["0"] == 1
+
+    def test_thread_shards_merge_by_summation(self):
+        reg = MetricsRegistry()
+        reg.counter("calls").inc(10)
+
+        def worker():
+            reg.counter("calls").inc(32)
+            reg.histogram("ns").observe(7)
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = reg.snapshot()
+        assert snap["counters"]["calls"] == 10 + 3 * 32
+        assert snap["histograms"]["ns"]["count"] == 3
+
+    def test_labels_canonicalize_and_values_stringify(self):
+        reg = MetricsRegistry()
+        reg.counter("c", b="2", a="1").inc()
+        reg.counter("c", a="1", b=2).inc()  # same series, sorted labels
+        assert reg.snapshot()["counters"]['c{a="1",b="2"}'] == 2
+
+    def test_reset_zeroes_but_keeps_series(self):
+        reg = MetricsRegistry()
+        cell = reg.counter("calls").cell
+        cell[0] += 5
+        reg.reset()
+        assert reg.snapshot()["counters"]["calls"] == 0
+        cell[0] += 1  # pre-bound cells survive a reset
+        assert reg.snapshot()["counters"]["calls"] == 1
+
+
+class TestSpanBuffer:
+    def test_ring_overwrites_oldest(self):
+        buf = SpanBuffer(capacity=4)
+        for i in range(6):
+            buf.append("F{}".format(i), False, i * 10, i * 10 + 5, 2)
+        assert buf.recorded == 6
+        kept = buf.spans()
+        assert [s.function for s in kept] == ["F2", "F3", "F4", "F5"]
+        assert kept[0].duration_ns() == 5
+        snap = buf.snapshot()
+        assert snap["recorded"] == 6 and snap["kept"] == 4
+
+    def test_reset_in_place_preserves_hook_aliases(self):
+        buf = SpanBuffer(capacity=2)
+        ring, capacity, count = buf.ring_parts()
+        buf.append("F", False, 0, 1, 0)
+        buf.reset()
+        assert buf.recorded == 0 and buf.spans() == []
+        # The fused hooks' aliases still point at the live ring/cell.
+        assert ring is buf.ring_parts()[0]
+        assert count is buf.ring_parts()[2]
+
+    def test_span_to_json(self):
+        buf = SpanBuffer(capacity=2)
+        buf.append("NewObject", True, 100, 250, 3, ("abc123",))
+        span = buf.spans()[0]
+        doc = span.to_json()
+        assert doc["duration_ns"] == 150
+        assert doc["violations"] == ["abc123"]
+        assert doc["native"] is True
+
+
+class TestViolationTriage:
+    def test_entity_ids_scrub_into_one_cluster(self):
+        triage = ViolationTriage()
+        a = triage.ingest(
+            machine="local_ref", error_state="Error: double free",
+            message="ref 0xdeadbeef freed twice", function="DeleteLocalRef",
+        )
+        b = triage.ingest(
+            machine="local_ref", error_state="Error: double free",
+            message="ref 0xcafe1234 freed twice", function="DeleteLocalRef",
+        )
+        assert a == b
+        assert len(triage.clusters) == 1
+        cluster = triage.clusters[a]
+        assert cluster.count == 2
+        assert cluster.fingerprint == "ref 0x# freed twice"
+        assert cluster.example == "ref 0xdeadbeef freed twice"
+
+    def test_different_machines_split_clusters(self):
+        triage = ViolationTriage()
+        a = triage.ingest(
+            machine="local_ref", error_state="E", message="boom"
+        )
+        b = triage.ingest(
+            machine="global_ref", error_state="E", message="boom"
+        )
+        assert a != b and len(triage.clusters) == 2
+
+    def test_cluster_ids_stable_across_ingestion_order(self):
+        lines = [
+            "ref 12 freed twice [machine=local_ref, state=Error: double free]"
+            " in DeleteLocalRef",
+            "ref 99 freed twice [machine=local_ref, state=Error: double free]"
+            " in DeleteLocalRef",
+            "pending exception [machine=exception_state, state=Error: pending]"
+            " in NewObject",
+        ]
+        forward, backward = ViolationTriage(), ViolationTriage()
+        for line in lines:
+            forward.ingest_report_line(line)
+        for line in reversed(lines):
+            backward.ingest_report_line(line)
+        f = {c["id"]: c["count"] for c in forward.snapshot()["clusters"]}
+        b = {c["id"]: c["count"] for c in backward.snapshot()["clusters"]}
+        assert f == b and len(f) == 2
+
+    def test_unparsed_lines_still_cluster(self):
+        triage = ViolationTriage()
+        triage.ingest_report_line("not a violation report at all")
+        (cluster,) = triage.clusters.values()
+        assert cluster.machine == "<unparsed>"
+        assert triage.total == 1
+
+    def test_top_ranks_by_count_then_id(self):
+        triage = ViolationTriage()
+        for _ in range(3):
+            triage.ingest(machine="m1", error_state="E", message="big")
+        triage.ingest(machine="m2", error_state="E", message="small")
+        top = triage.top(5)
+        assert [c.count for c in top] == [3, 1]
+
+
+class _StubViolation:
+    def __init__(self, machine="local_ref", message="ref 7 freed twice"):
+        self.machine = machine
+        self.error_state = "Error: double free"
+        self.function = "DeleteLocalRef"
+        self.args = (message,)
+
+
+class TestObsHub:
+    def test_sample_period_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            ObsHub(sample_period=12)
+        with pytest.raises(ValueError):
+            ObsHub(sample_period=0)
+        assert ObsHub(sample_period=1).sample_period == 1
+
+    def test_on_violation_counts_and_marks(self):
+        hub = ObsHub(clock=FakeClock())
+        mark = hub.violation_mark()
+        cid = hub.on_violation(_StubViolation())
+        assert hub.violations_since(mark) == (cid,)
+        assert hub.violations_since(hub.violation_mark()) == ()
+        snap = hub.snapshot()
+        flat = 'ffi_violations_total{machine="local_ref",subsystem="checker"}'
+        assert snap["metrics"]["counters"][flat] == 1
+        assert snap["triage"]["unique"] == 1
+
+    def test_snapshot_carries_schema_and_sample_period(self):
+        hub = ObsHub(clock=FakeClock(), sample_period=4)
+        snap = hub.snapshot()
+        assert snap["schema"] == 1
+        flat = 'obs_sample_period{subsystem="obs"}'
+        assert snap["metrics"]["gauges"][flat] == 4
+
+    def test_publish_cache_mirrors_stats(self):
+        from repro.core.cache import WRAPPER_CACHE
+
+        hub = ObsHub(clock=FakeClock())
+        hub.publish_cache()
+        gauges = hub.snapshot()["metrics"]["gauges"]
+        for key in WRAPPER_CACHE.stats():
+            assert 'wrapper_cache_{}{{subsystem="cache"}}'.format(key) in gauges
+
+    def test_reset_clears_everything(self):
+        hub = ObsHub(clock=FakeClock())
+        hub.on_violation(_StubViolation())
+        hub.spans.append("F", False, 0, 1, 0)
+        hub.reset()
+        summary = hub.summary()
+        assert summary["violations"] == 0
+        assert summary["spans_recorded"] == 0
+        assert hub.violation_mark() == 0
+
+
+class TestTapWiring:
+    def test_as_tap_normalizes(self):
+        hub = ObsHub(clock=FakeClock())
+        tap = as_tap(hub, substrate="jni")
+        assert isinstance(tap, TelemetryTap) and tap.hub is hub
+        assert as_tap(tap, substrate="jni") is tap
+        assert as_tap(None, substrate="jni") is None
+        with pytest.raises(TypeError):
+            as_tap(object(), substrate="jni")
+
+    def test_closure_hooks_sample_and_record(self):
+        hub = ObsHub(clock=FakeClock(), sample_period=1)
+        tap = TelemetryTap(hub, substrate="jni")
+        call = tap.call_hook("NewObject", False)
+        ret = tap.return_hook("NewObject", False)
+        for _ in range(3):
+            ret(call(), True)
+        ret(call(), False)  # governor sampled this crossing out
+        snap = hub.snapshot()
+        flat = (
+            'ffi_calls_total{direction="native_to_managed",'
+            'function="NewObject",substrate="jni",subsystem="pipeline"}'
+        )
+        assert snap["metrics"]["counters"][flat] == 4
+        assert snap["spans"]["recorded"] == 3  # no span on the raw path
+        sampled = flat.replace("ffi_calls_total", "ffi_sampled_out_total")
+        assert snap["metrics"]["counters"][sampled] == 1
+
+    def test_closure_hooks_skip_duration_between_samples(self):
+        hub = ObsHub(clock=FakeClock(), sample_period=4)
+        tap = TelemetryTap(hub, substrate="jni")
+        call = tap.call_hook("NewObject", False)
+        ret = tap.return_hook("NewObject", False)
+        tokens = [call() for _ in range(8)]
+        # Period 4: calls 1 and 5 are sampled, the rest return None.
+        assert [t is not None for t in tokens] == [
+            True, False, False, False, True, False, False, False,
+        ]
+        for token in tokens:
+            ret(token, True)
+        assert hub.spans.recorded == 2
+
+    def test_telemetry_requires_fused_pipeline(self):
+        from repro.jinn.agent import JinnAgent
+        from repro.pyc.checker import PyCChecker
+
+        hub = ObsHub(clock=FakeClock())
+        with pytest.raises(ValueError):
+            JinnAgent(pipeline="nested", telemetry=hub)
+        with pytest.raises(ValueError):
+            PyCChecker(pipeline="nested", telemetry=hub)
+
+
+class TestExport:
+    def _snapshot(self):
+        hub = ObsHub(clock=FakeClock(), sample_period=1)
+        tap = TelemetryTap(hub, substrate="jni")
+        call = tap.call_hook("NewObject", False)
+        ret = tap.return_hook("NewObject", False)
+        for _ in range(4):
+            ret(call(), True)
+        hub.on_violation(_StubViolation())
+        return hub.snapshot()
+
+    def test_prometheus_text_shape(self):
+        text = to_prometheus(self._snapshot())
+        assert "# TYPE ffi_calls_total counter" in text
+        assert "# TYPE ffi_crossing_ns histogram" in text
+        assert 'le="+Inf"' in text
+        # Cumulative bucket counts end at the series count.
+        count_line = next(
+            line for line in text.splitlines()
+            if line.startswith("ffi_crossing_ns_count")
+        )
+        assert count_line.endswith(" 4")
+
+    def test_canonical_json_is_stable(self):
+        a, b = self._snapshot(), self._snapshot()
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_diff_reports_deltas_and_new_clusters(self):
+        before = self._snapshot()
+        hub = ObsHub(clock=FakeClock(), sample_period=1)
+        tap = TelemetryTap(hub, substrate="jni")
+        call = tap.call_hook("NewObject", False)
+        ret = tap.return_hook("NewObject", False)
+        for _ in range(6):
+            ret(call(), True)
+        hub.on_violation(_StubViolation())
+        hub.on_violation(_StubViolation())  # count 2 > before's 1: grown
+        hub.on_violation(_StubViolation(machine="global_ref"))
+        after = hub.snapshot()
+        diff = diff_snapshots(before, after)
+        flat = (
+            'ffi_calls_total{direction="native_to_managed",'
+            'function="NewObject",substrate="jni",subsystem="pipeline"}'
+        )
+        assert diff["counters"][flat] == 2
+        assert diff["spans"]["recorded_delta"] == 2
+        assert len(diff["triage"]["new_clusters"]) == 1
+        assert len(diff["triage"]["grown_clusters"]) == 1
+
+    def test_top_sites_ranking(self):
+        hub = ObsHub(clock=FakeClock(), sample_period=1)
+        tap = TelemetryTap(hub, substrate="jni")
+        for name, calls in (("Hot", 5), ("Cold", 2)):
+            call = tap.call_hook(name, False)
+            ret = tap.return_hook(name, False)
+            for _ in range(calls):
+                ret(call(), True)
+        snap = hub.snapshot()
+        by_calls = top_sites(snap, by="calls")
+        assert [row["function"] for row in by_calls] == ["Hot", "Cold"]
+        assert by_calls[0]["calls"] == 5
+        with pytest.raises(ValueError):
+            top_sites(snap, by="bogus")
+
+
+class TestObservedEndToEnd:
+    def test_same_seed_fake_clock_snapshots_identical(self):
+        from repro.obs import observed_run
+
+        texts = []
+        for _ in range(2):
+            report = observed_run(
+                7, substrate="pyc", repeats=2, clock=FakeClock()
+            )
+            snap = report["snapshot"]
+            # The wrapper cache is process-global by design; its hit
+            # counters grow across runs in one process.
+            gauges = snap["metrics"]["gauges"]
+            for flat in [k for k in gauges if k.startswith("wrapper_cache_")]:
+                del gauges[flat]
+            texts.append(canonical_json(snap))
+        assert texts[0] == texts[1]
+
+    def test_violating_crossing_attributes_span(self):
+        from repro.jinn.agent import JinnAgent
+        from repro.jvm import HOTSPOT, JavaException, JavaVM
+        from repro.workloads import blocks
+
+        hub = ObsHub(sample_period=1)
+        agent = JinnAgent(telemetry=hub)
+        vm = JavaVM(vendor=HOTSPOT, agents=[agent])
+        vm.define_class("T")
+        vm.add_method("T", "bug", "()V", is_static=True, is_native=True)
+        vm.register_native("T", "bug", "()V", blocks.delete_local_ref_twice)
+        try:
+            vm.call_static("T", "bug", "()V")
+        except JavaException:
+            pass
+        vm.shutdown()
+        (cluster,) = hub.triage.clusters.values()
+        attributed = [
+            s for s in hub.spans.spans() if cluster.id in s.violations
+        ]
+        assert attributed, "the violating crossing should carry its cluster"

@@ -197,3 +197,45 @@ def test_full_stack_parity(substrate):
     assert outcomes["fused"].outcome == outcomes["nested"].outcome
     assert outcomes["fused"].reports == outcomes["nested"].reports
     assert lines["fused"] == lines["nested"]
+
+
+@pytest.mark.parametrize("substrate", ["jni", "pyc"])
+def test_telemetry_tap_parity(substrate):
+    """Fusing the telemetry tap in changes no violation or trace byte.
+
+    Same fault-injected sequence through the fused pipeline with a full
+    :class:`~repro.obs.hub.ObsHub` attached and with telemetry off; the
+    tap may only *watch* — outcomes, reports, and recorded trace lines
+    must match byte for byte, while the hub itself must have seen every
+    crossing and clustered the violations.
+    """
+    from repro.obs import ObsHub
+    from repro.trace import TraceRecorder
+
+    fault = next(f for f in FAULTS if f.substrate == substrate)
+    base = generate_sequence(
+        task_rng(2026, "pipeline-telemetry", substrate), substrate
+    )
+    injected = fault.inject(task_rng(2026, "pipeline-telemetry"), base)
+    runner = run_pyc_ops if substrate == "pyc" else run_jni_ops
+    hub = ObsHub()
+    lines = {}
+    outcomes = {}
+    for label, telemetry in (("off", None), ("on", hub)):
+        recorder = TraceRecorder()
+        outcomes[label] = runner(
+            injected.ops,
+            observer=recorder,
+            pipeline="fused",
+            telemetry=telemetry,
+        )
+        recorder.close()
+        lines[label] = normalized_lines(recorder.lines, substrate)
+    assert outcomes["on"].outcome == outcomes["off"].outcome
+    assert outcomes["on"].reports == outcomes["off"].reports
+    assert lines["on"] == lines["off"]
+    # The tap was not inert: every crossing counted, violations triaged.
+    summary = hub.summary()
+    assert summary["crossings"] > 0
+    assert len(outcomes["on"].reports) >= 1  # the fault still detects
+    assert summary["violation_clusters"] >= 1
