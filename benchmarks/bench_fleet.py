@@ -1,0 +1,256 @@
+"""Fleet fabric performance + correctness gate (``BENCH_fleet.json``).
+
+Three acceptance criteria for ``repro.fleet``, measured on the shipped
+fuzz regression corpus (``tests/data/fuzz_corpus/``, one minimized
+trace per fault class), each file replayed ``REPEATS`` times inside its
+job for CPU amplification:
+
+- **scaling** (``speedup_ok``) — replaying the corpus with 4 workers
+  must beat 1 worker by >= 2.5x on *critical-path CPU* accounting:
+  total in-worker CPU seconds over the busiest single worker's CPU
+  seconds, the same scheduler-independent convention
+  ``bench_trace_replay.py`` gates (a wall speedup is physically
+  unavailable on a single-CPU container at any software layer).  The
+  full 1/2/4 scaling curve is reported for EXPERIMENTS.md E15.
+
+- **determinism** (``stream_identical_ok``) — the 4-worker merged
+  violation stream must be byte-identical to the single-process
+  ``replay_sharded`` baseline, and identical across every worker
+  count, steal interleaving notwithstanding.
+
+- **queue recovery** (``recovery_ok``) — a worker process draining a
+  persistent queue is SIGKILLed mid-run; reopening the queue and
+  draining the remainder must lose zero acked jobs and duplicate zero
+  results (the acked sets before and after partition the job set
+  exactly; zero duplicate acks observed).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+from benchmarks.conftest import write_bench_json
+
+WORKER_COUNTS = [1, 2, 4]
+REPEATS = 20
+TRIALS = 2
+SPEEDUP_MIN = 2.5
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CORPUS_DIR = os.path.join(_ROOT, "tests", "data", "fuzz_corpus")
+
+#: Child body for the recovery gate: drain a queue, die after 3 acks.
+_RECOVERY_CHILD = """
+import os, sys
+from repro.fleet import JobQueue, bench_trial_jobs
+from repro.fleet.jobs import execute_job
+queue = JobQueue(sys.argv[1])
+for job in bench_trial_jobs(int(sys.argv[2]), int(sys.argv[3])):
+    queue.enqueue(job)
+acks = 0
+while True:
+    job = queue.lease("w0", ttl=60.0)
+    if job is None:
+        break
+    execute_job(job)
+    queue.ack(job.job_id, "w0")
+    acks += 1
+    if acks == 3:
+        os.kill(os.getpid(), 9)
+"""
+
+
+def _corpus_paths():
+    from repro.fuzz.corpus import load_manifest
+
+    manifest = load_manifest(CORPUS_DIR)
+    return [
+        os.path.join(CORPUS_DIR, entry["trace"])
+        for entry in manifest["entries"]
+    ]
+
+
+def _measure_workers(paths, workers):
+    """Best-of-N fleet replay at one worker count."""
+    from repro.fleet import fleet_replay, violation_stream
+
+    best = None
+    for _ in range(TRIALS):
+        start = time.perf_counter()
+        merged, report = fleet_replay(
+            paths, workers=workers, repeats=REPEATS
+        )
+        wall = time.perf_counter() - start
+        trial = {
+            "workers": workers,
+            "serial_cpu_seconds": report.serial_cpu_seconds,
+            "critical_path_seconds": report.critical_path_seconds,
+            "utilization": report.utilization,
+            "steals": report.steals,
+            "wall_seconds": wall,
+            "events": merged.event_count,
+            "stream": violation_stream(report),
+            "counts": report.counts,
+        }
+        if (
+            best is None
+            or trial["critical_path_seconds"] < best["critical_path_seconds"]
+        ):
+            best = trial
+    return best
+
+
+def _recovery_gate(seed=11, jobs=8) -> dict:
+    """SIGKILL a queue-draining worker; verify exactly-once recovery."""
+    import tempfile
+
+    from repro.fleet import JobQueue
+    from repro.fleet.jobs import execute_job
+
+    with tempfile.TemporaryDirectory() as tmp:
+        queue_path = os.path.join(tmp, "fleet.queue")
+        child = subprocess.run(
+            [sys.executable, "-c", _RECOVERY_CHILD, queue_path,
+             str(seed), str(jobs)],
+            env=dict(os.environ, PYTHONPATH=os.path.join(_ROOT, "src")),
+        )
+        queue = JobQueue(queue_path)
+        acked_before = set(queue.acked_ids())
+        orphans = queue.recover_leases()
+        drained = []
+        duplicate_results = 0
+        while True:
+            job = queue.lease("w1", ttl=60.0)
+            if job is None:
+                break
+            execute_job(job)
+            if queue.ack(job.job_id, "w1"):
+                drained.append(job.job_id)
+            else:
+                duplicate_results += 1
+        acked_after = set(queue.acked_ids())
+        stats = queue.stats()
+        queue.close()
+    lost_acked = sorted(acked_before - acked_after)
+    return {
+        "child_exit": child.returncode,
+        "jobs": jobs,
+        "acked_before_crash": len(acked_before),
+        "orphaned_leases": len(orphans),
+        "drained_after_recovery": len(drained),
+        "acked_total": len(acked_after),
+        "lost_acked_jobs": lost_acked,
+        "duplicate_results": duplicate_results,
+        "duplicate_acks": stats["duplicate_acks"],
+        "ok": (
+            child.returncode == -9
+            and not lost_acked
+            and duplicate_results == 0
+            and stats["duplicate_acks"] == 0
+            and len(acked_after) == jobs
+            and len(acked_before) + len(drained) == jobs
+        ),
+    }
+
+
+def run_fleet_quick(out_path: str) -> dict:
+    from repro.trace.replay import replay_sharded
+
+    paths = _corpus_paths()
+    report = {
+        "corpus": os.path.relpath(CORPUS_DIR, _ROOT),
+        "traces": len(paths),
+        "repeats": REPEATS,
+        "trials": TRIALS,
+        "worker_counts": WORKER_COUNTS,
+        "cpu_count": os.cpu_count(),
+    }
+
+    baseline = replay_sharded(paths, shards=1)
+    report["baseline_events"] = baseline.event_count
+
+    curve = []
+    streams = {}
+    for workers in WORKER_COUNTS:
+        trial = _measure_workers(paths, workers)
+        streams[workers] = trial.pop("stream")
+        curve.append(trial)
+    serial_cpu = curve[0]["serial_cpu_seconds"]
+    for trial in curve:
+        trial["speedup"] = serial_cpu / trial["critical_path_seconds"]
+    report["scaling"] = curve
+
+    four = next(t for t in curve if t["workers"] == 4)
+    stream_identical = all(
+        streams[workers] == baseline.violations for workers in WORKER_COUNTS
+    )
+    report["stream_identical"] = stream_identical
+    report["violations"] = len(baseline.violations)
+    report["recovery"] = _recovery_gate()
+    report["gate"] = {
+        "speedup_ok": four["speedup"] >= SPEEDUP_MIN,
+        "stream_identical_ok": stream_identical,
+        "recovery_ok": report["recovery"]["ok"],
+    }
+    write_bench_json(out_path, report, thresholds={
+        "four_worker_critical_path_speedup_min": SPEEDUP_MIN,
+        "stream_identical": True,
+        "recovery_zero_loss_zero_dup": True,
+    })
+    return report
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Quick fleet fabric benchmark gate"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="run the fleet gate"
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(_ROOT, "BENCH_fleet.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    if not args.quick:
+        parser.error("this entry point only supports --quick")
+    report = run_fleet_quick(args.out)
+    print("corpus: {} traces x{} repeats, {} events".format(
+        report["traces"], report["repeats"], report["baseline_events"]
+    ))
+    for trial in report["scaling"]:
+        print(
+            "  {} worker(s): critical path {:.3f}s, speedup {:.2f}x, "
+            "utilization {:.0%}, {} steal(s)".format(
+                trial["workers"], trial["critical_path_seconds"],
+                trial["speedup"], trial["utilization"], trial["steals"],
+            )
+        )
+    print("stream: {} across {} worker counts".format(
+        "identical" if report["stream_identical"] else "DRIFT",
+        len(report["worker_counts"]),
+    ))
+    recovery = report["recovery"]
+    print(
+        "recovery: {} acked pre-crash + {} drained = {}/{} jobs, "
+        "{} lost, {} duplicate(s)".format(
+            recovery["acked_before_crash"],
+            recovery["drained_after_recovery"], recovery["acked_total"],
+            recovery["jobs"], len(recovery["lost_acked_jobs"]),
+            recovery["duplicate_results"],
+        )
+    )
+    print("report written to {}".format(args.out))
+    if not all(report["gate"].values()):
+        print("FLEET GATE FAILED: {}".format(report["gate"]))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

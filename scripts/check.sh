@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate: tests, bytecode compilation, the fixed-seed fuzz smoke,
 # the resilience smoke (chaos containment + crash recovery), the obs
-# CLI smoke, and the quick benchmark gates (write
-# BENCH_interpretive_dispatch.json, BENCH_trace_replay.json,
-# BENCH_fuzz.json, BENCH_resilience.json, BENCH_pipeline.json, and
-# BENCH_obs.json).
+# CLI smoke, the fleet smoke (work-stealing replay of the regression
+# corpus on 2 workers, gated on stream identity), and the quick
+# benchmark gates (write BENCH_interpretive_dispatch.json,
+# BENCH_trace_replay.json, BENCH_fuzz.json, BENCH_resilience.json,
+# BENCH_pipeline.json, BENCH_obs.json, and BENCH_fleet.json).
 #
 # Usage: scripts/check.sh [--no-bench]
 set -euo pipefail
@@ -37,6 +38,9 @@ timeout 300 python -m repro.cli obs export --input /tmp/obs_smoke.json \
     --format prometheus > /dev/null
 timeout 300 python -m repro.cli status --repeats 2
 
+echo "== fleet smoke (2 workers, regression corpus, stream identity) =="
+timeout 300 python -m repro.cli fleet run --smoke --workers 2
+
 if [[ "${1:-}" != "--no-bench" ]]; then
     echo "== dispatch-index bench gate (quick) =="
     python benchmarks/bench_table3_overhead.py --quick
@@ -55,6 +59,9 @@ if [[ "${1:-}" != "--no-bench" ]]; then
 
     echo "== observability bench gate (quick) =="
     timeout 600 python benchmarks/bench_obs.py --quick
+
+    echo "== fleet fabric bench gate (quick) =="
+    timeout 600 python benchmarks/bench_fleet.py --quick
 fi
 
 echo "OK"

@@ -1,0 +1,311 @@
+"""The ``fleet`` command group: the work-stealing execution fabric."""
+
+from __future__ import annotations
+
+
+def _print_load(report) -> None:
+    load = report.load_json()
+    print(
+        "fleet    : {} worker(s), {} steal(s) ({} job(s) moved), "
+        "{} requeue(s)".format(
+            load["workers"], load["steals"], load["stolen_jobs"],
+            load["requeues"],
+        )
+    )
+    print(
+        "cpu      : serial {:.3f}s, critical path {:.3f}s, "
+        "utilization {:.0%}".format(
+            load["serial_cpu_seconds"], load["critical_path_seconds"],
+            load["utilization"],
+        )
+    )
+
+
+def _cmd_fleet_run(args) -> int:
+    import json as _json
+
+    from repro.fleet import (
+        fleet_chaos,
+        fleet_corpus,
+        fleet_fuzz,
+        fleet_replay,
+        fleet_smoke,
+        violation_stream,
+    )
+
+    if args.smoke:
+        smoke = fleet_smoke(workers=args.workers, queue_path=args.queue)
+        if args.json:
+            print(_json.dumps(smoke, indent=2, sort_keys=True))
+        else:
+            print(
+                "smoke: {} trace(s) on {} worker(s): {} events, "
+                "{} violation(s), stream {}".format(
+                    smoke["traces"], smoke["workers"], smoke["events"],
+                    smoke["violations"],
+                    "identical" if smoke["stream_identical"] else "DRIFT",
+                )
+            )
+        print("gate: " + ("PASS" if smoke["ok"] else "FAIL"))
+        return 0 if smoke["ok"] else 1
+    if args.kind == "replay":
+        if not args.paths:
+            print("fleet run --kind replay needs trace paths")
+            return 2
+        merged, report = fleet_replay(
+            args.paths,
+            workers=args.workers,
+            force=args.force,
+            queue_path=args.queue,
+        )
+        if args.json:
+            print(_json.dumps(
+                {
+                    "report": report.to_json(),
+                    "violations": violation_stream(report),
+                    "load": report.load_json(),
+                },
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print("replayed {} events from {} trace(s)".format(
+                merged.event_count, len(args.paths)
+            ))
+            for line in violation_stream(report):
+                print("  " + line)
+            _print_load(report)
+        return 0 if report.counts["crash"] == 0 else 1
+    if args.kind == "fuzz":
+        from repro.fuzz import fuzz_gate
+
+        merged, report = fleet_fuzz(
+            args.seed,
+            rounds=args.rounds,
+            substrate=args.substrate,
+            workers=args.workers,
+            queue_path=args.queue,
+        )
+        failures = fuzz_gate(merged)
+        if args.json:
+            print(_json.dumps(merged, indent=2, sort_keys=True))
+        else:
+            print("fuzz seed {}: {} runs, {} events".format(
+                args.seed, merged["totals"]["runs"], merged["totals"]["events"]
+            ))
+            _print_load(report)
+        for failure in failures:
+            print("GATE FAIL: " + failure)
+        return 1 if failures else 0
+    if args.kind == "chaos":
+        from repro.resilience import chaos_gate
+
+        merged, report = fleet_chaos(
+            args.seed,
+            substrate=args.substrate,
+            rounds=args.rounds,
+            workers=args.workers,
+            queue_path=args.queue,
+        )
+        gate = chaos_gate(merged)
+        if args.json:
+            print(_json.dumps(merged, indent=2, sort_keys=True))
+        else:
+            print(
+                "chaos seed {}: {} run(s), {} host crash(es), "
+                "{} unanswered".format(
+                    args.seed, len(merged["runs"]), merged["host_crashes"],
+                    merged["unanswered_faults"],
+                )
+            )
+            _print_load(report)
+        failures = [name for name, ok in sorted(gate.items()) if not ok]
+        for name in failures:
+            print("GATE FAIL: " + name)
+        return 1 if failures else 0
+    # corpus
+    manifest, report = fleet_corpus(
+        args.output,
+        args.seed,
+        substrate=args.substrate,
+        workers=args.workers,
+        queue_path=args.queue,
+    )
+    print("wrote {} minimized traces -> {}/".format(
+        len(manifest["entries"]), args.output
+    ))
+    if not args.json:
+        _print_load(report)
+    return 0 if report.ok else 1
+
+
+def _cmd_fleet_status(args) -> int:
+    import json as _json
+    import os as _os
+
+    from repro.fleet import JobQueue
+
+    if not _os.path.exists(args.queue):
+        print("no queue at {}".format(args.queue))
+        return 2
+    queue = JobQueue(args.queue)
+    try:
+        stats = queue.stats()
+    finally:
+        queue.close()
+    if args.json:
+        print(_json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        print(
+            "queue {}: {} job(s) — {} pending, {} leased, {} acked; "
+            "{} requeue(s), {} duplicate ack(s), {} torn byte(s)".format(
+                stats["path"], stats["jobs"], stats["depth"],
+                stats["leased"], stats["acked"], stats["requeues"],
+                stats["duplicate_acks"], stats["torn_bytes"],
+            )
+        )
+    return 0
+
+
+def _cmd_fleet_workers(args) -> int:
+    import json as _json
+
+    from repro.fleet import FleetScheduler, bench_trial_jobs
+
+    jobs = bench_trial_jobs(args.seed, args.trials, substrate=args.substrate)
+    scheduler = FleetScheduler(
+        jobs, workers=args.workers, seed=args.seed,
+        inline=args.workers <= 0,
+    )
+    report = scheduler.run()
+    if args.json:
+        print(_json.dumps(
+            {"report": report.to_json(), "load": report.load_json()},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print("{} trial job(s) on {} worker(s): {}".format(
+            args.trials, report.workers,
+            ", ".join("{}={}".format(k, v) for k, v in report.counts.items()),
+        ))
+        for index, busy in enumerate(report.worker_busy_seconds):
+            print("  worker {}: {:.3f}s busy".format(index, busy))
+        _print_load(report)
+    return 0 if report.ok else 1
+
+
+def _cmd_fleet_drain(args) -> int:
+    import json as _json
+
+    from repro.fleet import FleetScheduler, JobQueue
+
+    queue = JobQueue(args.queue)
+    try:
+        orphans = queue.recover_leases()
+        pending = [queue.job(job_id) for job_id in queue.pending_ids()]
+        if not pending:
+            print("queue {} already drained ({} acked)".format(
+                args.queue, queue.acked
+            ))
+            return 0
+        scheduler = FleetScheduler(
+            pending, workers=args.workers, queue=queue,
+        )
+        report = scheduler.run()
+        stats = queue.stats()
+    finally:
+        queue.close()
+    if args.json:
+        print(_json.dumps(
+            {
+                "recovered_leases": len(orphans),
+                "report": report.to_json(),
+                "queue": stats,
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(
+            "recovered {} orphaned lease(s); ran {} job(s): {}".format(
+                len(orphans), len(report.outcomes),
+                ", ".join(
+                    "{}={}".format(k, v) for k, v in report.counts.items()
+                ),
+            )
+        )
+        print("queue now: {} pending, {} acked".format(
+            stats["depth"], stats["acked"]
+        ))
+    return 0 if report.counts["crash"] == 0 else 1
+
+
+def _cmd_fleet(args) -> int:
+    return SUBCOMMANDS[args.fleet_command](args)
+
+
+def add_parsers(sub) -> None:
+    fleet = sub.add_parser(
+        "fleet", help="work-stealing multi-process execution fabric"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    run = fleet_sub.add_parser(
+        "run", help="run a checking workload across fleet workers"
+    )
+    run.add_argument(
+        "paths", nargs="*", help="trace files (for --kind replay)"
+    )
+    run.add_argument(
+        "--kind", choices=("replay", "fuzz", "chaos", "corpus"),
+        default="replay",
+    )
+    run.add_argument("--workers", type=int, default=2)
+    run.add_argument("--seed", type=int, default=2026)
+    run.add_argument("--rounds", type=int, default=1)
+    run.add_argument(
+        "--substrate", choices=("both", "jni", "pyc"), default="both"
+    )
+    run.add_argument("-o", "--output", default="fuzz_corpus")
+    run.add_argument("--force", action="store_true")
+    run.add_argument(
+        "--queue", default=None,
+        help="mirror job lifecycle into a crash-safe persistent queue",
+    )
+    run.add_argument(
+        "--smoke", action="store_true",
+        help="replay the regression corpus; gate on stream identity (CI)",
+    )
+    run.add_argument("--json", action="store_true")
+
+    status = fleet_sub.add_parser(
+        "status", help="inspect a persistent job queue"
+    )
+    status.add_argument("--queue", default="fleet.queue")
+    status.add_argument("--json", action="store_true")
+
+    workers = fleet_sub.add_parser(
+        "workers", help="exercise the fabric; report per-worker load"
+    )
+    workers.add_argument("--workers", type=int, default=2)
+    workers.add_argument("--trials", type=int, default=8)
+    workers.add_argument("--seed", type=int, default=2026)
+    workers.add_argument(
+        "--substrate", choices=("jni", "pyc"), default="pyc"
+    )
+    workers.add_argument("--json", action="store_true")
+
+    drain = fleet_sub.add_parser(
+        "drain", help="recover a crashed queue and run its remaining jobs"
+    )
+    drain.add_argument("--queue", required=True)
+    drain.add_argument("--workers", type=int, default=2)
+    drain.add_argument("--json", action="store_true")
+
+
+SUBCOMMANDS = {
+    "run": _cmd_fleet_run,
+    "status": _cmd_fleet_status,
+    "workers": _cmd_fleet_workers,
+    "drain": _cmd_fleet_drain,
+}
+
+COMMANDS = {"fleet": _cmd_fleet}

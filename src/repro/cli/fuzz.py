@@ -21,7 +21,19 @@ def _cmd_fuzz_run(args) -> int:
             args.timeout,
         )
     rounds = 1 if args.smoke else args.rounds
-    report = fuzz_run(args.seed, rounds=rounds, substrate=args.substrate)
+    if getattr(args, "workers", 0) > 0:
+        # Fleet path: campaign slices across workers, merged to the
+        # byte-identical canonical report.
+        from repro.fleet import fleet_fuzz
+
+        report, _ = fleet_fuzz(
+            args.seed,
+            rounds=rounds,
+            substrate=args.substrate,
+            workers=args.workers,
+        )
+    else:
+        report = fuzz_run(args.seed, rounds=rounds, substrate=args.substrate)
     failures = fuzz_gate(report)
     if args.json:
         print(_json.dumps(report, indent=2, sort_keys=True))
@@ -144,6 +156,10 @@ def add_parsers(sub) -> None:
     )
     fuzz_run.add_argument(
         "--smoke", action="store_true", help="one fixed round (CI gate)"
+    )
+    fuzz_run.add_argument(
+        "--workers", type=int, default=0,
+        help="run campaign slices on the fleet fabric with N workers",
     )
     fuzz_run.add_argument(
         "--json", action="store_true", help="print the canonical report"

@@ -41,6 +41,46 @@ def _pipeline_section(substrate: str) -> dict:
     }
 
 
+def _fleet_section(seed: int) -> dict:
+    """Exercise the fabric on self-contained trial jobs; report load.
+
+    Generated workloads only (no file dependencies), two inline
+    workers, and a throwaway persistent queue — so ``repro status``
+    shows real queue depth / steal / requeue / utilization numbers
+    without touching the working directory.
+    """
+    import os
+    import tempfile
+
+    from repro.fleet import FleetScheduler, JobQueue, bench_trial_jobs
+
+    jobs = bench_trial_jobs(seed, 4)
+    fd, queue_path = tempfile.mkstemp(suffix=".fleetq")
+    os.close(fd)
+    os.unlink(queue_path)
+    queue = JobQueue(queue_path)
+    try:
+        scheduler = FleetScheduler(
+            jobs, workers=2, seed=seed, inline=True, queue=queue
+        )
+        report = scheduler.run()
+        stats = queue.stats()
+    finally:
+        queue.close()
+        if os.path.exists(queue_path):
+            os.unlink(queue_path)
+    return {
+        "jobs": len(jobs),
+        "counts": report.counts,
+        "ok": report.ok,
+        "queue_depth": stats["depth"],
+        "queue_acked": stats["acked"],
+        "steals": report.steals,
+        "requeues": report.requeues,
+        "utilization": report.utilization,
+    }
+
+
 def _cmd_status(args) -> int:
     import json as _json
 
@@ -67,6 +107,7 @@ def _cmd_status(args) -> int:
         "governor": report["governor"],
         "cache": WRAPPER_CACHE.stats(),
         "obs": report["summary"],
+        "fleet": _fleet_section(args.seed),
     }
     if args.json:
         print(_json.dumps(status, indent=2, sort_keys=True))
@@ -108,6 +149,15 @@ def _cmd_status(args) -> int:
         "{} violation cluster(s)".format(
             obs["crossings"], obs["series"], obs["spans_kept"],
             obs["violation_clusters"],
+        )
+    )
+    fleet = status["fleet"]
+    print(
+        "fleet    : {} job(s) {}, queue depth {} ({} acked), "
+        "{} steal(s), {} requeue(s), utilization {:.0%}".format(
+            fleet["jobs"], "ok" if fleet["ok"] else "NOT OK",
+            fleet["queue_depth"], fleet["queue_acked"], fleet["steals"],
+            fleet["requeues"], fleet["utilization"],
         )
     )
     return 0

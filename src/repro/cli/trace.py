@@ -76,7 +76,15 @@ def _cmd_trace_replay(args) -> int:
     from repro.trace.format import TraceFormatError
 
     try:
-        if len(args.paths) > 1 or args.shards > 1:
+        if getattr(args, "workers", 0) > 0:
+            # Delegate to the fleet fabric: one job per file, merged
+            # deterministically (byte-identical to the paths below).
+            from repro.fleet import fleet_replay
+
+            result, _ = fleet_replay(
+                args.paths, workers=args.workers, force=args.force
+            )
+        elif len(args.paths) > 1 or args.shards > 1:
             result = replay_sharded(
                 args.paths, shards=args.shards, force=args.force
             )
@@ -177,6 +185,10 @@ def add_parsers(sub) -> None:
     replay.add_argument("paths", nargs="+", help="trace files")
     replay.add_argument(
         "--shards", type=int, default=1, help="parallel replay processes"
+    )
+    replay.add_argument(
+        "--workers", type=int, default=0,
+        help="run on the fleet fabric with N work-stealing workers",
     )
     replay.add_argument(
         "--force",

@@ -22,9 +22,26 @@ import time
 
 
 class Clock:
-    """Monotonic nanosecond clock protocol."""
+    """Monotonic clock protocol.
+
+    ``monotonic_ns`` is the original hot-path surface (PR 7).  The
+    fleet scheduler and the supervisor watchdog added three cold-path
+    members: ``monotonic`` (seconds, for watchdog/lease arithmetic),
+    ``process_time`` (CPU seconds, for critical-path accounting), and
+    ``sleep`` (so retry backoff is a no-op wait on a :class:`FakeClock`
+    instead of a real stall).
+    """
 
     def monotonic_ns(self) -> int:
+        raise NotImplementedError
+
+    def monotonic(self) -> float:
+        raise NotImplementedError
+
+    def process_time(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
         raise NotImplementedError
 
 
@@ -32,9 +49,12 @@ class SystemClock(Clock):
     """The platform's highest-resolution monotonic counter."""
 
     def __init__(self):
-        # Instance attribute, not method: pre-binding ``monotonic_ns``
+        # Instance attributes, not methods: pre-binding ``monotonic_ns``
         # hands callers the raw builtin.
         self.monotonic_ns = time.perf_counter_ns
+        self.monotonic = time.monotonic
+        self.process_time = time.process_time
+        self.sleep = time.sleep
 
 
 class FakeClock(Clock):
@@ -52,12 +72,29 @@ class FakeClock(Clock):
         self._now = start
         self._step = step
         self.reads = 0
+        #: Total seconds "slept" — asserted by scheduler backoff tests.
+        self.slept = 0.0
 
     def monotonic_ns(self) -> int:
         now = self._now
         self._now += self._step
         self.reads += 1
         return now
+
+    def monotonic(self) -> float:
+        return self.monotonic_ns() / 1e9
+
+    def process_time(self) -> float:
+        # CPU time on a fake clock is the same deterministic counter:
+        # each read advances by ``step``, so durations are a pure
+        # function of how many reads happened in between.
+        return self.monotonic_ns() / 1e9
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.slept += seconds
+        self._now += int(seconds * 1e9)
 
     def advance(self, ns: int) -> None:
         if ns < 0:

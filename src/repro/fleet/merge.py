@@ -1,0 +1,142 @@
+"""Order-independent result merging: arrival order never leaks out.
+
+Every merge here is keyed by job ID and ordered by the *submitted* job
+list, so the merged violation stream, the assembled fuzz/chaos
+reports, and the ObsHub snapshot are byte-identical whether the fleet
+ran on one worker or sixteen, and regardless of how stealing
+interleaved execution.  Within one replay job, reports carry their
+trace sequence numbers, so even a future thread-sharded split of a
+single file restores stream order by ``(job order, seq)``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.fleet.jobs import Job
+from repro.fleet.scheduler import FleetReport
+from repro.trace.replay import ShardedReplayResult
+
+
+def _payloads(report: FleetReport, kind: str) -> List[dict]:
+    """Completed payloads of one kind, in job submission order."""
+    out: List[dict] = []
+    for outcome in report.outcomes:
+        if outcome.job.kind != kind:
+            continue
+        if outcome.payload is None:
+            raise ValueError(
+                "job {} ended {} with no payload; cannot merge".format(
+                    outcome.job.describe(), outcome.classification
+                )
+            )
+        out.append(outcome.payload)
+    return out
+
+
+def merge_replay(report: FleetReport) -> ShardedReplayResult:
+    """Fold replay-shard payloads into a :class:`ShardedReplayResult`.
+
+    Files keep submission order; reports within a file sort by trace
+    seq (several jobs may shard one file).  The result is shaped
+    exactly like :func:`repro.trace.replay.replay_sharded`'s, so the
+    obs publisher and the CLI consume either interchangeably.
+    """
+    by_path: Dict[str, List] = {}
+    order: List[str] = []
+    for payload in _payloads(report, "replay-shard"):
+        path = payload["path"]
+        if path not in by_path:
+            by_path[path] = [[], 0]
+            order.append(path)
+        by_path[path][0].extend(
+            (seq, text) for seq, text in payload["reports"]
+        )
+        by_path[path][1] += payload["events"]
+    merged = ShardedReplayResult(report.workers)
+    merged.worker_seconds = list(report.worker_busy_seconds)
+    for path in order:
+        reports, events = by_path[path]
+        reports.sort(key=lambda item: item[0])
+        merged.add(path, reports, events)
+    return merged
+
+
+def merge_fuzz(
+    report: FleetReport, seed: int, rounds: int, substrate: str
+) -> Dict[str, object]:
+    """Assemble fuzz-campaign payloads into the canonical fuzz report.
+
+    Byte-identical to :func:`repro.fuzz.engine.fuzz_run` because the
+    job builder emits campaigns in ``fuzz_run``'s own loop order and
+    this merge preserves submission order.
+    """
+    from repro.fuzz.engine import assemble_report
+
+    valid_parts: List[dict] = []
+    fault_parts: List[dict] = []
+    for payload in _payloads(report, "fuzz-campaign"):
+        if payload["campaign"] == "valid":
+            valid_parts.append(payload["part"])
+        else:
+            fault_parts.append(payload["part"])
+    return assemble_report(seed, rounds, substrate, valid_parts, fault_parts)
+
+
+def merge_chaos(report: FleetReport, substrate: str) -> Dict[str, object]:
+    """Merge per-substrate chaos reports; field-identical to one run."""
+    from repro.resilience.chaos import merge_reports
+
+    return merge_reports(
+        [payload["report"] for payload in _payloads(report, "chaos-round")],
+        substrate,
+    )
+
+
+def merge_corpus(
+    report: FleetReport, out_dir: str, seed: int
+) -> Dict[str, object]:
+    """Write corpus-build payloads as a corpus directory + manifest.
+
+    Entries land in job submission order (the fault registry order the
+    builder used), so the manifest is byte-identical to
+    :func:`repro.fuzz.corpus.build_corpus` over the same faults.
+    """
+    from repro.fuzz.corpus import MANIFEST_NAME
+
+    os.makedirs(out_dir, exist_ok=True)
+    entries: List[dict] = []
+    for payload in _payloads(report, "corpus-build"):
+        entry = payload["entry"]
+        with open(os.path.join(out_dir, entry["trace"]), "w") as f:
+            for line in payload["trace_lines"]:
+                f.write(line)
+                f.write("\n")
+        entries.append(entry)
+    manifest = {"seed": seed, "entries": entries}
+    with open(os.path.join(out_dir, MANIFEST_NAME), "w") as f:
+        json.dump(manifest, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return manifest
+
+
+def violation_stream(report: FleetReport) -> List[str]:
+    """The canonical merged violation stream (submission order, seq
+    order within replay jobs) — the byte-identity surface the
+    determinism gates compare across worker counts."""
+    out: List[str] = []
+    for outcome in report.outcomes:
+        payload = outcome.payload
+        if payload is not None and "reports" in payload:
+            reports = sorted(payload["reports"], key=lambda item: item[0])
+            out.extend(text for _, text in reports)
+        else:
+            out.extend(outcome.violations)
+    return out
+
+
+def publish_fleet(hub, report: FleetReport, *, include_load: bool = True):
+    """Convenience wrapper over :meth:`repro.obs.hub.ObsHub.publish_fleet`."""
+    hub.publish_fleet(report, include_load=include_load)

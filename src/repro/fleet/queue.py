@@ -1,0 +1,295 @@
+"""The crash-safe persistent job queue.
+
+The queue is an append-only journal in the exact length-prefixed
+format of :class:`repro.trace.recorder.JournalWriter` —
+``"<byte_len> <json>\\n"`` — decoded on reopen by the same
+:func:`repro.resilience.recover.scan_length_prefixed` trace recovery
+uses, so a queue file torn at any byte by SIGKILL loses at most the
+unsynced tail and never a synced record.
+
+Lifecycle records after the header:
+
+- ``["q", <job json>]`` — enqueued (idempotent by job ID);
+- ``["l", <job id>, <worker>, <expiry>]`` — leased until ``expiry``;
+- ``["a", <job id>, <worker>]`` — acked (completed; fsynced eagerly);
+- ``["r", <job id>]`` — requeued (lease expired or worker died).
+
+Acks are the durability-critical record: they fsync immediately, so an
+acked job is never re-run after a crash ("exactly-once ack": zero
+acked jobs lost, zero duplicate results).  Enqueues of an already-known
+job ID are no-ops and duplicate acks are rejected and counted —
+both idempotency properties the at-least-once delivery of lease/requeue
+needs to compose into exactly-once results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.clock import SYSTEM_CLOCK, Clock
+from repro.fleet.jobs import Job
+from repro.resilience.recover import scan_length_prefixed
+
+_HEADER = {"format": "fleet-queue", "version": 1}
+
+
+class QueueFormatError(ValueError):
+    """The file exists but is not a fleet queue journal."""
+
+
+class JobQueue:
+    """Persistent enqueue/lease/ack with requeue-on-lease-expiry."""
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        sync_every: int = 8,
+        clock: Optional[Clock] = None,
+    ):
+        self.path = path
+        self.sync_every = max(1, sync_every)
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self._jobs: Dict[str, Job] = {}
+        #: Enqueue ordinal per job ID — the priority tie-breaker.
+        self._ordinal: Dict[str, int] = {}
+        self._pending: List[str] = []
+        self._leases: Dict[str, Tuple[str, float]] = {}
+        self._acked: Dict[str, str] = {}
+        self.duplicate_acks = 0
+        self.requeues = 0
+        self.torn_bytes = 0
+        self._since_sync = 0
+        existing = os.path.exists(path) and os.path.getsize(path) > 0
+        if existing:
+            self._load()
+            self._f = open(path, "a")
+        else:
+            self._f = open(path, "w")
+            self._write(_HEADER)
+            self._sync()
+
+    # -- journal I/O -----------------------------------------------------
+
+    def _write(self, record) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._f.write("{} {}\n".format(len(line.encode("utf-8")), line))
+        self._since_sync += 1
+        if self._since_sync >= self.sync_every:
+            self._sync()
+
+    def _sync(self) -> None:
+        self._f.flush()
+        os.fsync(self._f.fileno())
+        self._since_sync = 0
+
+    def _load(self) -> None:
+        with open(self.path, "rb") as f:
+            data = f.read()
+        lines, dropped = scan_length_prefixed(data)
+        self.torn_bytes = dropped
+        if not lines:
+            raise QueueFormatError(
+                "{} holds no complete record".format(self.path)
+            )
+        header = json.loads(lines[0])
+        if (
+            not isinstance(header, dict)
+            or header.get("format") != _HEADER["format"]
+        ):
+            raise QueueFormatError(
+                "{} is not a fleet queue journal".format(self.path)
+            )
+        for line in lines[1:]:
+            record = json.loads(line)
+            tag = record[0]
+            if tag == "q":
+                self._apply_enqueue(Job.from_json(record[1]))
+            elif tag == "l":
+                job_id, worker, expiry = record[1], record[2], record[3]
+                if job_id in self._pending:
+                    self._pending.remove(job_id)
+                self._leases[job_id] = (worker, expiry)
+            elif tag == "a":
+                job_id, worker = record[1], record[2]
+                self._leases.pop(job_id, None)
+                if job_id in self._pending:
+                    self._pending.remove(job_id)
+                self._acked[job_id] = worker
+            elif tag == "r":
+                job_id = record[1]
+                self._leases.pop(job_id, None)
+                if job_id not in self._acked and job_id not in self._pending:
+                    self._pending.append(job_id)
+            else:
+                raise QueueFormatError(
+                    "unknown queue record tag {!r}".format(tag)
+                )
+        self._sort_pending()
+
+    # -- state helpers ---------------------------------------------------
+
+    def _apply_enqueue(self, job: Job) -> bool:
+        job_id = job.job_id
+        if job_id in self._jobs:
+            return False
+        self._jobs[job_id] = job
+        self._ordinal[job_id] = len(self._ordinal)
+        if job_id not in self._acked:
+            self._pending.append(job_id)
+        return True
+
+    def _sort_pending(self) -> None:
+        self._pending.sort(
+            key=lambda job_id: (
+                self._jobs[job_id].priority,
+                self._ordinal[job_id],
+            )
+        )
+
+    # -- the queue API ---------------------------------------------------
+
+    def enqueue(self, job: Job) -> bool:
+        """Add a job; returns False (and writes nothing) if already known."""
+        if not self._apply_enqueue(job):
+            return False
+        self._sort_pending()
+        self._write(["q", job.to_json()])
+        return True
+
+    def lease(
+        self,
+        worker: str,
+        *,
+        ttl: float = 60.0,
+        now: Optional[float] = None,
+    ) -> Optional[Job]:
+        """Hand the best pending job to ``worker`` until ``now + ttl``."""
+        if not self._pending:
+            return None
+        if now is None:
+            now = self.clock.monotonic()
+        job_id = self._pending.pop(0)
+        self._leases[job_id] = (worker, now + ttl)
+        self._write(["l", job_id, worker, now + ttl])
+        return self._jobs[job_id]
+
+    def lease_job(
+        self,
+        job_id: str,
+        worker: str,
+        *,
+        ttl: float = 60.0,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Targeted lease: the scheduler picks, the journal records.
+
+        The work-stealing scheduler selects jobs from its own deques;
+        this keeps the durable lease record in step with that choice
+        instead of forcing queue-head order.
+        """
+        if job_id not in self._pending:
+            return False
+        if now is None:
+            now = self.clock.monotonic()
+        self._pending.remove(job_id)
+        self._leases[job_id] = (worker, now + ttl)
+        self._write(["l", job_id, worker, now + ttl])
+        return True
+
+    def ack(self, job_id: str, worker: str) -> bool:
+        """Mark a job done; fsyncs eagerly.  Duplicate acks are rejected."""
+        if job_id not in self._jobs:
+            raise KeyError("unknown job {!r}".format(job_id))
+        if job_id in self._acked:
+            self.duplicate_acks += 1
+            return False
+        self._leases.pop(job_id, None)
+        if job_id in self._pending:
+            self._pending.remove(job_id)
+        self._acked[job_id] = worker
+        self._write(["a", job_id, worker])
+        self._sync()
+        return True
+
+    def requeue(self, job_id: str) -> bool:
+        """Return a leased (or lost) job to pending; acked jobs never move."""
+        if job_id in self._acked or job_id not in self._jobs:
+            return False
+        self._leases.pop(job_id, None)
+        if job_id in self._pending:
+            return False
+        self._pending.append(job_id)
+        self._sort_pending()
+        self.requeues += 1
+        self._write(["r", job_id])
+        return True
+
+    def requeue_expired(self, now: Optional[float] = None) -> List[str]:
+        """Expire overdue leases back to pending; returns their job IDs."""
+        if now is None:
+            now = self.clock.monotonic()
+        expired = [
+            job_id
+            for job_id, (_, expiry) in self._leases.items()
+            if expiry <= now
+        ]
+        expired.sort(key=lambda job_id: self._ordinal[job_id])
+        for job_id in expired:
+            self.requeue(job_id)
+        return expired
+
+    def recover_leases(self) -> List[str]:
+        """Crash reopen: every outstanding lease is an orphan; requeue all."""
+        orphans = sorted(self._leases, key=lambda job_id: self._ordinal[job_id])
+        for job_id in orphans:
+            self.requeue(job_id)
+        return orphans
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self._pending)
+
+    @property
+    def leased(self) -> int:
+        return len(self._leases)
+
+    @property
+    def acked(self) -> int:
+        return len(self._acked)
+
+    def acked_ids(self) -> List[str]:
+        return sorted(self._acked, key=lambda job_id: self._ordinal[job_id])
+
+    def pending_ids(self) -> List[str]:
+        return list(self._pending)
+
+    def job(self, job_id: str) -> Job:
+        return self._jobs[job_id]
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "jobs": len(self._jobs),
+            "depth": self.depth,
+            "leased": self.leased,
+            "acked": self.acked,
+            "requeues": self.requeues,
+            "duplicate_acks": self.duplicate_acks,
+            "torn_bytes": self.torn_bytes,
+        }
+
+    def close(self) -> None:
+        if not self._f.closed:
+            self._sync()
+            self._f.close()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,634 @@
+"""The work-stealing scheduler: jobs onto multiprocessing workers.
+
+Topology: the parent owns one deque per worker; jobs distribute
+round-robin by submission index, and a worker that drains its own
+deque steals the back half of the richest victim's deque (classic
+steal-half, ties to the lowest worker index).  Workers themselves are
+dumb executors — a child process looping ``inbox.get() ->
+execute_job -> results.put`` — so all scheduling state lives in one
+place and the merge layer can be exact.
+
+Failure handling reuses the supervisor's classification ladder
+(``clean`` / ``violation`` / ``crash`` / ``hang``, plus ``expired``
+for jobs whose deadline passed before dispatch): a worker that dies
+mid-job crashes the *oldest* in-flight job and requeues the rest; a
+job over the watchdog timeout hangs; both retry with the supervisor's
+capped deterministic backoff (:func:`repro.resilience.supervisor
+.backoff_delay`), scheduled non-blockingly so other jobs keep flowing.
+Backpressure is a bounded in-flight count per worker (default 1, which
+also makes crash attribution exact — with more, the non-oldest
+in-flight jobs are requeued, not blamed).
+
+Determinism: the report lists jobs in submission order keyed by job
+ID, never completion order; steal counts, busy seconds, and worker
+attribution are load telemetry, excluded from the deterministic body.
+Inline mode (``inline=True``) runs the same deque/steal/backoff logic
+synchronously in-process against an injectable executor and clock, so
+scheduler tests run on a :class:`repro.core.clock.FakeClock` with no
+real processes or stalls.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.clock import SYSTEM_CLOCK, Clock
+from repro.fleet.jobs import Job, execute_job
+from repro.fleet.queue import JobQueue
+from repro.resilience.supervisor import (
+    CLEAN,
+    CRASH,
+    HANG,
+    VIOLATION,
+    backoff_delay,
+)
+
+#: Deadline passed before dispatch — the fleet's own classification.
+EXPIRED = "expired"
+
+#: How long a parent result-wait blocks before re-checking liveness.
+_POLL_SECONDS = 0.05
+
+
+@dataclass
+class JobOutcome:
+    """One job's final disposition."""
+
+    job: Job
+    classification: str
+    attempts: int = 1
+    backoffs: List[float] = field(default_factory=list)
+    payload: Optional[dict] = None
+    detail: Optional[str] = None
+    #: Load telemetry (worker slot, CPU seconds) — never gated.
+    worker: Optional[int] = None
+    busy_seconds: float = 0.0
+
+    @property
+    def violations(self) -> List[str]:
+        if self.payload is None:
+            return []
+        return list(self.payload.get("violations", []))
+
+    def to_json(self) -> dict:
+        return {
+            "id": self.job.job_id,
+            "kind": self.job.kind,
+            "classification": self.classification,
+            "attempts": self.attempts,
+            "backoffs": self.backoffs,
+            "violations": self.violations,
+            "detail": self.detail,
+        }
+
+
+class FleetReport:
+    """Merged outcome of one fleet run.
+
+    ``outcomes`` is in job submission order.  :meth:`to_json` is the
+    deterministic body — byte-identical across worker counts and steal
+    interleavings; :meth:`load_json` is the telemetry sidecar (steals,
+    busy seconds, utilization) that legitimately varies run to run.
+    """
+
+    def __init__(
+        self,
+        outcomes: List[JobOutcome],
+        *,
+        workers: int,
+        steals: int = 0,
+        stolen_jobs: int = 0,
+        requeues: int = 0,
+        worker_busy_seconds: Optional[List[float]] = None,
+        wall_seconds: float = 0.0,
+    ):
+        self.outcomes = outcomes
+        self.workers = workers
+        self.steals = steals
+        self.stolen_jobs = stolen_jobs
+        self.requeues = requeues
+        self.worker_busy_seconds = worker_busy_seconds or []
+        self.wall_seconds = wall_seconds
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out = {CLEAN: 0, VIOLATION: 0, CRASH: 0, HANG: 0, EXPIRED: 0}
+        for outcome in self.outcomes:
+            out[outcome.classification] += 1
+        return out
+
+    @property
+    def ok(self) -> bool:
+        counts = self.counts
+        return counts[CRASH] == 0 and counts[HANG] == 0 and counts[EXPIRED] == 0
+
+    @property
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for outcome in self.outcomes:
+            out.extend(outcome.violations)
+        return out
+
+    @property
+    def events(self) -> int:
+        return sum(
+            outcome.payload.get("events", 0)
+            for outcome in self.outcomes
+            if outcome.payload is not None
+        )
+
+    @property
+    def serial_cpu_seconds(self) -> float:
+        """Sum of per-job busy CPU — what one worker would have paid."""
+        return sum(outcome.busy_seconds for outcome in self.outcomes)
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """Busiest worker's CPU — the floor an idle machine would pay."""
+        if not self.worker_busy_seconds:
+            return 0.0
+        return max(self.worker_busy_seconds)
+
+    @property
+    def utilization(self) -> float:
+        """Mean worker busy share of the critical path (1.0 = balanced)."""
+        critical = self.critical_path_seconds
+        if critical <= 0 or not self.worker_busy_seconds:
+            return 0.0
+        mean = sum(self.worker_busy_seconds) / len(self.worker_busy_seconds)
+        return round(mean / critical, 6)
+
+    def to_json(self) -> dict:
+        return {
+            "counts": self.counts,
+            "ok": self.ok,
+            "jobs": [outcome.to_json() for outcome in self.outcomes],
+            "events": self.events,
+        }
+
+    def load_json(self) -> dict:
+        return {
+            "workers": self.workers,
+            "steals": self.steals,
+            "stolen_jobs": self.stolen_jobs,
+            "requeues": self.requeues,
+            "worker_busy_seconds": [
+                round(seconds, 6) for seconds in self.worker_busy_seconds
+            ],
+            "serial_cpu_seconds": round(self.serial_cpu_seconds, 6),
+            "critical_path_seconds": round(self.critical_path_seconds, 6),
+            "utilization": self.utilization,
+            "wall_seconds": round(self.wall_seconds, 6),
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker child
+# ----------------------------------------------------------------------
+
+
+def _worker_main(worker_index: int, inbox, results) -> None:
+    from repro.core.clock import SYSTEM_CLOCK as clock
+
+    while True:
+        item = inbox.get()
+        if item is None:
+            break
+        job = Job.from_json(item)
+        start = clock.process_time()
+        try:
+            payload = execute_job(job)
+        except BaseException as exc:
+            busy = clock.process_time() - start
+            results.put(
+                (
+                    worker_index,
+                    job.job_id,
+                    "error",
+                    "{}: {}".format(type(exc).__name__, exc),
+                    busy,
+                )
+            )
+            continue
+        busy = clock.process_time() - start
+        results.put((worker_index, job.job_id, "ok", payload, busy))
+
+
+class _ProcessWorker:
+    """One child process plus its private inbox."""
+
+    def __init__(self, index: int, results):
+        import multiprocessing
+
+        self.index = index
+        self._results = results
+        self.inbox = multiprocessing.Queue()
+        self.proc = multiprocessing.Process(
+            target=_worker_main,
+            args=(index, self.inbox, results),
+            daemon=True,
+        )
+        self.proc.start()
+
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def send(self, job: Job) -> None:
+        self.inbox.put(job.to_json())
+
+    def respawn(self) -> "_ProcessWorker":
+        """A fresh process + inbox in the same slot (old inbox dropped)."""
+        self.stop(kill=True)
+        return _ProcessWorker(self.index, self._results)
+
+    def stop(self, *, kill: bool = False) -> None:
+        if self.proc.is_alive():
+            if kill:
+                self.proc.kill()
+            else:
+                self.inbox.put(None)
+            self.proc.join(5.0)
+            if self.proc.is_alive():
+                self.proc.kill()
+                self.proc.join()
+        self.inbox.close()
+        self.inbox.join_thread()
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+
+
+class FleetScheduler:
+    """Run a job list on ``workers`` processes with work stealing."""
+
+    def __init__(
+        self,
+        jobs: List[Job],
+        *,
+        workers: int = 2,
+        seed: int = 0,
+        max_inflight: int = 1,
+        retries: int = 1,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        timeout: float = 120.0,
+        lease_ttl: Optional[float] = None,
+        clock: Optional[Clock] = None,
+        queue: Optional[JobQueue] = None,
+        inline: bool = False,
+        executor: Optional[Callable[[Job], dict]] = None,
+    ):
+        ids = [job.job_id for job in jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate job IDs in submission")
+        self.jobs = list(jobs)
+        self.workers = max(1, workers)
+        self.seed = seed
+        self.max_inflight = max(1, max_inflight)
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.timeout = timeout
+        self.lease_ttl = lease_ttl if lease_ttl is not None else timeout * 2
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.queue = queue
+        self.inline = inline
+        self.executor = executor if executor is not None else execute_job
+        # -- scheduling state --
+        self._deques: List[deque] = [deque() for _ in range(self.workers)]
+        self._inflight: List[List[tuple]] = [[] for _ in range(self.workers)]
+        self._outcomes: Dict[str, JobOutcome] = {}
+        self._attempts: Dict[str, int] = {}
+        self._backoffs: Dict[str, List[float]] = {}
+        #: (ready time, submission ordinal, job) — pending retries.
+        self._retry_wait: List[tuple] = []
+        self._ordinal = {job.job_id: index for index, job in enumerate(jobs)}
+        self.steals = 0
+        self.stolen_jobs = 0
+        self.requeues = 0
+        self._busy: List[float] = [0.0] * self.workers
+        self._procs: List[Optional[_ProcessWorker]] = [None] * self.workers
+
+    # -- deque mechanics -------------------------------------------------
+
+    def _distribute(self) -> None:
+        for index, job in enumerate(self.jobs):
+            self._deques[index % self.workers].append(job)
+
+    def _steal(self, thief: int) -> bool:
+        """Move the back half of the richest victim's deque to ``thief``."""
+        victim = -1
+        richest = 0
+        for index, dq in enumerate(self._deques):
+            if index != thief and len(dq) > richest:
+                victim = index
+                richest = len(dq)
+        if victim < 0:
+            return False
+        take = (richest + 1) // 2
+        chunk = [self._deques[victim].pop() for _ in range(take)]
+        chunk.reverse()  # keep the stolen run in original order
+        self._deques[thief].extend(chunk)
+        self.steals += 1
+        self.stolen_jobs += take
+        return True
+
+    def _next_job(self, worker: int) -> Optional[Job]:
+        dq = self._deques[worker]
+        if not dq and not self._steal(worker):
+            return None
+        return dq.popleft()
+
+    def _push_retry_ready(self, now: float) -> None:
+        """Move due retries onto the emptiest deque."""
+        due = [item for item in self._retry_wait if item[0] <= now]
+        if not due:
+            return
+        due.sort(key=lambda item: (item[0], item[1]))
+        self._retry_wait = [item for item in self._retry_wait if item[0] > now]
+        for _, _, job in due:
+            target = min(
+                range(self.workers), key=lambda w: len(self._deques[w])
+            )
+            self._deques[target].append(job)
+
+    def _next_retry_at(self) -> Optional[float]:
+        if not self._retry_wait:
+            return None
+        return min(item[0] for item in self._retry_wait)
+
+    # -- outcome plumbing ------------------------------------------------
+
+    def _finish(
+        self,
+        job: Job,
+        classification: str,
+        *,
+        payload: Optional[dict] = None,
+        detail: Optional[str] = None,
+        worker: Optional[int] = None,
+        busy: float = 0.0,
+    ) -> None:
+        job_id = job.job_id
+        self._outcomes[job_id] = JobOutcome(
+            job=job,
+            classification=classification,
+            attempts=self._attempts.get(job_id, 0) + 1,
+            backoffs=self._backoffs.get(job_id, []),
+            payload=payload,
+            detail=detail,
+            worker=worker,
+            busy_seconds=busy,
+        )
+        if self.queue is not None:
+            self.queue.ack(job_id, "w{}".format(worker if worker is not None else 0))
+
+    def _retry_or_finish(
+        self,
+        job: Job,
+        classification: str,
+        *,
+        detail: Optional[str],
+        worker: int,
+        busy: float,
+        now: float,
+    ) -> None:
+        job_id = job.job_id
+        attempt = self._attempts.get(job_id, 0)
+        if attempt < self.retries:
+            delay = backoff_delay(
+                self.seed,
+                job_id,
+                attempt,
+                base=self.backoff_base,
+                cap=self.backoff_cap,
+            )
+            self._attempts[job_id] = attempt + 1
+            self._backoffs.setdefault(job_id, []).append(delay)
+            self._retry_wait.append(
+                (now + delay, self._ordinal[job_id], job)
+            )
+            if self.queue is not None:
+                self.queue.requeue(job_id)
+            return
+        self._attempts[job_id] = attempt
+        self._finish(
+            job, classification, detail=detail, worker=worker, busy=busy
+        )
+
+    def _classify_payload(self, payload: dict) -> str:
+        return VIOLATION if payload.get("violations") else CLEAN
+
+    # -- dispatch --------------------------------------------------------
+
+    def _dispatch(self, worker: int, job: Job, now: float, started: float):
+        job_id = job.job_id
+        if job.deadline is not None and (now - started) > job.deadline:
+            self._finish(
+                job,
+                EXPIRED,
+                detail="deadline {}s passed before dispatch".format(
+                    job.deadline
+                ),
+                worker=worker,
+            )
+            return False
+        if self.queue is not None:
+            self.queue.lease_job(
+                job_id, "w{}".format(worker), ttl=self.lease_ttl, now=now
+            )
+        self._inflight[worker].append((job, now))
+        if not self.inline:
+            self._procs[worker].send(job)
+        return True
+
+    # -- the run loops ---------------------------------------------------
+
+    def run(self) -> FleetReport:
+        if self.queue is not None:
+            for job in self.jobs:
+                self.queue.enqueue(job)
+        self._distribute()
+        started = self.clock.monotonic()
+        if self.inline:
+            self._run_inline(started)
+        else:
+            self._run_processes(started)
+        wall = self.clock.monotonic() - started
+        outcomes = [self._outcomes[job.job_id] for job in self.jobs]
+        return FleetReport(
+            outcomes,
+            workers=self.workers,
+            steals=self.steals,
+            stolen_jobs=self.stolen_jobs,
+            requeues=self.requeues,
+            worker_busy_seconds=list(self._busy),
+            wall_seconds=wall,
+        )
+
+    # -- inline mode (deterministic, FakeClock-friendly) -----------------
+
+    def _run_inline(self, started: float) -> None:
+        worker = 0
+        while len(self._outcomes) < len(self.jobs):
+            now = self.clock.monotonic()
+            self._push_retry_ready(now)
+            job = self._next_job(worker)
+            if job is None:
+                ready_at = self._next_retry_at()
+                if ready_at is None:
+                    break  # unreachable: every job has an outcome path
+                self.clock.sleep(max(0.0, ready_at - now))
+                continue
+            if not self._dispatch(worker, job, now, started):
+                continue
+            self._inflight[worker].pop()
+            start_cpu = self.clock.process_time()
+            try:
+                payload = self.executor(job)
+            except Exception as exc:
+                busy = self.clock.process_time() - start_cpu
+                self._busy[worker] += busy
+                self._retry_or_finish(
+                    job,
+                    CRASH,
+                    detail="{}: {}".format(type(exc).__name__, exc),
+                    worker=worker,
+                    busy=busy,
+                    now=self.clock.monotonic(),
+                )
+            else:
+                busy = self.clock.process_time() - start_cpu
+                self._busy[worker] += busy
+                self._finish(
+                    job,
+                    self._classify_payload(payload),
+                    payload=payload,
+                    worker=worker,
+                    busy=busy,
+                )
+            worker = (worker + 1) % self.workers
+
+    # -- process mode ----------------------------------------------------
+
+    def _run_processes(self, started: float) -> None:
+        import multiprocessing
+        import queue as stdqueue
+
+        results = multiprocessing.Queue()
+        self._procs = [
+            _ProcessWorker(index, results) for index in range(self.workers)
+        ]
+        by_id = {job.job_id: job for job in self.jobs}
+        try:
+            while len(self._outcomes) < len(self.jobs):
+                now = self.clock.monotonic()
+                self._push_retry_ready(now)
+                for worker in range(self.workers):
+                    while len(self._inflight[worker]) < self.max_inflight:
+                        job = self._next_job(worker)
+                        if job is None:
+                            break
+                        self._dispatch(worker, job, now, started)
+                try:
+                    item = results.get(timeout=_POLL_SECONDS)
+                except stdqueue.Empty:
+                    self._check_liveness(by_id)
+                    continue
+                worker, job_id, status, payload, busy = item
+                entry = next(
+                    (
+                        pair
+                        for pair in self._inflight[worker]
+                        if pair[0].job_id == job_id
+                    ),
+                    None,
+                )
+                if entry is not None:
+                    self._inflight[worker].remove(entry)
+                job = by_id[job_id]
+                self._busy[worker] += busy
+                if job_id in self._outcomes:
+                    continue  # late duplicate from a pre-kill put
+                if status == "ok":
+                    self._finish(
+                        job,
+                        self._classify_payload(payload),
+                        payload=payload,
+                        worker=worker,
+                        busy=busy,
+                    )
+                else:
+                    self._retry_or_finish(
+                        job,
+                        CRASH,
+                        detail=payload,
+                        worker=worker,
+                        busy=busy,
+                        now=self.clock.monotonic(),
+                    )
+        finally:
+            for proc in self._procs:
+                if proc is not None:
+                    proc.stop()
+            results.close()
+            results.join_thread()
+
+    def _check_liveness(self, by_id: Dict[str, Job]) -> None:
+        """Handle dead workers and watchdog-expired jobs."""
+        now = self.clock.monotonic()
+        for worker in range(self.workers):
+            proc = self._procs[worker]
+            inflight = self._inflight[worker]
+            if not proc.alive():
+                if not inflight:
+                    self._procs[worker] = proc.respawn()
+                    continue
+                # Blame the oldest in-flight job; requeue the rest
+                # (they were behind it in the dead worker's inbox).
+                inflight.sort(key=lambda pair: pair[1])
+                (victim, _), rest = inflight[0], inflight[1:]
+                self._inflight[worker] = []
+                for job, _ in rest:
+                    self.requeues += 1
+                    if self.queue is not None:
+                        self.queue.requeue(job.job_id)
+                    self._deques[worker].append(job)
+                self._retry_or_finish(
+                    victim,
+                    CRASH,
+                    detail="worker {} died (exitcode {})".format(
+                        worker, proc.proc.exitcode
+                    ),
+                    worker=worker,
+                    busy=0.0,
+                    now=now,
+                )
+                self._procs[worker] = proc.respawn()
+                continue
+            hung = [
+                pair for pair in inflight if now - pair[1] > self.timeout
+            ]
+            if hung:
+                self._inflight[worker] = []
+                for job, _ in inflight:
+                    if job is not hung[0][0]:
+                        self.requeues += 1
+                        if self.queue is not None:
+                            self.queue.requeue(job.job_id)
+                        self._deques[worker].append(job)
+                self._retry_or_finish(
+                    hung[0][0],
+                    HANG,
+                    detail="watchdog killed after {:.1f}s".format(
+                        self.timeout
+                    ),
+                    worker=worker,
+                    busy=0.0,
+                    now=now,
+                )
+                self._procs[worker] = proc.respawn()

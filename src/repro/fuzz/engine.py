@@ -22,7 +22,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.fuzz.faults import faults_for
+from repro.fuzz.faults import fault_by_name, faults_for
 from repro.fuzz.gen import generate_sequence, generator_machines
 from repro.fuzz.ops import RunOutcome, run_jni_ops, run_pyc_ops
 
@@ -76,6 +76,151 @@ def _substrates(substrate: str) -> List[str]:
     raise ValueError("unknown substrate: {!r}".format(substrate))
 
 
+def valid_campaign(
+    seed: int,
+    rounds: int,
+    substrate: str,
+    *,
+    segments: Optional[int] = None,
+) -> Dict[str, object]:
+    """The valid-sequence half of one substrate's fuzz loop.
+
+    A pure function of its arguments (every round derives its own
+    :func:`task_rng`), so the loop splits freely across fleet workers:
+    :func:`fuzz_run` and ``repro fleet``'s ``fuzz-campaign`` jobs both
+    call this and merge identically.
+    """
+    valid: Dict[str, object] = {
+        "sequences": 0,
+        "ops": 0,
+        "violations": 0,
+        "violating_sequences": [],
+        "divergences": 0,
+    }
+    runs = 0
+    events = 0
+    for round_no in range(rounds):
+        sequence = generate_sequence(
+            task_rng(seed, "valid", substrate, round_no),
+            substrate,
+            segments=segments,
+        )
+        result = run_ops(substrate, sequence.ops)
+        runs += 1
+        events += result.event_count
+        valid["sequences"] += 1
+        valid["ops"] += len(sequence.ops)
+        if result.live.reports:
+            valid["violations"] += len(result.live.reports)
+            valid["violating_sequences"].append(
+                {
+                    "substrate": substrate,
+                    "round": round_no,
+                    "reports": result.live.reports,
+                }
+            )
+        if result.divergent:
+            valid["divergences"] += 1
+    return {"valid": valid, "runs": runs, "events": events}
+
+
+def fault_campaign(
+    seed: int,
+    rounds: int,
+    fault_name: str,
+    *,
+    segments: Optional[int] = None,
+) -> Dict[str, object]:
+    """All rounds of one fault class: generate → inject → run → check.
+
+    Same split-and-merge contract as :func:`valid_campaign`; the
+    ``detection_rate`` is left to the merge step (:func:`fuzz_run` or
+    the fleet runner) so partial campaigns stay summable.
+    """
+    fault = fault_by_name(fault_name)
+    stats: Dict[str, object] = {
+        "substrate": fault.substrate,
+        "machine": fault.machine,
+        "runs": 0,
+        "detected": 0,
+        "divergences": 0,
+    }
+    runs = 0
+    events = 0
+    for round_no in range(rounds):
+        base = generate_sequence(
+            task_rng(seed, "gen", fault.name, round_no),
+            fault.substrate,
+            segments=segments,
+        )
+        injected = fault.inject(
+            task_rng(seed, "inject", fault.name, round_no), base
+        )
+        result = run_ops(fault.substrate, injected.ops)
+        runs += 1
+        events += result.event_count
+        stats["runs"] += 1
+        if any(v.machine == fault.machine for v in result.live.violations):
+            stats["detected"] += 1
+        if result.divergent:
+            stats["divergences"] += 1
+    return {"fault": fault.name, "stats": stats, "runs": runs, "events": events}
+
+
+def assemble_report(
+    seed: int,
+    rounds: int,
+    substrate: str,
+    valid_parts: List[Dict[str, object]],
+    fault_parts: List[Dict[str, object]],
+) -> Dict[str, object]:
+    """Fold campaign parts into the canonical fuzz report.
+
+    ``valid_parts`` must arrive in :func:`_substrates` order and
+    ``fault_parts`` in per-substrate :func:`faults_for` order — the
+    order :func:`fuzz_run` produces and the fleet merge (keyed by job
+    ID over an ordered job list) reproduces — so the assembled report
+    is byte-identical either way.
+    """
+    names = {sub: generator_machines(sub) for sub in _substrates(substrate)}
+    valid: Dict[str, object] = {
+        "sequences": 0,
+        "ops": 0,
+        "violations": 0,
+        "violating_sequences": [],
+        "divergences": 0,
+    }
+    fault_stats: Dict[str, Dict[str, object]] = {}
+    total_runs = 0
+    total_events = 0
+    for part in valid_parts:
+        for key in ("sequences", "ops", "violations", "divergences"):
+            valid[key] += part["valid"][key]
+        valid["violating_sequences"].extend(part["valid"]["violating_sequences"])
+        total_runs += part["runs"]
+        total_events += part["events"]
+    for part in fault_parts:
+        stats = fault_stats.setdefault(part["fault"], part["stats"])
+        if stats is not part["stats"]:
+            for key in ("runs", "detected", "divergences"):
+                stats[key] += part["stats"][key]
+        total_runs += part["runs"]
+        total_events += part["events"]
+    for stats in fault_stats.values():
+        stats["detection_rate"] = (
+            stats["detected"] / stats["runs"] if stats["runs"] else 0.0
+        )
+    return {
+        "seed": seed,
+        "rounds": rounds,
+        "substrate": substrate,
+        "machines": names,
+        "valid": valid,
+        "faults": fault_stats,
+        "totals": {"runs": total_runs, "events": total_events},
+    }
+
+
 def fuzz_run(
     seed: int,
     *,
@@ -90,79 +235,15 @@ def fuzz_run(
     class injected into its own fresh valid sequence (expected to be
     detected by the tagged machine, again with zero drift).
     """
-    names = {sub: generator_machines(sub) for sub in _substrates(substrate)}
-    valid = {
-        "sequences": 0,
-        "ops": 0,
-        "violations": 0,
-        "violating_sequences": [],
-        "divergences": 0,
-    }
-    fault_stats: Dict[str, Dict[str, object]] = {}
-    total_runs = 0
-    total_events = 0
-
-    for sub in names:
-        for round_no in range(rounds):
-            sequence = generate_sequence(
-                task_rng(seed, "valid", sub, round_no), sub, segments=segments
-            )
-            result = run_ops(sub, sequence.ops)
-            total_runs += 1
-            total_events += result.event_count
-            valid["sequences"] += 1
-            valid["ops"] += len(sequence.ops)
-            if result.live.reports:
-                valid["violations"] += len(result.live.reports)
-                valid["violating_sequences"].append(
-                    {"substrate": sub, "round": round_no, "reports": result.live.reports}
-                )
-            if result.divergent:
-                valid["divergences"] += 1
-
+    valid_parts: List[Dict[str, object]] = []
+    fault_parts: List[Dict[str, object]] = []
+    for sub in _substrates(substrate):
+        valid_parts.append(valid_campaign(seed, rounds, sub, segments=segments))
         for fault in faults_for(sub):
-            stats = fault_stats.setdefault(
-                fault.name,
-                {
-                    "substrate": fault.substrate,
-                    "machine": fault.machine,
-                    "runs": 0,
-                    "detected": 0,
-                    "divergences": 0,
-                },
+            fault_parts.append(
+                fault_campaign(seed, rounds, fault.name, segments=segments)
             )
-            for round_no in range(rounds):
-                base = generate_sequence(
-                    task_rng(seed, "gen", fault.name, round_no),
-                    sub,
-                    segments=segments,
-                )
-                injected = fault.inject(
-                    task_rng(seed, "inject", fault.name, round_no), base
-                )
-                result = run_ops(sub, injected.ops)
-                total_runs += 1
-                total_events += result.event_count
-                stats["runs"] += 1
-                if any(v.machine == fault.machine for v in result.live.violations):
-                    stats["detected"] += 1
-                if result.divergent:
-                    stats["divergences"] += 1
-
-    for stats in fault_stats.values():
-        stats["detection_rate"] = (
-            stats["detected"] / stats["runs"] if stats["runs"] else 0.0
-        )
-
-    return {
-        "seed": seed,
-        "rounds": rounds,
-        "substrate": substrate,
-        "machines": names,
-        "valid": valid,
-        "faults": fault_stats,
-        "totals": {"runs": total_runs, "events": total_events},
-    }
+    return assemble_report(seed, rounds, substrate, valid_parts, fault_parts)
 
 
 def fuzz_gate(report: Dict[str, object]) -> List[str]:

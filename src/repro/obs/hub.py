@@ -210,6 +210,46 @@ class ObsHub:
         metrics.gauge("fuzz_fault_runs", subsystem="fuzz").set(runs)
         metrics.gauge("fuzz_fault_detected", subsystem="fuzz").set(detected)
 
+    def publish_fleet(self, report, *, include_load: bool = True) -> None:
+        """Mirror a :class:`repro.fleet.scheduler.FleetReport`.
+
+        The deterministic series (job counts by classification, merged
+        violations, events) are always published — they are part of the
+        snapshot byte-identity surface across worker counts.  The load
+        series (steals, requeues, busy seconds, utilization) genuinely
+        vary with scheduling, so determinism gates publish with
+        ``include_load=False`` and compare the rest.
+        """
+        metrics = self.metrics
+        for classification, count in report.counts.items():
+            metrics.gauge(
+                "fleet_jobs",
+                subsystem="fleet",
+                classification=classification,
+            ).set(count)
+        metrics.gauge("fleet_ok", subsystem="fleet").set(1 if report.ok else 0)
+        metrics.gauge("fleet_violations", subsystem="fleet").set(
+            len(report.violations)
+        )
+        metrics.gauge("fleet_events", subsystem="fleet").set(report.events)
+        if not include_load:
+            return
+        metrics.gauge("fleet_workers", subsystem="fleet").set(report.workers)
+        metrics.gauge("fleet_steals", subsystem="fleet").set(report.steals)
+        metrics.gauge("fleet_stolen_jobs", subsystem="fleet").set(
+            report.stolen_jobs
+        )
+        metrics.gauge("fleet_requeues", subsystem="fleet").set(report.requeues)
+        metrics.gauge("fleet_serial_cpu_seconds", subsystem="fleet").set(
+            round(report.serial_cpu_seconds, 6)
+        )
+        metrics.gauge("fleet_critical_path_seconds", subsystem="fleet").set(
+            round(report.critical_path_seconds, 6)
+        )
+        metrics.gauge("fleet_utilization", subsystem="fleet").set(
+            report.utilization
+        )
+
     # -- snapshot --------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:

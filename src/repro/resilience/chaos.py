@@ -210,9 +210,20 @@ def chaos_run(
                 runs.append(entry)
                 report["host_crashes"] += 0 if entry["survived"] else 1
                 report["unanswered_faults"] += entry["unanswered"]
+    _finalize_report(report, substrate)
+    return report
+
+
+def _finalize_report(report: Dict[str, object], substrate: str) -> None:
+    """Recompute the machine-level aggregates from ``report["runs"]``.
+
+    A pure function of the runs list, so a report assembled from
+    per-substrate fleet jobs (:func:`merge_reports`) finalizes to the
+    same aggregates as a single-process :func:`chaos_run`.
+    """
     faulted = set()
     quarantined = set()
-    for entry in runs:
+    for entry in report["runs"]:
         for machine, stats in entry["machines"].items():
             if stats["faults"]:
                 faulted.add(machine)
@@ -226,7 +237,44 @@ def chaos_run(
         )
         - faulted
     )
-    return report
+
+
+def merge_reports(
+    reports: List[Dict[str, object]], substrate: str
+) -> Dict[str, object]:
+    """Merge per-substrate chaos reports into one combined report.
+
+    ``reports`` must be keyed/ordered by substrate in
+    :func:`_substrates` order (the fleet runner merges by job ID, which
+    pins that order) and share seed/rounds/policy.  The result is
+    field-for-field identical to a single :func:`chaos_run` over the
+    combined ``substrate``.
+    """
+    if not reports:
+        raise ValueError("nothing to merge")
+    merged: Dict[str, object] = {
+        "seed": reports[0]["seed"],
+        "substrate": substrate,
+        "rounds": reports[0]["rounds"],
+        "policy": dict(reports[0]["policy"]),
+        "runs": [],
+        "host_crashes": 0,
+        "unanswered_faults": 0,
+        "machines_faulted": 0,
+        "machines_quarantined": 0,
+    }
+    for report in reports:
+        if (
+            report["seed"] != merged["seed"]
+            or report["rounds"] != merged["rounds"]
+            or report["policy"] != merged["policy"]
+        ):
+            raise ValueError("cannot merge chaos reports from different runs")
+        merged["runs"].extend(report["runs"])
+        merged["host_crashes"] += report["host_crashes"]
+        merged["unanswered_faults"] += report["unanswered_faults"]
+    _finalize_report(merged, substrate)
+    return merged
 
 
 def _summarize(sub, round_no, target, injectors, outcome) -> dict:

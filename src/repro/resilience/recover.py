@@ -54,17 +54,19 @@ class RecoveryReport:
         }
 
 
-def parse_journal(path: str) -> Tuple[Dict[str, object], List[str], int]:
-    """Scan a journal; returns (header, record lines, dropped bytes).
+def scan_length_prefixed(data: bytes) -> Tuple[List[str], int]:
+    """Scan length-prefixed journal bytes; returns (lines, dropped bytes).
 
     The scan is byte-exact: a record is kept only when its length
     prefix parses, the payload is exactly that many bytes of valid
-    JSON, and the terminating newline is present.  The first record
-    must be a valid trace header (the writer syncs it at attach, so a
-    journal missing one was never a journal).
+    JSON, and the terminating newline is present.  Damage can only be
+    truncation (the writers are append-only), so the scan stops at the
+    first torn record and reports how many trailing bytes it dropped.
+    This is the shared decode side of the
+    :class:`repro.trace.recorder.JournalWriter` format — trace journal
+    recovery and the fleet's persistent job queue
+    (:mod:`repro.fleet.queue`) both read through it.
     """
-    with open(path, "rb") as f:
-        data = f.read()
     lines: List[str] = []
     pos = 0
     size = len(data)
@@ -90,7 +92,18 @@ def parse_journal(path: str) -> Tuple[Dict[str, object], List[str], int]:
             break
         lines.append(text)
         pos = end + 1
-    dropped = size - pos
+    return lines, size - pos
+
+
+def parse_journal(path: str) -> Tuple[Dict[str, object], List[str], int]:
+    """Scan a journal; returns (header, record lines, dropped bytes).
+
+    The first record must be a valid trace header (the writer syncs it
+    at attach, so a journal missing one was never a journal).
+    """
+    with open(path, "rb") as f:
+        data = f.read()
+    lines, dropped = scan_length_prefixed(data)
     if not lines:
         raise tfmt.TraceFormatError(
             "journal {} holds no complete record".format(path)

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.clock import SYSTEM_CLOCK, Clock
 from repro.fuzz.engine import task_rng
 
 #: Exit classifications, in merge-severity order.
@@ -213,7 +214,14 @@ def backoff_delay(
 
 
 class Supervisor:
-    """Runs shards in child processes under a wall-clock watchdog."""
+    """Runs shards in child processes under a wall-clock watchdog.
+
+    The watchdog measurement and the retry backoff both read the
+    injectable ``clock`` (:mod:`repro.core.clock`), so supervisor — and
+    fleet-scheduler — tests run on a :class:`FakeClock` without real
+    stalls.  The child ``join`` timeout itself stays wall-clock: a real
+    child process cannot be waited on in fake time.
+    """
 
     def __init__(
         self,
@@ -223,12 +231,14 @@ class Supervisor:
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
         seed: int = 0,
+        clock: Optional[Clock] = None,
     ):
         self.timeout = timeout
         self.retries = retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.seed = seed
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
 
     # -- one attempt -----------------------------------------------------
 
@@ -241,11 +251,11 @@ class Supervisor:
             args=(child, shard.kind, dict(shard.params)),
             daemon=True,
         )
-        start = time.monotonic()
+        start = self.clock.monotonic()
         proc.start()
         child.close()
         proc.join(self.timeout)
-        seconds = time.monotonic() - start
+        seconds = self.clock.monotonic() - start
         if proc.is_alive():
             proc.terminate()
             proc.join(2.0)
@@ -299,15 +309,44 @@ class Supervisor:
                 base=self.backoff_base, cap=self.backoff_cap,
             )
             backoffs.append(delay)
-            time.sleep(delay)
+            self.clock.sleep(delay)
             attempt += 1
             result = self._attempt(shard)
         result.attempts = attempt + 1
         result.backoffs = backoffs
         return result
 
-    def run(self, shards: List[Shard]) -> IncidentReport:
-        return IncidentReport([self.run_shard(shard) for shard in shards])
+    def run(self, shards: List[Shard], *, parallel: int = 1) -> IncidentReport:
+        """Run all shards; merge their results keyed by shard *name*.
+
+        With ``parallel > 1`` up to that many shards run concurrently
+        (each already executes in its own child process; the drivers
+        here are threads).  Results land in completion order, which is
+        nondeterministic — so the merge is keyed by shard name and the
+        report lists shards in the order they were *submitted*, never
+        the order they finished.  Two reruns of the same session
+        therefore serialize byte-identically regardless of scheduling.
+        Shard names must be unique for the keyed merge to be sound.
+        """
+        names = [shard.name for shard in shards]
+        if len(set(names)) != len(names):
+            raise ValueError("shard names must be unique: {!r}".format(names))
+        if parallel <= 1 or len(shards) <= 1:
+            by_name = {shard.name: self.run_shard(shard) for shard in shards}
+        else:
+            import concurrent.futures
+
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=min(parallel, len(shards))
+            ) as pool:
+                futures = {
+                    shard.name: pool.submit(self.run_shard, shard)
+                    for shard in shards
+                }
+                by_name = {
+                    name: future.result() for name, future in futures.items()
+                }
+        return IncidentReport([by_name[name] for name in names])
 
 
 def run_with_timeout(

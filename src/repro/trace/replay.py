@@ -787,43 +787,47 @@ def replay_path(
 
 
 def _file_worker(args) -> Tuple[str, List[Tuple[int, str]], int, float]:
-    import time
+    from repro.core.clock import SYSTEM_CLOCK
 
     path, force = args
-    start = time.process_time()
+    start = SYSTEM_CLOCK.process_time()
     result = replay_path(path, force=force)
-    seconds = time.process_time() - start
+    seconds = SYSTEM_CLOCK.process_time() - start
     return path, result.reports, result.event_count, seconds
 
 
 def _thread_shard_worker(args) -> Tuple[int, List[Tuple[int, str]], int, float]:
-    import time
+    from repro.core.clock import SYSTEM_CLOCK
 
     path, index, count, force = args
-    start = time.process_time()
+    start = SYSTEM_CLOCK.process_time()
     result = replay_path(path, force=force, shard=(index, count))
-    seconds = time.process_time() - start
+    seconds = SYSTEM_CLOCK.process_time() - start
     return index, result.reports, result.event_count, seconds
 
 
 def replay_sharded(
-    paths: List[str], *, shards: int = 1, force: bool = False
+    paths: List[str], *, shards: int = 1, force: bool = False, clock=None
 ) -> "ShardedReplayResult":
     """Replay trace files across processes, merging violation streams.
 
     With several ``paths`` the unit of sharding is the file; violations
     keep file order (then seq order within a file).  With one path and
     ``shards > 1`` the file is split by thread — documented sound only
-    for traces whose threads share no checked entities.
+    for traces whose threads share no checked entities.  CPU accounting
+    reads the injectable clock (:mod:`repro.core.clock`) on the
+    in-process path; pool workers always read the system clock.
     """
-    import time
+    from repro.core.clock import SYSTEM_CLOCK
 
+    if clock is None:
+        clock = SYSTEM_CLOCK
     combined = ShardedReplayResult(shards)
     if shards <= 1:
         for path in paths:
-            start = time.process_time()
+            start = clock.process_time()
             result = replay_path(path, force=force)
-            combined.worker_seconds.append(time.process_time() - start)
+            combined.worker_seconds.append(clock.process_time() - start)
             combined.add(path, result.reports, result.event_count)
         return combined
     import multiprocessing

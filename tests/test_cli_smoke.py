@@ -9,6 +9,7 @@ import pytest
 
 from repro.cli import (
     _COMMANDS,
+    _FLEET_COMMANDS,
     _FUZZ_COMMANDS,
     _OBS_COMMANDS,
     _PIPELINE_COMMANDS,
@@ -141,6 +142,14 @@ class TestTraceSubcommands:
         assert main(["trace", "replay", recovered]) == 0
         assert "replayed" in capsys.readouterr().out
 
+    def test_replay_on_fleet_workers(self, trace_dir, capsys):
+        paths = [
+            str(trace_dir / "micro.trace"),
+            str(trace_dir / "pyc.trace"),
+        ]
+        assert main(["trace", "replay", "--workers", "2"] + paths) == 0
+        assert "2 trace(s)" in capsys.readouterr().out
+
     def test_replay_with_timeout_completes(self, trace_dir, capsys):
         # The recorded pyc trace carries a violation, so the shard
         # classifies as "violation" — still a completed run (exit 0);
@@ -207,6 +216,13 @@ class TestFuzzSubcommands:
         assert '"classification": "clean"' in printed
         assert '"partial": false' in printed
 
+    def test_run_on_fleet_workers(self, capsys):
+        assert main(
+            ["fuzz", "run", "--smoke", "--substrate", "pyc",
+             "--workers", "2"]
+        ) == 0
+        assert "gate: PASS" in capsys.readouterr().out
+
 
 class TestResilienceSubcommands:
     def test_chaos_gate_passes(self, capsys):
@@ -248,6 +264,91 @@ class TestResilienceSubcommands:
         printed = capsys.readouterr().out
         assert '"governor"' in printed
         assert '"budget"' in printed
+
+    def test_supervise_parallel_shards(self, capsys):
+        assert main(
+            ["resilience", "supervise", "fuzz:3", "fuzz:4",
+             "--substrate", "pyc", "--parallel", "2", "--timeout", "120"]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert '"ok": true' in printed
+        assert '"clean": 2' in printed
+
+
+class TestFleetSubcommands:
+    def test_run_smoke_gate(self, capsys):
+        assert main(["fleet", "run", "--smoke", "--workers", "2"]) == 0
+        printed = capsys.readouterr().out
+        assert "stream identical" in printed
+        assert "gate: PASS" in printed
+
+    def test_run_replay_kind(self, trace_dir, capsys):
+        paths = [
+            str(trace_dir / "micro.trace"),
+            str(trace_dir / "pyc.trace"),
+        ]
+        assert main(
+            ["fleet", "run", "--kind", "replay", "--workers", "2"] + paths
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "replayed" in printed
+        assert "utilization" in printed
+
+    def test_run_replay_kind_needs_paths(self, capsys):
+        assert main(["fleet", "run", "--kind", "replay"]) == 2
+
+    def test_run_fuzz_kind_json(self, capsys):
+        import json
+
+        assert main(
+            ["fleet", "run", "--kind", "fuzz", "--workers", "2",
+             "--substrate", "pyc", "--seed", "7", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["valid"]["violations"] == 0
+
+    def test_workers_inline(self, capsys):
+        assert main(
+            ["fleet", "workers", "--workers", "0", "--trials", "2"]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "trial job(s)" in printed
+        assert "busy" in printed
+
+    def test_status_missing_queue(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.queue")
+        assert main(["fleet", "status", "--queue", missing]) == 2
+        assert "no queue" in capsys.readouterr().out
+
+    def test_status_then_drain_roundtrip(self, tmp_path, capsys):
+        import json
+
+        from repro.fleet import JobQueue, bench_trial_jobs
+
+        queue_path = str(tmp_path / "fleet.queue")
+        with JobQueue(queue_path) as queue:
+            for job in bench_trial_jobs(5, 2):
+                queue.enqueue(job)
+        assert main(["fleet", "status", "--queue", queue_path]) == 0
+        assert "2 pending" in capsys.readouterr().out
+        assert main(
+            ["fleet", "drain", "--queue", queue_path, "--workers", "1"]
+        ) == 0
+        assert "ran 2 job(s)" in capsys.readouterr().out
+        assert main(
+            ["fleet", "status", "--queue", queue_path, "--json"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["depth"] == 0
+        assert stats["acked"] == 2
+
+    def test_drain_already_empty_queue(self, tmp_path, capsys):
+        from repro.fleet import JobQueue
+
+        queue_path = str(tmp_path / "empty.queue")
+        JobQueue(queue_path).close()
+        assert main(["fleet", "drain", "--queue", queue_path]) == 0
+        assert "already drained" in capsys.readouterr().out
 
 
 class TestObsSubcommands:
@@ -319,7 +420,9 @@ class TestStatusCommand:
     def test_status_text_rollup(self, capsys):
         assert main(["status"] + self.STATUS_RUN) == 0
         printed = capsys.readouterr().out
-        for section in ("workload", "pipeline", "governor", "cache", "obs"):
+        for section in (
+            "workload", "pipeline", "governor", "cache", "obs", "fleet",
+        ):
             assert section in printed
 
     def test_status_json(self, capsys):
@@ -331,6 +434,8 @@ class TestStatusCommand:
         assert status["workload"]["substrate"] == "pyc"
         assert status["pipeline"]["pipeline"] == "fused"
         assert status["obs"]["crossings"] > 0
+        assert status["fleet"]["ok"] is True
+        assert status["fleet"]["queue_depth"] == 0
 
 
 class TestJsonSurfaces:
@@ -405,10 +510,36 @@ def test_pre_split_surface_still_parses(argv):
     assert args.command == argv[0]
 
 
+#: The fleet-era additions: the fleet group plus the --workers/--parallel
+#: flags grafted onto the pre-existing commands.
+FLEET_ERA_ARGVS = [
+    ["fleet", "run", "--smoke", "--workers", "2", "--queue", "q", "--json"],
+    ["fleet", "run", "a", "b", "--kind", "replay", "--workers", "4",
+     "--force"],
+    ["fleet", "run", "--kind", "fuzz", "--seed", "1", "--rounds", "2",
+     "--substrate", "pyc"],
+    ["fleet", "run", "--kind", "chaos", "--substrate", "both"],
+    ["fleet", "run", "--kind", "corpus", "-o", "d", "--seed", "1"],
+    ["fleet", "status", "--queue", "q", "--json"],
+    ["fleet", "workers", "--workers", "0", "--trials", "2",
+     "--substrate", "jni", "--seed", "1"],
+    ["fleet", "drain", "--queue", "q", "--workers", "2", "--json"],
+    ["trace", "replay", "a", "b", "--workers", "2", "--force"],
+    ["fuzz", "run", "--workers", "2", "--substrate", "pyc"],
+    ["resilience", "supervise", "fuzz:1", "--parallel", "4"],
+]
+
+
+@pytest.mark.parametrize("argv", FLEET_ERA_ARGVS, ids=lambda a: " ".join(a))
+def test_fleet_era_surface_parses(argv):
+    args = build_parser().parse_args(argv)
+    assert args.command == argv[0]
+
+
 class TestCommandSurfaceIsCovered:
     def test_every_top_level_command_is_smoked(self):
         smoked = {argv[0] for argv in SIMPLE_COMMANDS} | {
-            "trace", "fuzz", "resilience", "obs", "status",
+            "trace", "fuzz", "resilience", "fleet", "obs", "status",
         }
         assert smoked == set(_COMMANDS)
 
@@ -423,6 +554,10 @@ class TestCommandSurfaceIsCovered:
     def test_every_resilience_subcommand_is_smoked(self):
         smoked = {"chaos", "supervise", "recover", "status"}
         assert smoked == set(_RESILIENCE_COMMANDS)
+
+    def test_every_fleet_subcommand_is_smoked(self):
+        smoked = {"run", "status", "workers", "drain"}
+        assert smoked == set(_FLEET_COMMANDS)
 
     def test_every_pipeline_subcommand_is_smoked(self):
         smoked = {"show"}

@@ -1,0 +1,593 @@
+"""The fleet fabric: job envelopes, the crash-safe queue, the
+work-stealing scheduler, order-independent merging.
+
+The determinism class is the acceptance surface from the issue: the
+same seed and job set run on 1, 2, and 4 real worker processes must
+produce identical merged violation streams, identical deterministic
+report bodies, identical triage cluster IDs, and identical ObsHub
+snapshots (load series excluded).  The exactly-once class SIGKILLs a
+worker mid-job and proves the persistent queue still acks every job
+exactly once.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.clock import FakeClock
+from repro.fleet import (
+    EXPIRED,
+    FleetReport,
+    FleetScheduler,
+    Job,
+    JobQueue,
+    bench_trial_jobs,
+    corpus_jobs,
+    fleet_chaos,
+    fleet_corpus,
+    fleet_fuzz,
+    fleet_replay,
+    fleet_smoke,
+    fuzz_jobs,
+    merge_replay,
+    replay_jobs,
+    violation_stream,
+)
+from repro.fleet.queue import QueueFormatError
+from repro.fleet.scheduler import JobOutcome
+from repro.obs import ObsHub
+from repro.obs.triage import ViolationTriage
+from repro.resilience.supervisor import CLEAN, CRASH, VIOLATION, backoff_delay
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "data", "fuzz_corpus")
+
+
+def _corpus_paths():
+    from repro.fuzz.corpus import load_manifest
+
+    manifest = load_manifest(CORPUS_DIR)
+    return [
+        os.path.join(CORPUS_DIR, entry["trace"])
+        for entry in manifest["entries"]
+    ]
+
+
+# ----------------------------------------------------------------------
+# Job envelopes
+# ----------------------------------------------------------------------
+
+
+class TestJobEnvelope:
+    def test_id_is_content_derived(self):
+        a = Job(kind="bench-trial", params={"trial": 0}, seed=1)
+        b = Job(kind="bench-trial", params={"trial": 0}, seed=1)
+        c = Job(kind="bench-trial", params={"trial": 1}, seed=1)
+        assert a.job_id == b.job_id
+        assert a.job_id != c.job_id
+        assert len(a.job_id) == 16
+
+    def test_json_roundtrip_preserves_id(self):
+        job = Job(
+            kind="replay-shard",
+            params={"path": "t.trace", "force": True},
+            fingerprint="abc",
+            priority=2,
+            deadline=10.0,
+        )
+        back = Job.from_json(json.loads(json.dumps(job.to_json())))
+        assert back == job
+        assert back.job_id == job.job_id
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Job(kind="mine-bitcoin")
+
+    def test_describe_names_kind_and_id(self):
+        job = Job(kind="chaos-round", seed=3)
+        assert job.kind in job.describe()
+        assert job.job_id in job.describe()
+
+    def test_replay_builder_preserves_path_order(self):
+        paths = ["c.trace", "a.trace", "b.trace"]
+        jobs = replay_jobs(paths, force=True)
+        assert [job.params["path"] for job in jobs] == paths
+        assert all(job.params["force"] for job in jobs)
+
+    def test_fuzz_builder_emits_valid_campaign_first(self):
+        jobs = fuzz_jobs(7, rounds=1, substrate="pyc")
+        assert jobs[0].params["campaign"] == "valid"
+        assert all(
+            job.params["campaign"] == "fault" for job in jobs[1:]
+        )
+        assert all(job.seed == 7 for job in jobs)
+
+    def test_corpus_builder_covers_every_fault(self):
+        from repro.fuzz.faults import FAULTS
+
+        jobs = corpus_jobs(5, substrate="both")
+        assert [job.params["fault"] for job in jobs] == [
+            fault.name for fault in FAULTS
+        ]
+
+
+# ----------------------------------------------------------------------
+# The crash-safe queue
+# ----------------------------------------------------------------------
+
+
+class TestJobQueue:
+    def test_enqueue_is_idempotent(self, tmp_path):
+        with JobQueue(str(tmp_path / "q")) as queue:
+            job = bench_trial_jobs(1, 1)[0]
+            assert queue.enqueue(job) is True
+            assert queue.enqueue(job) is False
+            assert queue.depth == 1
+
+    def test_lease_order_priority_then_fifo(self, tmp_path):
+        with JobQueue(str(tmp_path / "q")) as queue:
+            low = Job(kind="bench-trial", params={"trial": 0}, priority=1)
+            hi_a = Job(kind="bench-trial", params={"trial": 1}, priority=0)
+            hi_b = Job(kind="bench-trial", params={"trial": 2}, priority=0)
+            for job in (low, hi_a, hi_b):
+                queue.enqueue(job)
+            order = [queue.lease("w0", ttl=60.0).job_id for _ in range(3)]
+            assert order == [hi_a.job_id, hi_b.job_id, low.job_id]
+
+    def test_ack_and_duplicate_ack(self, tmp_path):
+        with JobQueue(str(tmp_path / "q")) as queue:
+            job = bench_trial_jobs(1, 1)[0]
+            queue.enqueue(job)
+            queue.lease("w0", ttl=60.0)
+            assert queue.ack(job.job_id, "w0") is True
+            assert queue.ack(job.job_id, "w1") is False
+            assert queue.duplicate_acks == 1
+            assert queue.acked == 1
+            assert queue.leased == 0
+
+    def test_ack_unknown_job_raises(self, tmp_path):
+        with JobQueue(str(tmp_path / "q")) as queue:
+            with pytest.raises(KeyError):
+                queue.ack("deadbeefdeadbeef", "w0")
+
+    def test_requeue_never_moves_acked_jobs(self, tmp_path):
+        with JobQueue(str(tmp_path / "q")) as queue:
+            job = bench_trial_jobs(1, 1)[0]
+            queue.enqueue(job)
+            queue.lease("w0", ttl=60.0)
+            queue.ack(job.job_id, "w0")
+            assert queue.requeue(job.job_id) is False
+            assert queue.depth == 0
+
+    def test_lease_expiry_requeues(self, tmp_path):
+        with JobQueue(str(tmp_path / "q")) as queue:
+            job = bench_trial_jobs(1, 1)[0]
+            queue.enqueue(job)
+            leased = queue.lease("w0", ttl=5.0, now=100.0)
+            assert leased.job_id == job.job_id
+            assert queue.requeue_expired(now=104.0) == []
+            assert queue.requeue_expired(now=106.0) == [job.job_id]
+            assert queue.depth == 1
+            assert queue.leased == 0
+
+    def test_state_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "q")
+        jobs = bench_trial_jobs(2, 3)
+        with JobQueue(path) as queue:
+            for job in jobs:
+                queue.enqueue(job)
+            done = queue.lease("w0", ttl=60.0)
+            queue.ack(done.job_id, "w0")
+            queue.lease("w1", ttl=60.0)  # left outstanding
+        with JobQueue(path) as queue:
+            assert queue.acked == 1
+            assert queue.leased == 1
+            assert queue.depth == 1
+            assert queue.acked_ids() == [done.job_id]
+            # Crash recovery: the orphaned lease goes back to pending.
+            orphans = queue.recover_leases()
+            assert orphans == [jobs[1].job_id]
+            assert queue.depth == 2
+            assert queue.job(done.job_id).to_json() == jobs[0].to_json()
+
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        path = str(tmp_path / "q")
+        with JobQueue(path) as queue:
+            for job in bench_trial_jobs(3, 2):
+                queue.enqueue(job)
+            queue.lease("w0", ttl=60.0)
+        torn = b'999 ["l","truncated mid-rec'
+        with open(path, "ab") as f:
+            f.write(torn)
+        with JobQueue(path) as queue:
+            assert queue.torn_bytes == len(torn)
+            assert queue.stats()["jobs"] == 2
+            assert queue.leased == 1
+            assert queue.depth == 1
+
+    def test_non_queue_file_rejected(self, tmp_path):
+        garbage = tmp_path / "garbage"
+        garbage.write_text("this is not a journal\n")
+        with pytest.raises(QueueFormatError):
+            JobQueue(str(garbage))
+
+    def test_wrong_header_rejected(self, tmp_path):
+        other = tmp_path / "other"
+        line = json.dumps({"format": "trace-journal"})
+        other.write_text("{} {}\n".format(len(line.encode("utf-8")), line))
+        with pytest.raises(QueueFormatError):
+            JobQueue(str(other))
+
+
+# ----------------------------------------------------------------------
+# The scheduler, inline on a FakeClock (no processes, no stalls)
+# ----------------------------------------------------------------------
+
+
+def _flaky_executor(fail_first=(), violations=None):
+    """An injectable executor: fails listed job IDs on first sight."""
+    calls = {}
+    violations = violations or {}
+
+    def run(job):
+        calls[job.job_id] = calls.get(job.job_id, 0) + 1
+        if job.job_id in fail_first and calls[job.job_id] == 1:
+            raise RuntimeError("injected")
+        return {"violations": violations.get(job.job_id, []), "events": 1}
+
+    return run, calls
+
+
+class TestInlineScheduler:
+    def test_retry_then_succeed_with_deterministic_backoff(self):
+        job = bench_trial_jobs(3, 1)[0]
+        executor, calls = _flaky_executor(fail_first={job.job_id})
+        clock = FakeClock()
+        scheduler = FleetScheduler(
+            [job], workers=1, seed=3, retries=1, backoff_base=0.05,
+            backoff_cap=2.0, clock=clock, inline=True, executor=executor,
+        )
+        report = scheduler.run()
+        outcome = report.outcomes[0]
+        assert outcome.classification == CLEAN
+        assert outcome.attempts == 2
+        delay = backoff_delay(3, job.job_id, 0, base=0.05, cap=2.0)
+        assert outcome.backoffs == [delay]
+        # The backoff waited on the injected clock, not a real stall.
+        assert 0 < clock.slept <= delay
+        assert calls[job.job_id] == 2
+
+    def test_exhausted_retries_classify_crash(self):
+        job = bench_trial_jobs(4, 1)[0]
+
+        def always_fail(job):
+            raise RuntimeError("still broken")
+
+        scheduler = FleetScheduler(
+            [job], workers=1, seed=4, retries=2, backoff_base=0.01,
+            backoff_cap=0.02, clock=FakeClock(), inline=True,
+            executor=always_fail,
+        )
+        report = scheduler.run()
+        outcome = report.outcomes[0]
+        assert outcome.classification == CRASH
+        assert outcome.attempts == 3
+        assert len(outcome.backoffs) == 2
+        assert "RuntimeError: still broken" in outcome.detail
+        assert not report.ok
+
+    def test_deadline_expires_before_dispatch(self):
+        expired = Job(kind="bench-trial", params={"trial": 0}, deadline=0.0)
+        live = Job(kind="bench-trial", params={"trial": 1})
+        executor, calls = _flaky_executor()
+        scheduler = FleetScheduler(
+            [expired, live], workers=1, clock=FakeClock(), inline=True,
+            executor=executor,
+        )
+        report = scheduler.run()
+        assert report.outcomes[0].classification == EXPIRED
+        assert report.outcomes[1].classification == CLEAN
+        assert expired.job_id not in calls  # never executed
+        assert not report.ok
+
+    def test_violating_payload_classifies_violation(self):
+        job = bench_trial_jobs(5, 1)[0]
+        executor, _ = _flaky_executor(
+            violations={job.job_id: ["machine=x state=bad"]}
+        )
+        scheduler = FleetScheduler(
+            [job], workers=1, clock=FakeClock(), inline=True,
+            executor=executor,
+        )
+        report = scheduler.run()
+        assert report.outcomes[0].classification == VIOLATION
+        assert report.violations == ["machine=x state=bad"]
+        assert report.ok  # violations are results, not infrastructure
+
+    def test_steal_takes_back_half_in_order(self):
+        jobs = bench_trial_jobs(6, 4)
+        scheduler = FleetScheduler(
+            jobs, workers=2, clock=FakeClock(), inline=True,
+            executor=lambda job: {"violations": [], "events": 0},
+        )
+        # Pile everything onto worker 0's deque, then steal for worker 1.
+        scheduler._distribute()
+        scheduler._deques[0].extend(scheduler._deques[1])
+        scheduler._deques[1].clear()
+        piled = list(scheduler._deques[0])
+        assert scheduler._steal(1) is True
+        assert scheduler.steals == 1
+        assert scheduler.stolen_jobs == 2
+        # Steal-half: the victim keeps its front, the thief gets the
+        # back half in original order.
+        assert list(scheduler._deques[0]) == piled[:2]
+        assert list(scheduler._deques[1]) == piled[2:]
+
+    def test_duplicate_job_ids_rejected_at_submission(self):
+        job = bench_trial_jobs(7, 1)[0]
+        with pytest.raises(ValueError):
+            FleetScheduler([job, job], inline=True)
+
+    def test_inline_report_identical_across_worker_counts(self):
+        jobs = bench_trial_jobs(8, 6)
+        bodies = []
+        for workers in (1, 2, 3):
+            executor, _ = _flaky_executor()
+            report = FleetScheduler(
+                jobs, workers=workers, clock=FakeClock(), inline=True,
+                executor=executor,
+            ).run()
+            bodies.append(json.dumps(report.to_json(), sort_keys=True))
+        assert bodies[0] == bodies[1] == bodies[2]
+
+    def test_queue_mirrors_scheduler_lifecycle(self, tmp_path):
+        jobs = bench_trial_jobs(9, 3)
+        with JobQueue(str(tmp_path / "q")) as queue:
+            executor, _ = _flaky_executor()
+            report = FleetScheduler(
+                jobs, workers=2, clock=FakeClock(), inline=True,
+                executor=executor, queue=queue,
+            ).run()
+            assert report.ok
+            stats = queue.stats()
+            assert stats["depth"] == 0
+            assert stats["acked"] == 3
+            assert stats["duplicate_acks"] == 0
+
+
+# ----------------------------------------------------------------------
+# Merge: arrival order never leaks out
+# ----------------------------------------------------------------------
+
+
+def _replay_outcome(path, reports, events=0):
+    job = replay_jobs([path])[0]
+    return JobOutcome(
+        job=job,
+        classification=VIOLATION if reports else CLEAN,
+        payload={
+            "kind": "replay-shard",
+            "path": path,
+            "reports": [list(item) for item in reports],
+            "events": events,
+            "violations": [text for _, text in sorted(reports)],
+        },
+    )
+
+
+class TestMerge:
+    def test_stream_restores_trace_seq_order(self):
+        outcome = _replay_outcome("t.trace", [(2, "second"), (1, "first")])
+        report = FleetReport([outcome], workers=1)
+        assert violation_stream(report) == ["first", "second"]
+
+    def test_merge_replay_keeps_submission_order(self):
+        report = FleetReport(
+            [
+                _replay_outcome("b.trace", [(1, "from-b")], events=4),
+                _replay_outcome("a.trace", [(1, "from-a")], events=3),
+            ],
+            workers=2,
+        )
+        merged = merge_replay(report)
+        assert merged.violations == ["from-b", "from-a"]
+        assert merged.event_count == 7
+
+    def test_merge_refuses_payloadless_outcomes(self):
+        job = replay_jobs(["t.trace"])[0]
+        crashed = JobOutcome(job=job, classification=CRASH, payload=None)
+        with pytest.raises(ValueError):
+            merge_replay(FleetReport([crashed], workers=1))
+
+
+# ----------------------------------------------------------------------
+# Parity: the fleet reproduces the single-process baselines byte for byte
+# ----------------------------------------------------------------------
+
+
+class TestSingleProcessParity:
+    def test_fuzz_report_byte_identical(self):
+        from repro.fuzz import fuzz_run
+
+        baseline = fuzz_run(7, rounds=1, substrate="pyc")
+        merged, report = fleet_fuzz(
+            7, rounds=1, substrate="pyc", workers=0
+        )
+        assert report.ok
+        assert json.dumps(merged, sort_keys=True) == json.dumps(
+            baseline, sort_keys=True
+        )
+
+    def test_chaos_report_identical(self):
+        from repro.resilience import chaos_run
+
+        baseline = chaos_run(3, substrate="pyc", rounds=1)
+        merged, report = fleet_chaos(3, substrate="pyc", workers=0)
+        assert report.ok
+        assert merged == baseline
+
+    def test_corpus_byte_identical(self, tmp_path):
+        from repro.fuzz.corpus import MANIFEST_NAME, build_corpus
+
+        baseline_dir = str(tmp_path / "baseline")
+        fleet_dir = str(tmp_path / "fleet")
+        build_corpus(baseline_dir, 5, substrate="pyc")
+        manifest, report = fleet_corpus(
+            fleet_dir, 5, substrate="pyc", workers=0
+        )
+        assert report.ok
+        baseline_files = sorted(os.listdir(baseline_dir))
+        assert sorted(os.listdir(fleet_dir)) == baseline_files
+        assert MANIFEST_NAME in baseline_files
+        for name in baseline_files:
+            with open(os.path.join(baseline_dir, name), "rb") as f:
+                expected = f.read()
+            with open(os.path.join(fleet_dir, name), "rb") as f:
+                assert f.read() == expected, name
+
+
+# ----------------------------------------------------------------------
+# The acceptance surface: real processes, 1/2/4 workers, one answer
+# ----------------------------------------------------------------------
+
+
+def _cluster_ids(report):
+    triage = ViolationTriage()
+    return [
+        triage.ingest_report_line(line)
+        for line in violation_stream(report)
+    ]
+
+
+def _deterministic_snapshot(report):
+    hub = ObsHub(clock=FakeClock())
+    for line in violation_stream(report):
+        hub.triage.ingest_report_line(line)
+    hub.publish_fleet(report, include_load=False)
+    return hub.snapshot()
+
+
+class TestWorkStealingDeterminism:
+    WORKER_COUNTS = (1, 2, 4)
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        from repro.trace.replay import replay_sharded
+
+        paths = _corpus_paths()
+        baseline = replay_sharded(paths, shards=1)
+        results = {
+            workers: fleet_replay(paths, workers=workers)
+            for workers in self.WORKER_COUNTS
+        }
+        return baseline, results
+
+    def test_streams_identical_across_worker_counts(self, runs):
+        baseline, results = runs
+        for workers, (_, report) in results.items():
+            assert violation_stream(report) == baseline.violations, workers
+
+    def test_event_counts_match_baseline(self, runs):
+        baseline, results = runs
+        for workers, (merged, _) in results.items():
+            assert merged.event_count == baseline.event_count, workers
+
+    def test_report_bodies_identical(self, runs):
+        _, results = runs
+        bodies = {
+            workers: json.dumps(report.to_json(), sort_keys=True)
+            for workers, (_, report) in results.items()
+        }
+        assert len(set(bodies.values())) == 1
+
+    def test_triage_cluster_ids_identical(self, runs):
+        _, results = runs
+        ids = {
+            workers: _cluster_ids(report)
+            for workers, (_, report) in results.items()
+        }
+        reference = ids[self.WORKER_COUNTS[0]]
+        assert reference  # the corpus re-fires real violations
+        assert all(value == reference for value in ids.values())
+
+    def test_obs_snapshots_identical(self, runs):
+        _, results = runs
+        snapshots = [
+            json.dumps(_deterministic_snapshot(report), sort_keys=True)
+            for _, report in results.values()
+        ]
+        assert len(set(snapshots)) == 1
+
+    def test_every_job_completed_without_incident(self, runs):
+        _, results = runs
+        for workers, (_, report) in results.items():
+            counts = report.counts
+            assert counts[CRASH] == 0, workers
+            assert counts["hang"] == 0, workers
+            assert counts[EXPIRED] == 0, workers
+
+
+class TestExactlyOnceUnderWorkerDeath:
+    def test_sigkilled_worker_still_acks_exactly_once(self, tmp_path):
+        marker = str(tmp_path / "die.marker")
+        queue_path = str(tmp_path / "fleet.queue")
+        jobs = bench_trial_jobs(11, 4)
+        jobs.append(Job(
+            kind="bench-trial",
+            params={"substrate": "pyc", "trial": 99, "die_once": marker},
+            seed=11,
+        ))
+        with JobQueue(queue_path) as queue:
+            report = FleetScheduler(
+                jobs, workers=2, seed=11, retries=1,
+                backoff_base=0.01, backoff_cap=0.02, queue=queue,
+            ).run()
+            assert report.ok
+            victim = report.outcomes[-1]
+            assert victim.classification in (CLEAN, VIOLATION)
+            assert victim.attempts == 2  # died once, recovered once
+            stats = queue.stats()
+            assert stats["acked"] == len(jobs)
+            assert stats["depth"] == 0
+            assert stats["duplicate_acks"] == 0
+            assert stats["requeues"] >= 1  # the death went through requeue
+        # Durability: the acks survive reopen with nothing left to run.
+        with JobQueue(queue_path) as reopened:
+            assert reopened.acked == len(jobs)
+            assert reopened.recover_leases() == []
+            assert reopened.depth == 0
+
+    def test_smoke_gate_passes_on_two_workers(self):
+        smoke = fleet_smoke(workers=2, corpus_dir=CORPUS_DIR)
+        assert smoke["ok"]
+        assert smoke["stream_identical"]
+        assert smoke["counts"][CRASH] == 0
+
+
+# ----------------------------------------------------------------------
+# Fleet series in the obs hub
+# ----------------------------------------------------------------------
+
+
+class TestObsIntegration:
+    def _report(self):
+        executor, _ = _flaky_executor()
+        return FleetScheduler(
+            bench_trial_jobs(13, 2), workers=2, clock=FakeClock(),
+            inline=True, executor=executor,
+        ).run()
+
+    def test_publish_fleet_deterministic_series(self):
+        hub = ObsHub(clock=FakeClock())
+        hub.publish_fleet(self._report(), include_load=False)
+        gauges = hub.metrics.snapshot()["gauges"]
+        assert any(key.startswith("fleet_ok") for key in gauges)
+        assert any(key.startswith("fleet_jobs") for key in gauges)
+        assert not any(key.startswith("fleet_workers") for key in gauges)
+
+    def test_publish_fleet_load_series(self):
+        hub = ObsHub(clock=FakeClock())
+        hub.publish_fleet(self._report())
+        gauges = hub.metrics.snapshot()["gauges"]
+        assert any(key.startswith("fleet_workers") for key in gauges)
+        assert any(key.startswith("fleet_utilization") for key in gauges)

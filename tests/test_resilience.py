@@ -266,6 +266,63 @@ class TestSupervisor:
         assert a == b
         assert a <= 0.2 * 1.25
 
+    def test_backoff_sleeps_on_injected_clock(self):
+        from repro.core.clock import FakeClock
+
+        clock = FakeClock()
+        sup = Supervisor(
+            timeout=30.0, retries=2, backoff_base=0.01, backoff_cap=0.05,
+            seed=7, clock=clock,
+        )
+        result = sup.run_shard(Shard("dead", "crash", {}))
+        assert result.classification == CRASH
+        # Retry delays went through the injectable clock, not time.sleep.
+        assert clock.slept == pytest.approx(sum(result.backoffs))
+        assert clock.slept > 0
+
+
+class TestSupervisorParallel:
+    """Concurrent shards finish in nondeterministic order; the merge is
+    keyed by shard name, so the report body never varies with it."""
+
+    def _shards(self):
+        shards = []
+        for index in range(4):
+            sequence = generate_sequence(
+                task_rng(9, "test-parallel", index), "pyc"
+            )
+            shards.append(Shard(
+                "ops-{}".format(index), "ops",
+                {"ops": [list(op) for op in sequence.ops],
+                 "substrate": "pyc"},
+            ))
+        return shards
+
+    def test_parallel_report_byte_identical_to_sequential(self):
+        sup = Supervisor(timeout=60.0, retries=0)
+        sequential = json.dumps(
+            sup.run(self._shards(), parallel=1).to_json(), sort_keys=True
+        )
+        for _ in range(2):
+            rerun = json.dumps(
+                sup.run(self._shards(), parallel=4).to_json(),
+                sort_keys=True,
+            )
+            assert rerun == sequential
+
+    def test_report_lists_shards_in_submission_order(self):
+        sup = Supervisor(timeout=60.0, retries=0)
+        report = sup.run(self._shards(), parallel=3)
+        assert [shard.name for shard in report.shards] == [
+            "ops-0", "ops-1", "ops-2", "ops-3",
+        ]
+
+    def test_duplicate_shard_names_rejected(self):
+        sup = Supervisor(timeout=60.0, retries=0)
+        shards = [Shard("same", "crash", {}), Shard("same", "crash", {})]
+        with pytest.raises(ValueError):
+            sup.run(shards, parallel=2)
+
 
 # ----------------------------------------------------------------------
 # The governor
