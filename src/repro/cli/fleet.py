@@ -74,7 +74,7 @@ def _cmd_fleet_run(args) -> int:
             for line in violation_stream(report):
                 print("  " + line)
             _print_load(report)
-        return 0 if report.counts["crash"] == 0 else 1
+        return 0 if report.ok else 1
     if args.kind == "fuzz":
         from repro.fuzz import fuzz_gate
 
@@ -235,7 +235,7 @@ def _cmd_fleet_drain(args) -> int:
         print("queue now: {} pending, {} acked".format(
             stats["depth"], stats["acked"]
         ))
-    return 0 if report.counts["crash"] == 0 else 1
+    return 0 if report.ok else 1
 
 
 def _cmd_fleet(args) -> int:

@@ -110,19 +110,29 @@ def replay_jobs(
 ) -> List[Job]:
     """One replay-shard job per trace file, in input order.
 
+    Repeated paths are dropped (first occurrence wins): replay is
+    deterministic, so a second pass over the same file adds nothing,
+    and content-derived job IDs would collide at submission.
+
     ``repeats`` replays each file that many times inside the job — CPU
     amplification for benches; the reported violation stream and event
     count always describe a *single* replay.
     """
-    return [
-        Job(
-            kind="replay-shard",
-            params={"path": path, "force": force, "repeats": repeats},
-            fingerprint=fingerprint,
-            priority=priority,
+    seen = set()
+    jobs: List[Job] = []
+    for path in paths:
+        if path in seen:
+            continue
+        seen.add(path)
+        jobs.append(
+            Job(
+                kind="replay-shard",
+                params={"path": path, "force": force, "repeats": repeats},
+                fingerprint=fingerprint,
+                priority=priority,
+            )
         )
-        for path in paths
-    ]
+    return jobs
 
 
 def fuzz_jobs(

@@ -5,7 +5,10 @@ format of :class:`repro.trace.recorder.JournalWriter` —
 ``"<byte_len> <json>\\n"`` — decoded on reopen by the same
 :func:`repro.resilience.recover.scan_length_prefixed` trace recovery
 uses, so a queue file torn at any byte by SIGKILL loses at most the
-unsynced tail and never a synced record.
+unsynced tail and never a synced record.  Reopening truncates the torn
+tail away before appending, so records written after recovery land on
+valid journal bytes instead of behind the tear (where the scan would
+never reach them).
 
 Lifecycle records after the header:
 
@@ -65,6 +68,16 @@ class JobQueue:
         existing = os.path.exists(path) and os.path.getsize(path) > 0
         if existing:
             self._load()
+            if self.torn_bytes:
+                # Cut the torn tail off before appending: scan stops at
+                # the first torn record, so anything written after a
+                # surviving tail — including eagerly-fsynced acks —
+                # would be invisible to the next open.
+                valid = os.path.getsize(path) - self.torn_bytes
+                with open(path, "r+b") as f:
+                    f.truncate(valid)
+                    f.flush()
+                    os.fsync(f.fileno())
             self._f = open(path, "a")
         else:
             self._f = open(path, "w")

@@ -101,6 +101,7 @@ class FleetReport:
         steals: int = 0,
         stolen_jobs: int = 0,
         requeues: int = 0,
+        skipped_acked: int = 0,
         worker_busy_seconds: Optional[List[float]] = None,
         wall_seconds: float = 0.0,
     ):
@@ -109,6 +110,7 @@ class FleetReport:
         self.steals = steals
         self.stolen_jobs = stolen_jobs
         self.requeues = requeues
+        self.skipped_acked = skipped_acked
         self.worker_busy_seconds = worker_busy_seconds or []
         self.wall_seconds = wall_seconds
 
@@ -174,6 +176,7 @@ class FleetReport:
             "steals": self.steals,
             "stolen_jobs": self.stolen_jobs,
             "requeues": self.requeues,
+            "skipped_acked": self.skipped_acked,
             "worker_busy_seconds": [
                 round(seconds, 6) for seconds in self.worker_busy_seconds
             ],
@@ -310,6 +313,7 @@ class FleetScheduler:
         self.steals = 0
         self.stolen_jobs = 0
         self.requeues = 0
+        self.skipped_acked = 0
         self._busy: List[float] = [0.0] * self.workers
         self._procs: List[Optional[_ProcessWorker]] = [None] * self.workers
 
@@ -452,6 +456,16 @@ class FleetScheduler:
         if self.queue is not None:
             for job in self.jobs:
                 self.queue.enqueue(job)
+            acked = set(self.queue.acked_ids())
+            if acked:
+                # Resuming on an existing journal: jobs it already
+                # recorded as acked are complete — re-running them
+                # would duplicate results (every re-completion lands
+                # as a duplicate ack).
+                self.jobs = [
+                    job for job in self.jobs if job.job_id not in acked
+                ]
+                self.skipped_acked = len(self._ordinal) - len(self.jobs)
         self._distribute()
         started = self.clock.monotonic()
         if self.inline:
@@ -466,6 +480,7 @@ class FleetScheduler:
             steals=self.steals,
             stolen_jobs=self.stolen_jobs,
             requeues=self.requeues,
+            skipped_acked=self.skipped_acked,
             worker_busy_seconds=list(self._busy),
             wall_seconds=wall,
         )
@@ -548,10 +563,17 @@ class FleetScheduler:
                     ),
                     None,
                 )
-                if entry is not None:
-                    self._inflight[worker].remove(entry)
-                job = by_id[job_id]
                 self._busy[worker] += busy
+                if entry is None:
+                    # The dispatch behind this result was already
+                    # reclassified by _check_liveness (worker death or
+                    # watchdog) and the job finished, awaits a retry,
+                    # or was requeued.  Finishing from the stale result
+                    # would leave that duplicate retry to re-run and
+                    # overwrite the outcome, so drop it.
+                    continue
+                self._inflight[worker].remove(entry)
+                job = by_id[job_id]
                 if job_id in self._outcomes:
                     continue  # late duplicate from a pre-kill put
                 if status == "ok":

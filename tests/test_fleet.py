@@ -94,6 +94,14 @@ class TestJobEnvelope:
         assert [job.params["path"] for job in jobs] == paths
         assert all(job.params["force"] for job in jobs)
 
+    def test_replay_builder_dedupes_repeated_paths(self):
+        # Same path twice would mint the same content-derived job ID
+        # and crash scheduler submission; first occurrence wins.
+        jobs = replay_jobs(["a.trace", "b.trace", "a.trace"], force=True)
+        assert [job.params["path"] for job in jobs] == [
+            "a.trace", "b.trace"
+        ]
+
     def test_fuzz_builder_emits_valid_campaign_first(self):
         jobs = fuzz_jobs(7, rounds=1, substrate="pyc")
         assert jobs[0].params["campaign"] == "valid"
@@ -203,6 +211,25 @@ class TestJobQueue:
             assert queue.torn_bytes == len(torn)
             assert queue.stats()["jobs"] == 2
             assert queue.leased == 1
+            assert queue.depth == 1
+
+    def test_ack_after_torn_recovery_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "q")
+        with JobQueue(path) as queue:
+            for job in bench_trial_jobs(3, 2):
+                queue.enqueue(job)
+        with open(path, "ab") as f:
+            f.write(b'999 ["l","truncated mid-rec')
+        # Reopen truncates the tear, so the ack appended below lands on
+        # valid journal bytes — not behind the torn tail, where the
+        # scan would never reach it.
+        with JobQueue(path) as queue:
+            assert queue.torn_bytes > 0
+            done = queue.lease("w0", ttl=60.0)
+            queue.ack(done.job_id, "w0")
+        with JobQueue(path) as queue:
+            assert queue.torn_bytes == 0
+            assert queue.acked_ids() == [done.job_id]
             assert queue.depth == 1
 
     def test_non_queue_file_rejected(self, tmp_path):
@@ -353,6 +380,30 @@ class TestInlineScheduler:
             assert stats["depth"] == 0
             assert stats["acked"] == 3
             assert stats["duplicate_acks"] == 0
+
+    def test_rerun_on_existing_queue_skips_acked_jobs(self, tmp_path):
+        path = str(tmp_path / "q")
+        jobs = bench_trial_jobs(10, 3)
+        with JobQueue(path) as queue:
+            executor, _ = _flaky_executor()
+            FleetScheduler(
+                jobs, workers=1, clock=FakeClock(), inline=True,
+                executor=executor, queue=queue,
+            ).run()
+            assert queue.acked == 3
+        # Resume on the same journal: acked jobs are complete and must
+        # not re-execute (each re-completion would be a duplicate ack).
+        with JobQueue(path) as queue:
+            executor, calls = _flaky_executor()
+            report = FleetScheduler(
+                jobs, workers=1, clock=FakeClock(), inline=True,
+                executor=executor, queue=queue,
+            ).run()
+            assert calls == {}
+            assert report.outcomes == []
+            assert report.skipped_acked == 3
+            assert report.load_json()["skipped_acked"] == 3
+            assert queue.duplicate_acks == 0
 
 
 # ----------------------------------------------------------------------
