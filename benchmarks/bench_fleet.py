@@ -23,6 +23,18 @@ job for CPU amplification:
   draining the remainder must lose zero acked jobs and duplicate zero
   results (the acked sets before and after partition the job set
   exactly; zero duplicate acks observed).
+
+- **compaction** (``compaction_ok``) — a churned queue (every job
+  enqueued, leased, and acked) compacts to a journal whose reopen
+  scans O(live jobs) records instead of O(history), shrinks on disk,
+  and preserves pending/leased/acked/dead-letter state exactly.
+
+- **storage chaos** (``chaos_ok``) — the fault-injection driver
+  (:func:`repro.fleet.storage_chaos`) replays enqueue/lease/ack/crash
+  schedules under SIGKILL, short writes, fsync failures, ENOSPC, and
+  bit flips: zero acked jobs lost, zero duplicate completions, every
+  injected corruption detected (quarantined, never silently loaded),
+  and the poison job dead-lettered instead of blocking the drain.
 """
 
 import json
@@ -155,6 +167,82 @@ def _recovery_gate(seed=11, jobs=8) -> dict:
     }
 
 
+def _compaction_gate(seed=17, jobs=64) -> dict:
+    """Churn a queue, compact, verify shrinkage + O(live) reopen."""
+    import tempfile
+
+    from repro.fleet import JobQueue, bench_trial_jobs
+
+    with tempfile.TemporaryDirectory() as tmp:
+        queue_path = os.path.join(tmp, "fleet.queue")
+        queue = JobQueue(queue_path, compact_threshold=None)
+        job_set = bench_trial_jobs(seed, jobs)
+        for job in job_set:
+            queue.enqueue(job)
+        # Churn: lease + ack all but the last three; leave one leased,
+        # one dead-lettered, one pending — compaction must keep all.
+        for job in job_set[:-3]:
+            queue.lease_job(job.job_id, "w0", ttl=60.0)
+            queue.ack(job.job_id, "w0")
+        queue.lease_job(job_set[-3].job_id, "w1", ttl=60.0)
+        queue.dead_letter(job_set[-2].job_id, "w0", "poison")
+        records_churned = queue.records_scanned  # pre-compact history
+        state_before = {
+            "pending": queue.pending_ids(),
+            "leased": queue.leased_ids(),
+            "acked": queue.acked_ids(),
+            "dead": queue.dead_ids(),
+        }
+        result = queue.compact()
+        queue.close()
+        reopened = JobQueue(queue_path, compact_threshold=None)
+        state_after = {
+            "pending": reopened.pending_ids(),
+            "leased": reopened.leased_ids(),
+            "acked": reopened.acked_ids(),
+            "dead": reopened.dead_ids(),
+        }
+        reopen_records = reopened.records_scanned
+        reopened.close()
+    return {
+        "jobs": jobs,
+        "bytes_before": result["bytes_before"],
+        "bytes_after": result["bytes_after"],
+        "records_before": result["records_before"],
+        "reopen_records_scanned": reopen_records,
+        "state_preserved": state_before == state_after,
+        "ok": (
+            result["bytes_after"] < result["bytes_before"]
+            # History had ~3 records/job; the compacted reopen scans 1.
+            and result["records_before"] >= 2 * jobs
+            and reopen_records == 1
+            and state_before == state_after
+        ),
+    }
+
+
+def _chaos_gate(seed=7, rounds=2, jobs=6) -> dict:
+    """Run the storage chaos driver; fold its gate into one verdict."""
+    from repro.fleet import storage_chaos, storage_chaos_gate
+
+    report = storage_chaos(seed, rounds=rounds, jobs=jobs)
+    gate = storage_chaos_gate(report)
+    return {
+        "seed": seed,
+        "rounds": rounds,
+        "jobs_per_schedule": jobs,
+        "faults_fired": report["faults_fired"],
+        "lost_acks": report["lost_acks"],
+        "duplicate_completions": report["duplicate_completions"],
+        "silently_wrong": report["silently_wrong"],
+        "corruptions_injected": report["corruptions_injected"],
+        "corruptions_detected": report["corruptions_detected"],
+        "poison_dead_lettered": report["poison_dead_lettered"],
+        "gate": gate,
+        "ok": all(gate.values()),
+    }
+
+
 def run_fleet_quick(out_path: str) -> dict:
     from repro.trace.replay import replay_sharded
 
@@ -189,15 +277,21 @@ def run_fleet_quick(out_path: str) -> dict:
     report["stream_identical"] = stream_identical
     report["violations"] = len(baseline.violations)
     report["recovery"] = _recovery_gate()
+    report["compaction"] = _compaction_gate()
+    report["chaos"] = _chaos_gate()
     report["gate"] = {
         "speedup_ok": four["speedup"] >= SPEEDUP_MIN,
         "stream_identical_ok": stream_identical,
         "recovery_ok": report["recovery"]["ok"],
+        "compaction_ok": report["compaction"]["ok"],
+        "chaos_ok": report["chaos"]["ok"],
     }
     write_bench_json(out_path, report, thresholds={
         "four_worker_critical_path_speedup_min": SPEEDUP_MIN,
         "stream_identical": True,
         "recovery_zero_loss_zero_dup": True,
+        "compaction_reopen_records_max": 1,
+        "chaos_zero_loss_zero_dup_all_corruption_detected": True,
     })
     return report
 
@@ -243,6 +337,25 @@ def main(argv=None) -> int:
             recovery["drained_after_recovery"], recovery["acked_total"],
             recovery["jobs"], len(recovery["lost_acked_jobs"]),
             recovery["duplicate_results"],
+        )
+    )
+    compaction = report["compaction"]
+    print(
+        "compaction: {} -> {} bytes, {} records -> reopen scans {}, "
+        "state {}".format(
+            compaction["bytes_before"], compaction["bytes_after"],
+            compaction["records_before"],
+            compaction["reopen_records_scanned"],
+            "preserved" if compaction["state_preserved"] else "DAMAGED",
+        )
+    )
+    chaos = report["chaos"]
+    print(
+        "chaos: {} fault(s) fired over {} round(s), {} lost ack(s), "
+        "{} duplicate(s), {}/{} corruption(s) detected".format(
+            chaos["faults_fired"], chaos["rounds"], chaos["lost_acks"],
+            chaos["duplicate_completions"], chaos["corruptions_detected"],
+            chaos["corruptions_injected"],
         )
     )
     print("report written to {}".format(args.out))

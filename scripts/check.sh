@@ -2,7 +2,9 @@
 # Tier-1 gate: tests, bytecode compilation, the fixed-seed fuzz smoke,
 # the resilience smoke (chaos containment + crash recovery), the obs
 # CLI smoke, the fleet smoke (work-stealing replay of the regression
-# corpus on 2 workers, gated on stream identity), and the quick
+# corpus on 2 workers, gated on stream identity), the fleet storage
+# chaos smoke (fault-injected queue journals, gated on zero lost acks
+# and every corruption detected), and the quick
 # benchmark gates (write BENCH_interpretive_dispatch.json,
 # BENCH_trace_replay.json, BENCH_fuzz.json, BENCH_resilience.json,
 # BENCH_pipeline.json, BENCH_obs.json, and BENCH_fleet.json).
@@ -40,6 +42,9 @@ timeout 300 python -m repro.cli status --repeats 2
 
 echo "== fleet smoke (2 workers, regression corpus, stream identity) =="
 timeout 300 python -m repro.cli fleet run --smoke --workers 2
+
+echo "== fleet storage chaos smoke (fault-injected queue journals) =="
+timeout 300 python -m repro.cli fleet chaos --smoke
 
 if [[ "${1:-}" != "--no-bench" ]]; then
     echo "== dispatch-index bench gate (quick) =="

@@ -156,11 +156,20 @@ def _cmd_fleet_status(args) -> int:
         print(_json.dumps(stats, indent=2, sort_keys=True))
     else:
         print(
-            "queue {}: {} job(s) — {} pending, {} leased, {} acked; "
-            "{} requeue(s), {} duplicate ack(s), {} torn byte(s)".format(
+            "queue {}: {} job(s) — {} pending, {} leased, {} acked, "
+            "{} dead-lettered; {} requeue(s), {} duplicate ack(s), "
+            "{} torn byte(s)".format(
                 stats["path"], stats["jobs"], stats["depth"],
-                stats["leased"], stats["acked"], stats["requeues"],
-                stats["duplicate_acks"], stats["torn_bytes"],
+                stats["leased"], stats["acked"], stats["dead"],
+                stats["requeues"], stats["duplicate_acks"],
+                stats["torn_bytes"],
+            )
+        )
+        print(
+            "journal  : {} byte(s), {} record(s) scanned at open, "
+            "{} compaction(s)".format(
+                stats["journal_bytes"], stats["records_scanned"],
+                stats["compactions"],
             )
         )
     return 0
@@ -232,10 +241,129 @@ def _cmd_fleet_drain(args) -> int:
                 ),
             )
         )
-        print("queue now: {} pending, {} acked".format(
-            stats["depth"], stats["acked"]
+        print("queue now: {} pending, {} acked, {} dead-lettered".format(
+            stats["depth"], stats["acked"], stats["dead"]
         ))
     return 0 if report.ok else 1
+
+
+def _cmd_fleet_chaos(args) -> int:
+    import json as _json
+
+    from repro.fleet import storage_chaos, storage_chaos_gate
+
+    rounds = 1 if args.smoke else args.rounds
+    jobs = 4 if args.smoke else args.jobs
+    report = storage_chaos(args.seed, rounds=rounds, jobs=jobs)
+    gate = storage_chaos_gate(report)
+    if args.json:
+        print(_json.dumps(
+            {"report": report, "gate": gate}, indent=2, sort_keys=True
+        ))
+    else:
+        print(
+            "storage chaos seed {}: {} schedule(s), {} fault(s) fired, "
+            "{} lost ack(s), {} duplicate completion(s), "
+            "{} silently-wrong state(s), {}/{} corruption(s) "
+            "detected".format(
+                args.seed, len(report["entries"]), report["faults_fired"],
+                report["lost_acks"], report["duplicate_completions"],
+                report["silently_wrong"], report["corruptions_detected"],
+                report["corruptions_injected"],
+            )
+        )
+    failures = [name for name, ok in sorted(gate.items()) if not ok]
+    for name in failures:
+        print("GATE FAIL: " + name)
+    if not failures:
+        print("gate: PASS")
+    return 1 if failures else 0
+
+
+def _cmd_fleet_compact(args) -> int:
+    import json as _json
+    import os as _os
+
+    from repro.fleet import JobQueue
+
+    if not _os.path.exists(args.queue):
+        print("no queue at {}".format(args.queue))
+        return 2
+    with JobQueue(args.queue, compact_threshold=None) as queue:
+        result = queue.compact()
+        stats = queue.stats()
+    if args.json:
+        print(_json.dumps(
+            {"compact": result, "queue": stats}, indent=2, sort_keys=True
+        ))
+    else:
+        print(
+            "compacted {}: {} -> {} byte(s) ({} -> {} record(s)); "
+            "{} pending, {} leased, {} acked, {} dead-lettered".format(
+                args.queue, result["bytes_before"], result["bytes_after"],
+                result["records_before"], result["records_after"],
+                stats["depth"], stats["leased"], stats["acked"],
+                stats["dead"],
+            )
+        )
+    return 0
+
+
+def _cmd_fleet_dlq(args) -> int:
+    import json as _json
+    import os as _os
+
+    from repro.fleet import JobQueue
+
+    if not _os.path.exists(args.queue):
+        print("no queue at {}".format(args.queue))
+        return 2
+    with JobQueue(args.queue) as queue:
+        if args.action == "list":
+            dead = queue.dead_ids()
+            if args.json:
+                print(_json.dumps(
+                    [
+                        dict(queue.dead_info(job_id), id=job_id,
+                             kind=queue.job(job_id).kind)
+                        for job_id in dead
+                    ],
+                    indent=2, sort_keys=True,
+                ))
+            else:
+                if not dead:
+                    print("dead-letter queue empty")
+                for job_id in dead:
+                    info = queue.dead_info(job_id)
+                    print("{}  {}  worker={}  {}".format(
+                        job_id, queue.job(job_id).kind, info["worker"],
+                        info["reason"],
+                    ))
+            return 0
+        if not args.job_id:
+            print("fleet dlq {} needs a job id".format(args.action))
+            return 2
+        if args.action == "show":
+            if args.job_id not in queue.dead_ids():
+                print("job {} is not dead-lettered".format(args.job_id))
+                return 2
+            print(_json.dumps(
+                {
+                    "id": args.job_id,
+                    "job": queue.job(args.job_id).to_json(),
+                    "dead": queue.dead_info(args.job_id),
+                },
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        # requeue
+        if not queue.requeue_dead(args.job_id):
+            print("job {} is not dead-lettered".format(args.job_id))
+            return 2
+        print("requeued {}; queue now {} pending, {} dead".format(
+            args.job_id, queue.depth, queue.dead
+        ))
+        return 0
 
 
 def _cmd_fleet(args) -> int:
@@ -300,12 +428,43 @@ def add_parsers(sub) -> None:
     drain.add_argument("--workers", type=int, default=2)
     drain.add_argument("--json", action="store_true")
 
+    chaos = fleet_sub.add_parser(
+        "chaos",
+        help="replay queue schedules under injected storage faults",
+    )
+    chaos.add_argument("--seed", type=int, default=2026)
+    chaos.add_argument("--rounds", type=int, default=2)
+    chaos.add_argument("--jobs", type=int, default=6)
+    chaos.add_argument(
+        "--smoke", action="store_true",
+        help="one small round of every scenario; gate on the result (CI)",
+    )
+    chaos.add_argument("--json", action="store_true")
+
+    compact = fleet_sub.add_parser(
+        "compact",
+        help="fold a queue journal's history into one snapshot record",
+    )
+    compact.add_argument("--queue", required=True)
+    compact.add_argument("--json", action="store_true")
+
+    dlq = fleet_sub.add_parser(
+        "dlq", help="inspect or requeue dead-lettered (poison) jobs"
+    )
+    dlq.add_argument("action", choices=("list", "show", "requeue"))
+    dlq.add_argument("job_id", nargs="?")
+    dlq.add_argument("--queue", required=True)
+    dlq.add_argument("--json", action="store_true")
+
 
 SUBCOMMANDS = {
     "run": _cmd_fleet_run,
     "status": _cmd_fleet_status,
     "workers": _cmd_fleet_workers,
     "drain": _cmd_fleet_drain,
+    "chaos": _cmd_fleet_chaos,
+    "compact": _cmd_fleet_compact,
+    "dlq": _cmd_fleet_dlq,
 }
 
 COMMANDS = {"fleet": _cmd_fleet}

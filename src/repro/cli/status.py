@@ -75,8 +75,11 @@ def _fleet_section(seed: int) -> dict:
         "ok": report.ok,
         "queue_depth": stats["depth"],
         "queue_acked": stats["acked"],
+        "queue_dead": stats["dead"],
+        "queue_compactions": stats["compactions"],
         "steals": report.steals,
         "requeues": report.requeues,
+        "breaker_trips": sum(report.breaker_trips),
         "utilization": report.utilization,
     }
 
@@ -153,11 +156,13 @@ def _cmd_status(args) -> int:
     )
     fleet = status["fleet"]
     print(
-        "fleet    : {} job(s) {}, queue depth {} ({} acked), "
-        "{} steal(s), {} requeue(s), utilization {:.0%}".format(
+        "fleet    : {} job(s) {}, queue depth {} ({} acked, {} dead), "
+        "{} steal(s), {} requeue(s), {} breaker trip(s), "
+        "utilization {:.0%}".format(
             fleet["jobs"], "ok" if fleet["ok"] else "NOT OK",
-            fleet["queue_depth"], fleet["queue_acked"], fleet["steals"],
-            fleet["requeues"], fleet["utilization"],
+            fleet["queue_depth"], fleet["queue_acked"],
+            fleet["queue_dead"], fleet["steals"], fleet["requeues"],
+            fleet["breaker_trips"], fleet["utilization"],
         )
     )
     return 0

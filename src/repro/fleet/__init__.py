@@ -15,6 +15,8 @@ arrival order, so the merged violation stream and ObsHub snapshot are
 byte-identical across 1, 2, or N workers and any steal interleaving.
 """
 
+from repro.core.store import Fault, FaultyStore, InjectedFault, Store
+from repro.fleet.chaos import storage_chaos, storage_chaos_gate
 from repro.fleet.jobs import (
     JOB_KINDS,
     Job,
@@ -32,7 +34,11 @@ from repro.fleet.merge import (
     merge_replay,
     violation_stream,
 )
-from repro.fleet.queue import JobQueue
+from repro.fleet.queue import (
+    JobQueue,
+    QueueCorruptionError,
+    QueueFormatError,
+)
 from repro.fleet.runner import (
     fleet_chaos,
     fleet_corpus,
@@ -46,9 +52,17 @@ __all__ = [
     "JOB_KINDS",
     "Job",
     "JobQueue",
+    "QueueCorruptionError",
+    "QueueFormatError",
     "FleetReport",
     "FleetScheduler",
     "EXPIRED",
+    "Store",
+    "FaultyStore",
+    "Fault",
+    "InjectedFault",
+    "storage_chaos",
+    "storage_chaos_gate",
     "bench_trial_jobs",
     "chaos_jobs",
     "corpus_jobs",

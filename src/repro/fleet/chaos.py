@@ -1,0 +1,376 @@
+"""Storage-fault chaos for the fleet fabric.
+
+ALICE/CrashMonkey-style systematic fault injection over the queue's
+write log: seeded enqueue/lease/ack/requeue schedules replay against a
+:class:`repro.core.store.FaultyStore` that crashes, tears, or corrupts
+the journal at deterministic operation ordinals, and the reopened queue
+must always be **byte-exact or cleanly truncated — never silently
+wrong**.
+
+Concretely, every schedule op appends exactly one journal record, so
+the set of states a crash may legally expose is the set of op-prefix
+states of the schedule.  After each injected fault the driver reopens
+the queue with a clean store and checks:
+
+- the reopened state (pending/leased/acked/dead ID sets) equals some
+  prefix of the scripted op log — no invented or reordered effects;
+- no ack whose ``ack()`` call returned (i.e. whose eager fsync
+  completed) is missing — **0 lost acks**;
+- draining the remainder re-acks every job exactly once — **0
+  duplicate completions**;
+- a bit-flip inside a mid-file record is *detected* on reopen
+  (:class:`repro.fleet.queue.QueueCorruptionError` + quarantine), not
+  silently skipped.
+
+The ``poison`` scenario runs the inline scheduler on a FakeClock with
+an always-failing job (``max_attempts``) and checks it dead-letters
+instead of blocking the drain.
+
+The report is a pure function of the seed (sorted keys, no
+timestamps, no absolute paths), matching the resilience chaos
+conventions, and :func:`storage_chaos_gate` yields the pass/fail
+booleans CI and ``benchmarks/bench_fleet.py`` check.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.clock import FakeClock
+from repro.core.store import Fault, FaultyStore, InjectedFault
+from repro.fleet.jobs import Job, bench_trial_jobs
+from repro.fleet.queue import JobQueue, QueueCorruptionError
+from repro.fleet.scheduler import FleetScheduler
+
+#: The injected-fault schedule matrix, one scenario per storage hazard.
+SCENARIOS = (
+    "sigkill",
+    "short-write",
+    "fsync-fail",
+    "enospc",
+    "bit-flip",
+    "poison",
+)
+
+_LEASE_TTL = 1000.0
+
+
+def build_script(
+    seed: int, round_no: int, njobs: int
+) -> Tuple[List[Job], List[Tuple[str, int]]]:
+    """A seeded queue-op schedule where every op writes one record.
+
+    Ops are ``(verb, job_index)`` with verbs ``enqueue`` / ``lease`` /
+    ``ack`` / ``requeue``, sequenced so each is valid when reached
+    (enqueue before lease, lease before ack) — the one-op-one-record
+    property is what makes crash states enumerable as op prefixes.
+    """
+    from repro.fuzz.engine import task_rng
+
+    rng = task_rng(seed, "fleet-storage-chaos", "script", round_no, njobs)
+    jobs = bench_trial_jobs(seed + round_no, njobs)
+    ops: List[Tuple[str, int]] = []
+    pending: List[int] = []
+    leased: List[int] = []
+    for index in range(njobs):
+        ops.append(("enqueue", index))
+        pending.append(index)
+        if pending and rng.random() < 0.6:
+            job = pending.pop(0)
+            ops.append(("lease", job))
+            leased.append(job)
+        if leased and rng.random() < 0.5:
+            job = leased.pop(0)
+            ops.append(("ack", job))
+    while pending:
+        job = pending.pop(0)
+        ops.append(("lease", job))
+        leased.append(job)
+    if leased:
+        # One requeue → re-lease round-trip so "r" records are covered.
+        job = leased.pop(0)
+        ops.extend([("requeue", job), ("lease", job)])
+        leased.append(job)
+    for job in leased:
+        ops.append(("ack", job))
+    return jobs, ops
+
+
+def _apply_op(queue: JobQueue, verb: str, job: Job) -> None:
+    if verb == "enqueue":
+        queue.enqueue(job)
+    elif verb == "lease":
+        queue.lease_job(job.job_id, "w0", ttl=_LEASE_TTL, now=0.0)
+    elif verb == "ack":
+        queue.ack(job.job_id, "w0")
+    elif verb == "requeue":
+        queue.requeue(job.job_id)
+    else:
+        raise ValueError("unknown chaos op " + verb)
+
+
+def _model_state(
+    jobs: List[Job], prefix: List[Tuple[str, int]]
+) -> Tuple[frozenset, frozenset, frozenset, frozenset]:
+    """The (known, pending, leased, acked) ID sets a prefix produces."""
+    known: set = set()
+    pending: set = set()
+    leases: set = set()
+    acked: set = set()
+    for verb, index in prefix:
+        job_id = jobs[index].job_id
+        if verb == "enqueue":
+            known.add(job_id)
+            pending.add(job_id)
+        elif verb == "lease":
+            pending.discard(job_id)
+            leases.add(job_id)
+        elif verb == "ack":
+            pending.discard(job_id)
+            leases.discard(job_id)
+            acked.add(job_id)
+        elif verb == "requeue":
+            leases.discard(job_id)
+            pending.add(job_id)
+    return (
+        frozenset(known),
+        frozenset(pending),
+        frozenset(leases),
+        frozenset(acked),
+    )
+
+
+def _queue_state(
+    queue: JobQueue,
+) -> Tuple[frozenset, frozenset, frozenset, frozenset]:
+    return (
+        frozenset(queue.job_ids()),
+        frozenset(queue.pending_ids()),
+        frozenset(queue.leased_ids()),
+        frozenset(queue.acked_ids()),
+    )
+
+
+def _run_storage_scenario(
+    scenario: str,
+    seed: int,
+    round_no: int,
+    njobs: int,
+    tmpdir: str,
+) -> Dict[str, object]:
+    """Drive one fault schedule; verify the reopened queue."""
+    from repro.fuzz.engine import task_rng
+
+    jobs, ops = build_script(seed, round_no, njobs)
+    rng = task_rng(seed, "fleet-storage-chaos", scenario, round_no)
+    path = os.path.join(tmpdir, "{}-{}.queue".format(scenario, round_no))
+    # Record writes: 1 header + 1 per op.  Fault ordinals land strictly
+    # inside the schedule (never the header, and for bit-flip never the
+    # final record, so the damage is mid-file).
+    if scenario == "bit-flip":
+        fault = Fault("write", rng.randrange(3, len(ops) - 1), "bitflip")
+    elif scenario == "sigkill":
+        fault = Fault("write", rng.randrange(3, len(ops) + 1), "crash")
+    elif scenario == "short-write":
+        fault = Fault(
+            "write",
+            rng.randrange(3, len(ops) + 1),
+            "short",
+            keep=rng.choice((0.25, 0.5, 0.75)),
+        )
+    elif scenario == "enospc":
+        fault = Fault("write", rng.randrange(3, len(ops) + 1), "enospc")
+    else:  # fsync-fail: ordinal 1 is the header sync; acks sync after.
+        fault = Fault("fsync", rng.randrange(2, 5), "error")
+    store = FaultyStore(faults=[fault])
+    queue = JobQueue(
+        path,
+        store=store,
+        sync_every=int(rng.choice((2, 3, 4))),
+        compact_threshold=None,
+    )
+    completed_acks: set = set()
+    completed = 0
+    crashed = False
+    try:
+        for verb, index in ops:
+            _apply_op(queue, verb, jobs[index])
+            if verb == "ack":
+                completed_acks.add(jobs[index].job_id)
+            completed += 1
+        queue.close()
+    except InjectedFault:
+        crashed = True
+        store.crash()
+    entry: Dict[str, object] = {
+        "scenario": scenario,
+        "round": round_no,
+        "fault": {"op": fault.op, "at": fault.at, "kind": fault.kind},
+        "fault_fired": len(store.fired),
+        "crashed": crashed,
+        "completed_ops": completed,
+        "total_ops": len(ops),
+    }
+    if scenario == "bit-flip":
+        detected = False
+        quarantined = False
+        try:
+            reopened = JobQueue(path)
+            reopened.close()
+        except QueueCorruptionError:
+            detected = True
+            quarantined = os.path.exists(path + ".corrupt")
+        entry["corruption_detected"] = detected
+        entry["quarantined"] = quarantined
+        entry["silently_wrong"] = 0 if detected else 1
+        entry["lost_acks"] = 0
+        entry["duplicate_completions"] = 0
+        return entry
+    reopened = JobQueue(path, compact_threshold=None)
+    state = _queue_state(reopened)
+    prefixes = {
+        _model_state(jobs, ops[:cut]) for cut in range(len(ops) + 1)
+    }
+    prefix_ok = state in prefixes
+    lost = sorted(completed_acks - set(reopened.acked_ids()))
+    # Drain the remainder: recover orphan leases, lease + ack every
+    # survivor, and count completions the journal already had.
+    reopened.recover_leases()
+    duplicates = 0
+    while True:
+        job = reopened.lease("w1", ttl=_LEASE_TTL, now=0.0)
+        if job is None:
+            break
+        if not reopened.ack(job.job_id, "w1"):
+            duplicates += 1
+    fully_acked = len(reopened.acked_ids()) == len(reopened.job_ids())
+    reopened.close()
+    entry["state_is_op_prefix"] = prefix_ok
+    entry["silently_wrong"] = 0 if prefix_ok else 1
+    entry["lost_acks"] = len(lost)
+    entry["duplicate_completions"] = duplicates
+    entry["drained"] = fully_acked
+    entry["torn_bytes"] = reopened.torn_bytes
+    return entry
+
+
+def _run_poison_scenario(
+    seed: int, round_no: int, tmpdir: str
+) -> Dict[str, object]:
+    """A job that fails every attempt must dead-letter, not block."""
+    path = os.path.join(tmpdir, "poison-{}.queue".format(round_no))
+    healthy = bench_trial_jobs(seed + round_no, 3)
+    poison = Job(
+        kind="bench-trial",
+        params={"substrate": "pyc", "trial": 999},
+        seed=seed + round_no,
+        max_attempts=2,
+    )
+    jobs = healthy[:2] + [poison] + healthy[2:]
+    poison_id = poison.job_id
+
+    def executor(job: Job) -> dict:
+        if job.job_id == poison_id:
+            raise RuntimeError("chaos: poison job")
+        return {"violations": [], "events": 1}
+
+    with JobQueue(path, compact_threshold=None) as queue:
+        scheduler = FleetScheduler(
+            jobs,
+            workers=2,
+            seed=seed,
+            retries=5,
+            backoff_base=0.01,
+            backoff_cap=0.05,
+            inline=True,
+            clock=FakeClock(),
+            executor=executor,
+            queue=queue,
+        )
+        report = scheduler.run()
+        dead = queue.dead_ids()
+    with JobQueue(path, compact_threshold=None) as reopened:
+        reopened.recover_leases()
+        survived_reopen = reopened.dead_ids() == [poison_id]
+        drain_unblocked = not reopened.pending_ids()
+    outcome = next(
+        o for o in report.outcomes if o.job.job_id == poison_id
+    )
+    return {
+        "scenario": "poison",
+        "round": round_no,
+        "dead_lettered": outcome.dead_lettered and dead == [poison_id],
+        "attempts": outcome.attempts,
+        "classification": outcome.classification,
+        "others_clean": all(
+            o.classification == "clean"
+            for o in report.outcomes
+            if o.job.job_id != poison_id
+        ),
+        "survived_reopen": survived_reopen,
+        "drain_unblocked": drain_unblocked,
+        "lost_acks": 0,
+        "duplicate_completions": 0,
+        "silently_wrong": 0 if (survived_reopen and drain_unblocked) else 1,
+    }
+
+
+def storage_chaos(
+    seed: int,
+    *,
+    rounds: int = 2,
+    jobs: int = 6,
+) -> Dict[str, object]:
+    """Run the full injected-fault schedule matrix; pure seed function."""
+    entries: List[Dict[str, object]] = []
+    with tempfile.TemporaryDirectory(prefix="fleet-chaos-") as tmpdir:
+        for round_no in range(rounds):
+            for scenario in SCENARIOS:
+                if scenario == "poison":
+                    entries.append(
+                        _run_poison_scenario(seed, round_no, tmpdir)
+                    )
+                else:
+                    entries.append(
+                        _run_storage_scenario(
+                            scenario, seed, round_no, jobs, tmpdir
+                        )
+                    )
+    flips = [e for e in entries if e["scenario"] == "bit-flip"]
+    poisons = [e for e in entries if e["scenario"] == "poison"]
+    return {
+        "seed": seed,
+        "rounds": rounds,
+        "jobs_per_schedule": jobs,
+        "scenarios": list(SCENARIOS),
+        "entries": entries,
+        "faults_fired": sum(e["fault_fired"] for e in entries if "fault_fired" in e),
+        "lost_acks": sum(e["lost_acks"] for e in entries),
+        "duplicate_completions": sum(
+            e["duplicate_completions"] for e in entries
+        ),
+        "silently_wrong": sum(e["silently_wrong"] for e in entries),
+        "corruptions_injected": len(flips),
+        "corruptions_detected": sum(
+            1 for e in flips if e["corruption_detected"]
+        ),
+        "poison_dead_lettered": all(e["dead_lettered"] for e in poisons),
+    }
+
+
+def storage_chaos_gate(report: Dict[str, object]) -> Dict[str, bool]:
+    """The pass/fail booleans the bench and CI check."""
+    return {
+        "no_lost_acks": report["lost_acks"] == 0,
+        "no_duplicate_completions": report["duplicate_completions"] == 0,
+        "never_silently_wrong": report["silently_wrong"] == 0,
+        "corruption_detected": (
+            report["corruptions_injected"] > 0
+            and report["corruptions_detected"]
+            == report["corruptions_injected"]
+        ),
+        "faults_landed": report["faults_fired"] > 0,
+        "poison_dead_lettered": bool(report["poison_dead_lettered"]),
+    }

@@ -44,7 +44,10 @@ class Job:
     enqueue order).  ``deadline`` is a seconds budget from scheduler
     start: a job not *dispatched* before its deadline is classified
     ``expired`` without running — late work on a reproducibility fleet
-    is wrong work, not slow work.
+    is wrong work, not slow work.  ``max_attempts`` caps total
+    executions before the job is dead-lettered as poison; ``None``
+    defers to the scheduler's ``retries`` default, and is omitted from
+    the canonical JSON so pre-existing job IDs are unchanged.
     """
 
     kind: str
@@ -53,6 +56,7 @@ class Job:
     fingerprint: Optional[str] = None
     priority: int = 0
     deadline: Optional[float] = None
+    max_attempts: Optional[int] = None
 
     def __post_init__(self):
         if self.kind not in JOB_KINDS:
@@ -61,9 +65,11 @@ class Job:
                     self.kind, ", ".join(JOB_KINDS)
                 )
             )
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1 when set")
 
     def to_json(self) -> dict:
-        return {
+        out = {
             "kind": self.kind,
             "params": self.params,
             "seed": self.seed,
@@ -71,6 +77,9 @@ class Job:
             "priority": self.priority,
             "deadline": self.deadline,
         }
+        if self.max_attempts is not None:
+            out["max_attempts"] = self.max_attempts
+        return out
 
     @classmethod
     def from_json(cls, data: dict) -> "Job":
@@ -81,6 +90,7 @@ class Job:
             fingerprint=data.get("fingerprint"),
             priority=data.get("priority", 0),
             deadline=data.get("deadline"),
+            max_attempts=data.get("max_attempts"),
         )
 
     @property

@@ -1,21 +1,35 @@
 """The crash-safe persistent job queue.
 
-The queue is an append-only journal in the exact length-prefixed
-format of :class:`repro.trace.recorder.JournalWriter` —
-``"<byte_len> <json>\\n"`` — decoded on reopen by the same
-:func:`repro.resilience.recover.scan_length_prefixed` trace recovery
-uses, so a queue file torn at any byte by SIGKILL loses at most the
-unsynced tail and never a synced record.  Reopening truncates the torn
-tail away before appending, so records written after recovery land on
-valid journal bytes instead of behind the tear (where the scan would
-never reach them).
+The queue is an append-only journal in the shared length-prefixed
+format of :mod:`repro.core.journal`.  Records this queue writes are
+**v2** (CRC32-checksummed, ``"<byte_len> <crc32> <json>\\n"``); v1
+checksum-less journals written by older queues still load, because the
+scanner detects the version per record.  All file traffic goes through
+an injectable :class:`repro.core.store.Store`, so chaos harnesses can
+replay the exact write log under injected storage faults.
+
+Damage on reopen is classified, matching trace-journal recovery
+semantics:
+
+- **torn tail** (an append cut mid-record by SIGKILL/short write):
+  warn, truncate the tail away, and continue — everything before the
+  tear is exactly what a clean close would have written;
+- **mid-file corruption** (bytes damaged between valid records — bit
+  rot, bad sector): the journal is quarantined to ``<path>.corrupt``
+  and :class:`QueueCorruptionError` raised.  No prefix of a corrupted
+  file is trustworthy, so loading part of it would be silently wrong.
 
 Lifecycle records after the header:
 
 - ``["q", <job json>]`` — enqueued (idempotent by job ID);
 - ``["l", <job id>, <worker>, <expiry>]`` — leased until ``expiry``;
 - ``["a", <job id>, <worker>]`` — acked (completed; fsynced eagerly);
-- ``["r", <job id>]`` — requeued (lease expired or worker died).
+- ``["r", <job id>]`` — requeued (lease expired, worker died, or a
+  dead-letter job deliberately resurrected);
+- ``["d", <job id>, <worker>, <reason>]`` — dead-lettered (poison:
+  failed ``max_attempts`` times; fsynced eagerly);
+- ``["s", <snapshot>]`` — a compaction snapshot folding the entire
+  history before it into one record.
 
 Acks are the durability-critical record: they fsync immediately, so an
 acked job is never re-run after a crash ("exactly-once ack": zero
@@ -23,27 +37,45 @@ acked jobs lost, zero duplicate results).  Enqueues of an already-known
 job ID are no-ops and duplicate acks are rejected and counted —
 both idempotency properties the at-least-once delivery of lease/requeue
 needs to compose into exactly-once results.
+
+:meth:`JobQueue.compact` bounds journal growth: it atomically rewrites
+the file as header + one snapshot record (write-temp, fsync, rename),
+preserving pending/leased/acked/dead-letter state exactly, so reopening
+a long-lived queue scans O(live jobs) records instead of O(history).
+Reopening auto-compacts past ``compact_threshold`` scanned records.
 """
 
 from __future__ import annotations
 
 import json
-import os
+import sys
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.clock import SYSTEM_CLOCK, Clock
+from repro.core.journal import encode_record, scan_journal
+from repro.core.store import Store
 from repro.fleet.jobs import Job
-from repro.resilience.recover import scan_length_prefixed
 
-_HEADER = {"format": "fleet-queue", "version": 1}
+_HEADER = {"format": "fleet-queue", "version": 2}
+
+#: Reopens that scanned at least this many records compact themselves.
+_AUTO_COMPACT_THRESHOLD = 4096
 
 
 class QueueFormatError(ValueError):
     """The file exists but is not a fleet queue journal."""
 
 
+class QueueCorruptionError(QueueFormatError):
+    """Mid-file corruption: the journal was quarantined, not loaded."""
+
+
+def _dumps(record) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
 class JobQueue:
-    """Persistent enqueue/lease/ack with requeue-on-lease-expiry."""
+    """Persistent enqueue/lease/ack with requeue, DLQ, and compaction."""
 
     def __init__(
         self,
@@ -51,21 +83,29 @@ class JobQueue:
         *,
         sync_every: int = 8,
         clock: Optional[Clock] = None,
+        store: Optional[Store] = None,
+        compact_threshold: Optional[int] = _AUTO_COMPACT_THRESHOLD,
     ):
         self.path = path
         self.sync_every = max(1, sync_every)
         self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.store = store if store is not None else Store()
+        self.compact_threshold = compact_threshold
+        self._f = None  # set last, so a failed _load leaves no handle
         self._jobs: Dict[str, Job] = {}
         #: Enqueue ordinal per job ID — the priority tie-breaker.
         self._ordinal: Dict[str, int] = {}
         self._pending: List[str] = []
         self._leases: Dict[str, Tuple[str, float]] = {}
         self._acked: Dict[str, str] = {}
+        self._dead: Dict[str, Tuple[str, str]] = {}
         self.duplicate_acks = 0
         self.requeues = 0
         self.torn_bytes = 0
+        self.compactions = 0
+        self.records_scanned = 0
         self._since_sync = 0
-        existing = os.path.exists(path) and os.path.getsize(path) > 0
+        existing = self.store.exists(path) and self.store.size(path) > 0
         if existing:
             self._load()
             if self.torn_bytes:
@@ -73,35 +113,52 @@ class JobQueue:
                 # the first torn record, so anything written after a
                 # surviving tail — including eagerly-fsynced acks —
                 # would be invisible to the next open.
-                valid = os.path.getsize(path) - self.torn_bytes
-                with open(path, "r+b") as f:
-                    f.truncate(valid)
-                    f.flush()
-                    os.fsync(f.fileno())
-            self._f = open(path, "a")
+                valid = self.store.size(path) - self.torn_bytes
+                self.store.truncate(path, valid)
+                print(
+                    "warning: queue {} lost {} torn trailing byte(s) to "
+                    "a crash; truncated".format(path, self.torn_bytes),
+                    file=sys.stderr,
+                )
+            self._f = self.store.open(path, "a")
+            if (
+                self.compact_threshold is not None
+                and self.records_scanned >= self.compact_threshold
+            ):
+                self.compact()
         else:
-            self._f = open(path, "w")
+            self._f = self.store.open(path, "w")
             self._write(_HEADER)
             self._sync()
+            self.records_scanned = 0  # the header is not a record
 
     # -- journal I/O -----------------------------------------------------
 
     def _write(self, record) -> None:
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        self._f.write("{} {}\n".format(len(line.encode("utf-8")), line))
+        self._f.write(encode_record(_dumps(record), checksum=True))
+        self.records_scanned += 1
         self._since_sync += 1
         if self._since_sync >= self.sync_every:
             self._sync()
 
     def _sync(self) -> None:
-        self._f.flush()
-        os.fsync(self._f.fileno())
+        self._f.fsync()
         self._since_sync = 0
 
     def _load(self) -> None:
-        with open(self.path, "rb") as f:
-            data = f.read()
-        lines, dropped = scan_length_prefixed(data)
+        data = self.store.read(self.path)
+        scan = scan_journal(data)
+        if scan.corrupt:
+            quarantine = self.path + ".corrupt"
+            self.store.replace(self.path, quarantine)
+            raise QueueCorruptionError(
+                "mid-file corruption at byte {} of {} ({}); journal "
+                "quarantined to {}".format(
+                    scan.corrupt_offset, self.path, scan.corrupt_detail,
+                    quarantine,
+                )
+            )
+        lines, dropped = scan.lines, scan.dropped_bytes
         self.torn_bytes = dropped
         if not lines:
             raise QueueFormatError(
@@ -114,6 +171,11 @@ class JobQueue:
         ):
             raise QueueFormatError(
                 "{} is not a fleet queue journal".format(self.path)
+            )
+        if header.get("version", 1) > _HEADER["version"]:
+            raise QueueFormatError(
+                "{} is queue format version {}, newer than this "
+                "reader".format(self.path, header.get("version"))
             )
         for line in lines[1:]:
             record = json.loads(line)
@@ -128,18 +190,30 @@ class JobQueue:
             elif tag == "a":
                 job_id, worker = record[1], record[2]
                 self._leases.pop(job_id, None)
+                self._dead.pop(job_id, None)
                 if job_id in self._pending:
                     self._pending.remove(job_id)
                 self._acked[job_id] = worker
             elif tag == "r":
                 job_id = record[1]
                 self._leases.pop(job_id, None)
+                self._dead.pop(job_id, None)
                 if job_id not in self._acked and job_id not in self._pending:
                     self._pending.append(job_id)
+            elif tag == "d":
+                job_id, worker, reason = record[1], record[2], record[3]
+                self._leases.pop(job_id, None)
+                if job_id in self._pending:
+                    self._pending.remove(job_id)
+                if job_id not in self._acked:
+                    self._dead[job_id] = (worker, reason)
+            elif tag == "s":
+                self._apply_snapshot(record[1])
             else:
                 raise QueueFormatError(
                     "unknown queue record tag {!r}".format(tag)
                 )
+        self.records_scanned = len(lines) - 1
         self._sort_pending()
 
     # -- state helpers ---------------------------------------------------
@@ -161,6 +235,94 @@ class JobQueue:
                 self._ordinal[job_id],
             )
         )
+
+    # -- compaction ------------------------------------------------------
+
+    def _snapshot(self) -> dict:
+        """Full queue state as one JSON record, in enqueue order."""
+        jobs = []
+        for job_id in sorted(self._jobs, key=self._ordinal.get):
+            if job_id in self._acked:
+                status = ["a", self._acked[job_id]]
+            elif job_id in self._dead:
+                worker, reason = self._dead[job_id]
+                status = ["d", worker, reason]
+            elif job_id in self._leases:
+                worker, expiry = self._leases[job_id]
+                status = ["l", worker, expiry]
+            else:
+                status = "p"
+            jobs.append([self._jobs[job_id].to_json(), status])
+        return {
+            "jobs": jobs,
+            "requeues": self.requeues,
+            "duplicate_acks": self.duplicate_acks,
+            "compactions": self.compactions,
+        }
+
+    def _apply_snapshot(self, snapshot: dict) -> None:
+        self._jobs = {}
+        self._ordinal = {}
+        self._pending = []
+        self._leases = {}
+        self._acked = {}
+        self._dead = {}
+        for job_json, status in snapshot["jobs"]:
+            job = Job.from_json(job_json)
+            job_id = job.job_id
+            self._jobs[job_id] = job
+            self._ordinal[job_id] = len(self._ordinal)
+            if status == "p":
+                self._pending.append(job_id)
+            elif status[0] == "a":
+                self._acked[job_id] = status[1]
+            elif status[0] == "d":
+                self._dead[job_id] = (status[1], status[2])
+            elif status[0] == "l":
+                self._leases[job_id] = (status[1], status[2])
+            else:
+                raise QueueFormatError(
+                    "unknown snapshot status {!r}".format(status)
+                )
+        self.requeues = snapshot.get("requeues", 0)
+        self.duplicate_acks = snapshot.get("duplicate_acks", 0)
+        self.compactions = snapshot.get("compactions", 0)
+
+    def compact(self) -> Dict[str, int]:
+        """Atomically fold the journal into header + one snapshot.
+
+        Write-temp, fsync, rename: a crash at any point leaves either
+        the old journal or the complete new one, never a mix.  State —
+        pending order, leases with expiries, acked workers, dead-letter
+        reasons, counters — round-trips exactly.
+        """
+        bytes_before = self.store.size(self.path)
+        records_before = self.records_scanned
+        if self._f is not None and not self._f.closed:
+            self._sync()
+            self._f.close()
+        self.compactions += 1
+        tmp = self.path + ".compact"
+        handle = self.store.open(tmp, "w")
+        try:
+            handle.write(encode_record(_dumps(_HEADER), checksum=True))
+            handle.write(
+                encode_record(_dumps(["s", self._snapshot()]), checksum=True)
+            )
+            handle.fsync()
+        finally:
+            handle.close()
+        self.store.replace(tmp, self.path)
+        self._f = self.store.open(self.path, "a")
+        self._since_sync = 0
+        self.records_scanned = 1
+        self.torn_bytes = 0
+        return {
+            "bytes_before": bytes_before,
+            "bytes_after": self.store.size(self.path),
+            "records_before": records_before,
+            "records_after": 1,
+        }
 
     # -- the queue API ---------------------------------------------------
 
@@ -220,6 +382,7 @@ class JobQueue:
             self.duplicate_acks += 1
             return False
         self._leases.pop(job_id, None)
+        self._dead.pop(job_id, None)
         if job_id in self._pending:
             self._pending.remove(job_id)
         self._acked[job_id] = worker
@@ -228,8 +391,17 @@ class JobQueue:
         return True
 
     def requeue(self, job_id: str) -> bool:
-        """Return a leased (or lost) job to pending; acked jobs never move."""
-        if job_id in self._acked or job_id not in self._jobs:
+        """Return a leased (or lost) job to pending.
+
+        Acked jobs never move; dead-lettered jobs only move through
+        :meth:`requeue_dead` — an expiry sweep must not resurrect
+        poison.
+        """
+        if (
+            job_id in self._acked
+            or job_id in self._dead
+            or job_id not in self._jobs
+        ):
             return False
         self._leases.pop(job_id, None)
         if job_id in self._pending:
@@ -261,6 +433,42 @@ class JobQueue:
             self.requeue(job_id)
         return orphans
 
+    # -- the dead-letter section -----------------------------------------
+
+    def dead_letter(self, job_id: str, worker: str, reason: str = "") -> bool:
+        """Move a poison job out of circulation; fsyncs eagerly.
+
+        Like an ack, a dead-letter record is a final disposition: it
+        must survive a crash so the job is not silently retried forever
+        on the next drain.
+        """
+        if job_id not in self._jobs:
+            raise KeyError("unknown job {!r}".format(job_id))
+        if job_id in self._acked or job_id in self._dead:
+            return False
+        self._leases.pop(job_id, None)
+        if job_id in self._pending:
+            self._pending.remove(job_id)
+        self._dead[job_id] = (worker, reason)
+        self._write(["d", job_id, worker, reason])
+        self._sync()
+        return True
+
+    def requeue_dead(self, job_id: str) -> bool:
+        """Deliberately resurrect one dead-letter job back to pending."""
+        if job_id not in self._dead:
+            return False
+        self._dead.pop(job_id)
+        self._pending.append(job_id)
+        self._sort_pending()
+        self.requeues += 1
+        self._write(["r", job_id])
+        return True
+
+    def dead_info(self, job_id: str) -> Dict[str, str]:
+        worker, reason = self._dead[job_id]
+        return {"worker": worker, "reason": reason}
+
     # -- introspection ---------------------------------------------------
 
     @property
@@ -275,31 +483,59 @@ class JobQueue:
     def acked(self) -> int:
         return len(self._acked)
 
+    @property
+    def dead(self) -> int:
+        return len(self._dead)
+
     def acked_ids(self) -> List[str]:
         return sorted(self._acked, key=lambda job_id: self._ordinal[job_id])
 
     def pending_ids(self) -> List[str]:
         return list(self._pending)
 
+    def leased_ids(self) -> List[str]:
+        return sorted(self._leases, key=lambda job_id: self._ordinal[job_id])
+
+    def dead_ids(self) -> List[str]:
+        return sorted(self._dead, key=lambda job_id: self._ordinal[job_id])
+
+    def job_ids(self) -> List[str]:
+        return sorted(self._jobs, key=lambda job_id: self._ordinal[job_id])
+
     def job(self, job_id: str) -> Job:
         return self._jobs[job_id]
 
     def stats(self) -> Dict[str, object]:
+        if self._f is not None and not self._f.closed:
+            self._f.flush()
         return {
             "path": self.path,
             "jobs": len(self._jobs),
             "depth": self.depth,
             "leased": self.leased,
             "acked": self.acked,
+            "dead": self.dead,
             "requeues": self.requeues,
             "duplicate_acks": self.duplicate_acks,
             "torn_bytes": self.torn_bytes,
+            "compactions": self.compactions,
+            "records_scanned": self.records_scanned,
+            "journal_bytes": (
+                self.store.size(self.path)
+                if self.store.exists(self.path)
+                else 0
+            ),
         }
 
     def close(self) -> None:
-        if not self._f.closed:
+        """Flush, fsync, release the handle.  Safe to call twice."""
+        f = self._f
+        if f is None or f.closed:
+            return
+        try:
             self._sync()
-            self._f.close()
+        finally:
+            f.close()
 
     def __enter__(self) -> "JobQueue":
         return self

@@ -19,13 +19,25 @@ Backpressure is a bounded in-flight count per worker (default 1, which
 also makes crash attribution exact — with more, the non-oldest
 in-flight jobs are requeued, not blamed).
 
+Poison handling: a job whose failures exhaust its attempt budget
+(``job.max_attempts``, else scheduler ``retries``) is *dead-lettered* —
+finished with its failure classification, flagged ``dead_lettered``,
+and recorded in the queue's dead-letter section instead of acked — so
+one poison job can neither retry forever nor block ``fleet drain``.
+Per-worker circuit breakers complement the ladder: consecutive
+crash/hang blame against one worker slot past ``breaker_threshold``
+opens its breaker — the slot stops leasing (and a dead process slot is
+not respawned) until a capped deterministic backoff elapses, then
+half-opens with one strike left.  One bad host degrades throughput
+instead of poisoning outcomes.
+
 Determinism: the report lists jobs in submission order keyed by job
-ID, never completion order; steal counts, busy seconds, and worker
-attribution are load telemetry, excluded from the deterministic body.
-Inline mode (``inline=True``) runs the same deque/steal/backoff logic
-synchronously in-process against an injectable executor and clock, so
-scheduler tests run on a :class:`repro.core.clock.FakeClock` with no
-real processes or stalls.
+ID, never completion order; steal counts, busy seconds, worker
+attribution, and breaker trips are load telemetry, excluded from the
+deterministic body.  Inline mode (``inline=True``) runs the same
+deque/steal/backoff/breaker logic synchronously in-process against an
+injectable executor and clock, so scheduler tests run on a
+:class:`repro.core.clock.FakeClock` with no real processes or stalls.
 """
 
 from __future__ import annotations
@@ -62,6 +74,9 @@ class JobOutcome:
     backoffs: List[float] = field(default_factory=list)
     payload: Optional[dict] = None
     detail: Optional[str] = None
+    #: True when the job exhausted its attempt budget and moved to the
+    #: dead-letter section instead of acking.
+    dead_lettered: bool = False
     #: Load telemetry (worker slot, CPU seconds) — never gated.
     worker: Optional[int] = None
     busy_seconds: float = 0.0
@@ -81,6 +96,7 @@ class JobOutcome:
             "backoffs": self.backoffs,
             "violations": self.violations,
             "detail": self.detail,
+            "dead_lettered": self.dead_lettered,
         }
 
 
@@ -102,6 +118,8 @@ class FleetReport:
         stolen_jobs: int = 0,
         requeues: int = 0,
         skipped_acked: int = 0,
+        skipped_dead: int = 0,
+        breaker_trips: Optional[List[int]] = None,
         worker_busy_seconds: Optional[List[float]] = None,
         wall_seconds: float = 0.0,
     ):
@@ -111,14 +129,21 @@ class FleetReport:
         self.stolen_jobs = stolen_jobs
         self.requeues = requeues
         self.skipped_acked = skipped_acked
+        self.skipped_dead = skipped_dead
+        self.breaker_trips = breaker_trips or []
         self.worker_busy_seconds = worker_busy_seconds or []
         self.wall_seconds = wall_seconds
 
     @property
     def counts(self) -> Dict[str, int]:
-        out = {CLEAN: 0, VIOLATION: 0, CRASH: 0, HANG: 0, EXPIRED: 0}
+        out = {
+            CLEAN: 0, VIOLATION: 0, CRASH: 0, HANG: 0, EXPIRED: 0,
+            "dead_letter": 0,
+        }
         for outcome in self.outcomes:
             out[outcome.classification] += 1
+            if outcome.dead_lettered:
+                out["dead_letter"] += 1
         return out
 
     @property
@@ -177,6 +202,8 @@ class FleetReport:
             "stolen_jobs": self.stolen_jobs,
             "requeues": self.requeues,
             "skipped_acked": self.skipped_acked,
+            "skipped_dead": self.skipped_dead,
+            "breaker_trips": list(self.breaker_trips),
             "worker_busy_seconds": [
                 round(seconds, 6) for seconds in self.worker_busy_seconds
             ],
@@ -278,6 +305,9 @@ class FleetScheduler:
         retries: int = 1,
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
+        breaker_threshold: int = 3,
+        breaker_base: float = 0.25,
+        breaker_cap: float = 30.0,
         timeout: float = 120.0,
         lease_ttl: Optional[float] = None,
         clock: Optional[Clock] = None,
@@ -295,6 +325,9 @@ class FleetScheduler:
         self.retries = retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        self.breaker_threshold = max(1, breaker_threshold)
+        self.breaker_base = breaker_base
+        self.breaker_cap = breaker_cap
         self.timeout = timeout
         self.lease_ttl = lease_ttl if lease_ttl is not None else timeout * 2
         self.clock = clock if clock is not None else SYSTEM_CLOCK
@@ -314,8 +347,14 @@ class FleetScheduler:
         self.stolen_jobs = 0
         self.requeues = 0
         self.skipped_acked = 0
+        self.skipped_dead = 0
         self._busy: List[float] = [0.0] * self.workers
         self._procs: List[Optional[_ProcessWorker]] = [None] * self.workers
+        # -- circuit breaker state (per worker slot) --
+        self._blame: List[int] = [0] * self.workers
+        self._breaker_open: List[bool] = [False] * self.workers
+        self._breaker_until: List[float] = [0.0] * self.workers
+        self.breaker_trips: List[int] = [0] * self.workers
 
     # -- deque mechanics -------------------------------------------------
 
@@ -365,6 +404,57 @@ class FleetScheduler:
             return None
         return min(item[0] for item in self._retry_wait)
 
+    # -- circuit breaker -------------------------------------------------
+
+    def _note_failure(self, worker: int, now: float) -> None:
+        """One crash/hang blamed on ``worker``; trip past the threshold."""
+        self._blame[worker] += 1
+        if (
+            self._blame[worker] >= self.breaker_threshold
+            and not self._breaker_open[worker]
+        ):
+            delay = backoff_delay(
+                self.seed,
+                "breaker:w{}".format(worker),
+                self.breaker_trips[worker],
+                base=self.breaker_base,
+                cap=self.breaker_cap,
+            )
+            self.breaker_trips[worker] += 1
+            self._breaker_open[worker] = True
+            self._breaker_until[worker] = now + delay
+
+    def _note_success(self, worker: int) -> None:
+        self._blame[worker] = 0
+
+    def _breaker_blocks(self, worker: int, now: float) -> bool:
+        return self._breaker_open[worker] and now < self._breaker_until[worker]
+
+    def _reopen_breakers(self, now: float) -> None:
+        """Half-open elapsed breakers: one strike re-trips immediately.
+
+        In process mode a quarantined slot whose process died was not
+        respawned while open; respawn it now that it may lease again.
+        """
+        for worker in range(self.workers):
+            if not self._breaker_open[worker]:
+                continue
+            if now < self._breaker_until[worker]:
+                continue
+            self._breaker_open[worker] = False
+            self._blame[worker] = self.breaker_threshold - 1
+            proc = self._procs[worker]
+            if proc is not None and not proc.alive():
+                self._procs[worker] = proc.respawn()
+
+    def _next_breaker_at(self) -> Optional[float]:
+        until = [
+            self._breaker_until[worker]
+            for worker in range(self.workers)
+            if self._breaker_open[worker]
+        ]
+        return min(until) if until else None
+
     # -- outcome plumbing ------------------------------------------------
 
     def _finish(
@@ -378,6 +468,7 @@ class FleetScheduler:
         busy: float = 0.0,
     ) -> None:
         job_id = job.job_id
+        failed = classification in (CRASH, HANG, EXPIRED)
         self._outcomes[job_id] = JobOutcome(
             job=job,
             classification=classification,
@@ -385,11 +476,21 @@ class FleetScheduler:
             backoffs=self._backoffs.get(job_id, []),
             payload=payload,
             detail=detail,
+            dead_lettered=failed,
             worker=worker,
             busy_seconds=busy,
         )
+        worker_name = "w{}".format(worker if worker is not None else 0)
         if self.queue is not None:
-            self.queue.ack(job_id, "w{}".format(worker if worker is not None else 0))
+            if failed:
+                # A job that exhausted its attempts is poison: record
+                # it in the dead-letter section, not as completed, so
+                # the next drain neither re-runs it nor blocks on it.
+                self.queue.dead_letter(
+                    job_id, worker_name, detail or classification
+                )
+            else:
+                self.queue.ack(job_id, worker_name)
 
     def _retry_or_finish(
         self,
@@ -403,7 +504,12 @@ class FleetScheduler:
     ) -> None:
         job_id = job.job_id
         attempt = self._attempts.get(job_id, 0)
-        if attempt < self.retries:
+        budget = (
+            self.retries
+            if job.max_attempts is None
+            else max(0, job.max_attempts - 1)
+        )
+        if attempt < budget:
             delay = backoff_delay(
                 self.seed,
                 job_id,
@@ -457,15 +563,27 @@ class FleetScheduler:
             for job in self.jobs:
                 self.queue.enqueue(job)
             acked = set(self.queue.acked_ids())
-            if acked:
+            dead = set(self.queue.dead_ids())
+            if acked or dead:
                 # Resuming on an existing journal: jobs it already
                 # recorded as acked are complete — re-running them
                 # would duplicate results (every re-completion lands
-                # as a duplicate ack).
+                # as a duplicate ack) — and dead-lettered jobs are
+                # poison until deliberately requeued (fleet dlq).
                 self.jobs = [
-                    job for job in self.jobs if job.job_id not in acked
+                    job
+                    for job in self.jobs
+                    if job.job_id not in acked and job.job_id not in dead
                 ]
-                self.skipped_acked = len(self._ordinal) - len(self.jobs)
+                kept = {job.job_id for job in self.jobs}
+                self.skipped_acked = sum(
+                    1 for job_id in self._ordinal
+                    if job_id in acked and job_id not in kept
+                )
+                self.skipped_dead = sum(
+                    1 for job_id in self._ordinal
+                    if job_id in dead and job_id not in kept
+                )
         self._distribute()
         started = self.clock.monotonic()
         if self.inline:
@@ -481,6 +599,8 @@ class FleetScheduler:
             stolen_jobs=self.stolen_jobs,
             requeues=self.requeues,
             skipped_acked=self.skipped_acked,
+            skipped_dead=self.skipped_dead,
+            breaker_trips=list(self.breaker_trips),
             worker_busy_seconds=list(self._busy),
             wall_seconds=wall,
         )
@@ -488,16 +608,30 @@ class FleetScheduler:
     # -- inline mode (deterministic, FakeClock-friendly) -----------------
 
     def _run_inline(self, started: float) -> None:
-        worker = 0
+        cursor = 0
         while len(self._outcomes) < len(self.jobs):
             now = self.clock.monotonic()
             self._push_retry_ready(now)
-            job = self._next_job(worker)
+            self._reopen_breakers(now)
+            job = None
+            worker = cursor
+            for offset in range(self.workers):
+                candidate = (cursor + offset) % self.workers
+                if self._breaker_blocks(candidate, now):
+                    continue
+                job = self._next_job(candidate)
+                if job is not None:
+                    worker = candidate
+                    break
             if job is None:
-                ready_at = self._next_retry_at()
-                if ready_at is None:
+                waits = [
+                    at
+                    for at in (self._next_retry_at(), self._next_breaker_at())
+                    if at is not None
+                ]
+                if not waits:
                     break  # unreachable: every job has an outcome path
-                self.clock.sleep(max(0.0, ready_at - now))
+                self.clock.sleep(max(0.0, min(waits) - now))
                 continue
             if not self._dispatch(worker, job, now, started):
                 continue
@@ -508,17 +642,20 @@ class FleetScheduler:
             except Exception as exc:
                 busy = self.clock.process_time() - start_cpu
                 self._busy[worker] += busy
+                now = self.clock.monotonic()
+                self._note_failure(worker, now)
                 self._retry_or_finish(
                     job,
                     CRASH,
                     detail="{}: {}".format(type(exc).__name__, exc),
                     worker=worker,
                     busy=busy,
-                    now=self.clock.monotonic(),
+                    now=now,
                 )
             else:
                 busy = self.clock.process_time() - start_cpu
                 self._busy[worker] += busy
+                self._note_success(worker)
                 self._finish(
                     job,
                     self._classify_payload(payload),
@@ -526,7 +663,7 @@ class FleetScheduler:
                     worker=worker,
                     busy=busy,
                 )
-            worker = (worker + 1) % self.workers
+            cursor = (worker + 1) % self.workers
 
     # -- process mode ----------------------------------------------------
 
@@ -543,7 +680,11 @@ class FleetScheduler:
             while len(self._outcomes) < len(self.jobs):
                 now = self.clock.monotonic()
                 self._push_retry_ready(now)
+                self._reopen_breakers(now)
                 for worker in range(self.workers):
+                    proc = self._procs[worker]
+                    if self._breaker_blocks(worker, now) or not proc.alive():
+                        continue
                     while len(self._inflight[worker]) < self.max_inflight:
                         job = self._next_job(worker)
                         if job is None:
@@ -577,6 +718,7 @@ class FleetScheduler:
                 if job_id in self._outcomes:
                     continue  # late duplicate from a pre-kill put
                 if status == "ok":
+                    self._note_success(worker)
                     self._finish(
                         job,
                         self._classify_payload(payload),
@@ -585,13 +727,15 @@ class FleetScheduler:
                         busy=busy,
                     )
                 else:
+                    now = self.clock.monotonic()
+                    self._note_failure(worker, now)
                     self._retry_or_finish(
                         job,
                         CRASH,
                         detail=payload,
                         worker=worker,
                         busy=busy,
-                        now=self.clock.monotonic(),
+                        now=now,
                     )
         finally:
             for proc in self._procs:
@@ -601,35 +745,43 @@ class FleetScheduler:
             results.join_thread()
 
     def _check_liveness(self, by_id: Dict[str, Job]) -> None:
-        """Handle dead workers and watchdog-expired jobs."""
+        """Handle dead workers and watchdog-expired jobs.
+
+        A slot whose breaker trips here is quarantined: its in-flight
+        work is reclassified (blame the oldest, requeue the rest) but
+        the process is *not* respawned until the breaker half-opens —
+        a flapping host gets capped deterministic backoff, not a
+        respawn-crash hot loop.
+        """
         now = self.clock.monotonic()
         for worker in range(self.workers):
             proc = self._procs[worker]
             inflight = self._inflight[worker]
             if not proc.alive():
-                if not inflight:
-                    self._procs[worker] = proc.respawn()
-                    continue
-                # Blame the oldest in-flight job; requeue the rest
-                # (they were behind it in the dead worker's inbox).
-                inflight.sort(key=lambda pair: pair[1])
-                (victim, _), rest = inflight[0], inflight[1:]
-                self._inflight[worker] = []
-                for job, _ in rest:
-                    self.requeues += 1
-                    if self.queue is not None:
-                        self.queue.requeue(job.job_id)
-                    self._deques[worker].append(job)
-                self._retry_or_finish(
-                    victim,
-                    CRASH,
-                    detail="worker {} died (exitcode {})".format(
-                        worker, proc.proc.exitcode
-                    ),
-                    worker=worker,
-                    busy=0.0,
-                    now=now,
-                )
+                if inflight:
+                    # Blame the oldest in-flight job; requeue the rest
+                    # (they were behind it in the dead worker's inbox).
+                    inflight.sort(key=lambda pair: pair[1])
+                    (victim, _), rest = inflight[0], inflight[1:]
+                    self._inflight[worker] = []
+                    for job, _ in rest:
+                        self.requeues += 1
+                        if self.queue is not None:
+                            self.queue.requeue(job.job_id)
+                        self._deques[worker].append(job)
+                    self._note_failure(worker, now)
+                    self._retry_or_finish(
+                        victim,
+                        CRASH,
+                        detail="worker {} died (exitcode {})".format(
+                            worker, proc.proc.exitcode
+                        ),
+                        worker=worker,
+                        busy=0.0,
+                        now=now,
+                    )
+                if self._breaker_blocks(worker, now):
+                    continue  # quarantined: respawn deferred to reopen
                 self._procs[worker] = proc.respawn()
                 continue
             hung = [
@@ -643,6 +795,7 @@ class FleetScheduler:
                         if self.queue is not None:
                             self.queue.requeue(job.job_id)
                         self._deques[worker].append(job)
+                self._note_failure(worker, now)
                 self._retry_or_finish(
                     hung[0][0],
                     HANG,
@@ -653,4 +806,6 @@ class FleetScheduler:
                     busy=0.0,
                     now=now,
                 )
+                # A hung process must die to reclaim the slot; whether
+                # the fresh process may lease is the breaker's call.
                 self._procs[worker] = proc.respawn()

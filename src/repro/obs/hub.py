@@ -232,9 +232,15 @@ class ObsHub:
             len(report.violations)
         )
         metrics.gauge("fleet_events", subsystem="fleet").set(report.events)
+        metrics.gauge("fleet_dead_letter", subsystem="fleet").set(
+            report.counts["dead_letter"]
+        )
         if not include_load:
             return
         metrics.gauge("fleet_workers", subsystem="fleet").set(report.workers)
+        metrics.gauge("fleet_breaker_trips", subsystem="fleet").set(
+            sum(report.breaker_trips)
+        )
         metrics.gauge("fleet_steals", subsystem="fleet").set(report.steals)
         metrics.gauge("fleet_stolen_jobs", subsystem="fleet").set(
             report.stolen_jobs

@@ -18,11 +18,11 @@ recovery gate in ``benchmarks/bench_resilience.py`` checks.
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.journal import scan_journal, scan_length_prefixed  # noqa: F401  (re-exported)
 from repro.trace import format as tfmt
 
 
@@ -54,56 +54,34 @@ class RecoveryReport:
         }
 
 
-def scan_length_prefixed(data: bytes) -> Tuple[List[str], int]:
-    """Scan length-prefixed journal bytes; returns (lines, dropped bytes).
-
-    The scan is byte-exact: a record is kept only when its length
-    prefix parses, the payload is exactly that many bytes of valid
-    JSON, and the terminating newline is present.  Damage can only be
-    truncation (the writers are append-only), so the scan stops at the
-    first torn record and reports how many trailing bytes it dropped.
-    This is the shared decode side of the
-    :class:`repro.trace.recorder.JournalWriter` format — trace journal
-    recovery and the fleet's persistent job queue
-    (:mod:`repro.fleet.queue`) both read through it.
-    """
-    lines: List[str] = []
-    pos = 0
-    size = len(data)
-    while pos < size:
-        space = data.find(b" ", pos, pos + 20)
-        if space < 0:
-            break
-        try:
-            length = int(data[pos:space])
-        except ValueError:
-            break
-        if length < 0:
-            break
-        start = space + 1
-        end = start + length
-        if end >= size + 1 or data[end : end + 1] != b"\n":
-            break
-        payload = data[start:end]
-        try:
-            text = payload.decode("utf-8")
-            json.loads(text)
-        except (UnicodeDecodeError, ValueError):
-            break
-        lines.append(text)
-        pos = end + 1
-    return lines, size - pos
+# The byte-exact length-prefixed scan lives in repro.core.journal now
+# (shared with the fleet's persistent job queue); scan_length_prefixed
+# is re-exported above for callers of the historic name.
 
 
 def parse_journal(path: str) -> Tuple[Dict[str, object], List[str], int]:
     """Scan a journal; returns (header, record lines, dropped bytes).
 
     The first record must be a valid trace header (the writer syncs it
-    at attach, so a journal missing one was never a journal).
+    at attach, so a journal missing one was never a journal).  A torn
+    tail is tolerated (truncation is what journals exist to survive);
+    *mid-file* corruption — damaged bytes with valid records beyond
+    them — raises :class:`repro.trace.format.TraceFormatError`, the
+    same loud failure a corrupt plain trace gets: recovering records
+    past in-place damage would replay a stream the original run never
+    produced.
     """
     with open(path, "rb") as f:
         data = f.read()
-    lines, dropped = scan_length_prefixed(data)
+    scan = scan_journal(data)
+    if scan.corrupt:
+        raise tfmt.TraceFormatError(
+            "mid-file corruption at byte {} of journal {} ({}); "
+            "refusing to recover past in-place damage".format(
+                scan.corrupt_offset, path, scan.corrupt_detail
+            )
+        )
+    lines, dropped = scan.lines, scan.dropped_bytes
     if not lines:
         raise tfmt.TraceFormatError(
             "journal {} holds no complete record".format(path)

@@ -232,31 +232,47 @@ class JournalWriter:
     record — and the file is flushed + fsynced every ``sync_every``
     appends, so a SIGKILL loses at most ``sync_every`` records past the
     last sync.
+
+    All file traffic goes through an injectable
+    :class:`repro.core.store.Store`, so storage-fault chaos can drive
+    the writer the same way it drives the fleet queue.  ``checksum``
+    switches records to the v2 CRC32-checksummed framing of
+    :mod:`repro.core.journal`; it defaults off because trace journals
+    are written and recovered by the same release, and the historic
+    byte format is pinned by parity fixtures.
     """
 
-    def __init__(self, path: str, sync_every: int = 64):
+    def __init__(
+        self,
+        path: str,
+        sync_every: int = 64,
+        *,
+        store=None,
+        checksum: bool = False,
+    ):
+        from repro.core.store import Store
+
         if sync_every < 1:
             raise ValueError("sync_every must be positive")
         self.path = path
         self.sync_every = sync_every
+        self.checksum = checksum
+        self.store = store if store is not None else Store()
         self.records_written = 0
         self._since_sync = 0
-        self._f = open(path, "w")
+        self._f = self.store.open(path, "w")
 
     def append(self, json_line: str) -> None:
-        self._f.write(
-            "{} {}\n".format(len(json_line.encode("utf-8")), json_line)
-        )
+        from repro.core.journal import encode_record
+
+        self._f.write(encode_record(json_line, checksum=self.checksum))
         self.records_written += 1
         self._since_sync += 1
         if self._since_sync >= self.sync_every:
             self.sync()
 
     def sync(self) -> None:
-        import os
-
-        self._f.flush()
-        os.fsync(self._f.fileno())
+        self._f.fsync()
         self._since_sync = 0
 
     def close(self) -> None:

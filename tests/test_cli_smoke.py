@@ -350,6 +350,82 @@ class TestFleetSubcommands:
         assert main(["fleet", "drain", "--queue", queue_path]) == 0
         assert "already drained" in capsys.readouterr().out
 
+    def test_chaos_smoke_gate(self, capsys):
+        assert main(["fleet", "chaos", "--smoke", "--seed", "7"]) == 0
+        printed = capsys.readouterr().out
+        assert "storage chaos" in printed
+        assert "gate: PASS" in printed
+
+    def test_compact_roundtrip(self, tmp_path, capsys):
+        import json
+
+        from repro.fleet import JobQueue, bench_trial_jobs
+
+        queue_path = str(tmp_path / "churn.queue")
+        with JobQueue(queue_path, compact_threshold=None) as queue:
+            jobs = bench_trial_jobs(5, 4)
+            for job in jobs:
+                queue.enqueue(job)
+            for job in jobs[:2]:
+                queue.lease_job(job.job_id, "w0", now=0.0)
+                queue.ack(job.job_id, "w0")
+        assert main(["fleet", "compact", "--queue", queue_path]) == 0
+        assert "compacted" in capsys.readouterr().out
+        assert main(
+            ["fleet", "status", "--queue", queue_path, "--json"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["depth"] == 2
+        assert stats["acked"] == 2
+        assert stats["records_scanned"] == 1
+
+    def test_compact_missing_queue(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.queue")
+        assert main(["fleet", "compact", "--queue", missing]) == 2
+        assert "no queue" in capsys.readouterr().out
+
+    def test_dlq_cycle(self, tmp_path, capsys):
+        import json
+
+        from repro.fleet import JobQueue, bench_trial_jobs
+
+        queue_path = str(tmp_path / "dlq.queue")
+        with JobQueue(queue_path) as queue:
+            jobs = bench_trial_jobs(5, 2)
+            for job in jobs:
+                queue.enqueue(job)
+            poison_id = jobs[0].job_id
+            queue.lease_job(poison_id, "w0", now=0.0)
+            queue.dead_letter(poison_id, "w0", "crash x3")
+        assert main(["fleet", "dlq", "list", "--queue", queue_path]) == 0
+        printed = capsys.readouterr().out
+        assert poison_id in printed
+        assert "crash x3" in printed
+        assert main(
+            ["fleet", "dlq", "show", poison_id, "--queue", queue_path]
+        ) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["dead"]["reason"] == "crash x3"
+        assert main(
+            ["fleet", "dlq", "requeue", poison_id, "--queue", queue_path]
+        ) == 0
+        assert "requeued" in capsys.readouterr().out
+        with JobQueue(queue_path) as queue:
+            assert poison_id in queue.pending_ids()
+            assert queue.dead == 0
+
+    def test_dlq_unknown_job(self, tmp_path, capsys):
+        from repro.fleet import JobQueue
+
+        queue_path = str(tmp_path / "empty.queue")
+        JobQueue(queue_path).close()
+        assert main(
+            ["fleet", "dlq", "show", "feedbeef", "--queue", queue_path]
+        ) == 2
+        assert main(
+            ["fleet", "dlq", "requeue", "--queue", queue_path]
+        ) == 2
+
 
 class TestObsSubcommands:
     OBS_RUN = ["--substrate", "pyc", "--repeats", "2", "--fake-clock"]
@@ -529,9 +605,27 @@ FLEET_ERA_ARGVS = [
     ["resilience", "supervise", "fuzz:1", "--parallel", "4"],
 ]
 
+#: The fleet-hardening additions: storage chaos, journal compaction,
+#: and the dead-letter queue.
+HARDENING_ARGVS = [
+    ["fleet", "chaos", "--seed", "7", "--rounds", "2", "--jobs", "5",
+     "--json"],
+    ["fleet", "chaos", "--smoke"],
+    ["fleet", "compact", "--queue", "q", "--json"],
+    ["fleet", "dlq", "list", "--queue", "q"],
+    ["fleet", "dlq", "show", "deadbeef", "--queue", "q", "--json"],
+    ["fleet", "dlq", "requeue", "deadbeef", "--queue", "q"],
+]
+
 
 @pytest.mark.parametrize("argv", FLEET_ERA_ARGVS, ids=lambda a: " ".join(a))
 def test_fleet_era_surface_parses(argv):
+    args = build_parser().parse_args(argv)
+    assert args.command == argv[0]
+
+
+@pytest.mark.parametrize("argv", HARDENING_ARGVS, ids=lambda a: " ".join(a))
+def test_hardening_surface_parses(argv):
     args = build_parser().parse_args(argv)
     assert args.command == argv[0]
 
@@ -556,7 +650,9 @@ class TestCommandSurfaceIsCovered:
         assert smoked == set(_RESILIENCE_COMMANDS)
 
     def test_every_fleet_subcommand_is_smoked(self):
-        smoked = {"run", "status", "workers", "drain"}
+        smoked = {
+            "run", "status", "workers", "drain", "chaos", "compact", "dlq",
+        }
         assert smoked == set(_FLEET_COMMANDS)
 
     def test_every_pipeline_subcommand_is_smoked(self):
