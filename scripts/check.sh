@@ -4,7 +4,8 @@
 # CLI smoke, the fleet smoke (work-stealing replay of the regression
 # corpus on 2 workers, gated on stream identity), the fleet storage
 # chaos smoke (fault-injected queue journals, gated on zero lost acks
-# and every corruption detected), and the quick
+# and every corruption detected — run in both ack durability modes),
+# and the quick
 # benchmark gates (write BENCH_interpretive_dispatch.json,
 # BENCH_trace_replay.json, BENCH_fuzz.json, BENCH_resilience.json,
 # BENCH_pipeline.json, BENCH_obs.json, and BENCH_fleet.json).
@@ -46,6 +47,9 @@ timeout 300 python -m repro.cli fleet run --smoke --workers 2
 echo "== fleet storage chaos smoke (fault-injected queue journals) =="
 timeout 300 python -m repro.cli fleet chaos --smoke
 
+echo "== fleet storage chaos smoke (group-commit durability window) =="
+timeout 300 python -m repro.cli fleet chaos --smoke --sync group
+
 if [[ "${1:-}" != "--no-bench" ]]; then
     echo "== dispatch-index bench gate (quick) =="
     python benchmarks/bench_table3_overhead.py --quick
@@ -65,7 +69,7 @@ if [[ "${1:-}" != "--no-bench" ]]; then
     echo "== observability bench gate (quick) =="
     timeout 600 python benchmarks/bench_obs.py --quick
 
-    echo "== fleet fabric bench gate (quick) =="
+    echo "== fleet fabric bench gate (quick, incl. throughput + plan cache) =="
     timeout 600 python benchmarks/bench_fleet.py --quick
 fi
 

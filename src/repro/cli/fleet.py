@@ -34,7 +34,10 @@ def _cmd_fleet_run(args) -> int:
     )
 
     if args.smoke:
-        smoke = fleet_smoke(workers=args.workers, queue_path=args.queue)
+        smoke = fleet_smoke(
+            workers=args.workers, queue_path=args.queue,
+            sync=args.sync, batch=args.batch,
+        )
         if args.json:
             print(_json.dumps(smoke, indent=2, sort_keys=True))
         else:
@@ -57,6 +60,8 @@ def _cmd_fleet_run(args) -> int:
             workers=args.workers,
             force=args.force,
             queue_path=args.queue,
+            sync=args.sync,
+            batch=args.batch,
         )
         if args.json:
             print(_json.dumps(
@@ -84,6 +89,8 @@ def _cmd_fleet_run(args) -> int:
             substrate=args.substrate,
             workers=args.workers,
             queue_path=args.queue,
+            sync=args.sync,
+            batch=args.batch,
         )
         failures = fuzz_gate(merged)
         if args.json:
@@ -105,6 +112,8 @@ def _cmd_fleet_run(args) -> int:
             rounds=args.rounds,
             workers=args.workers,
             queue_path=args.queue,
+            sync=args.sync,
+            batch=args.batch,
         )
         gate = chaos_gate(merged)
         if args.json:
@@ -129,6 +138,8 @@ def _cmd_fleet_run(args) -> int:
         substrate=args.substrate,
         workers=args.workers,
         queue_path=args.queue,
+        sync=args.sync,
+        batch=args.batch,
     )
     print("wrote {} minimized traces -> {}/".format(
         len(manifest["entries"]), args.output
@@ -172,6 +183,13 @@ def _cmd_fleet_status(args) -> int:
                 stats["compactions"],
             )
         )
+        print(
+            "durability: sync={}, {} fsync(s) for {} final record(s) "
+            "({} group flush(es), {} unflushed)".format(
+                stats["sync"], stats["fsyncs"], stats["ack_records"],
+                stats["ack_flushes"], stats["unflushed_acks"],
+            )
+        )
     return 0
 
 
@@ -207,7 +225,7 @@ def _cmd_fleet_drain(args) -> int:
 
     from repro.fleet import FleetScheduler, JobQueue
 
-    queue = JobQueue(args.queue)
+    queue = JobQueue(args.queue, sync=args.sync)
     try:
         orphans = queue.recover_leases()
         pending = [queue.job(job_id) for job_id in queue.pending_ids()]
@@ -217,7 +235,7 @@ def _cmd_fleet_drain(args) -> int:
             ))
             return 0
         scheduler = FleetScheduler(
-            pending, workers=args.workers, queue=queue,
+            pending, workers=args.workers, queue=queue, batch=args.batch,
         )
         report = scheduler.run()
         stats = queue.stats()
@@ -254,7 +272,9 @@ def _cmd_fleet_chaos(args) -> int:
 
     rounds = 1 if args.smoke else args.rounds
     jobs = 4 if args.smoke else args.jobs
-    report = storage_chaos(args.seed, rounds=rounds, jobs=jobs)
+    report = storage_chaos(
+        args.seed, rounds=rounds, jobs=jobs, sync=args.sync
+    )
     gate = storage_chaos_gate(report)
     if args.json:
         print(_json.dumps(
@@ -262,11 +282,13 @@ def _cmd_fleet_chaos(args) -> int:
         ))
     else:
         print(
-            "storage chaos seed {}: {} schedule(s), {} fault(s) fired, "
+            "storage chaos seed {} (sync={}): {} schedule(s), "
+            "{} fault(s) fired, "
             "{} lost ack(s), {} duplicate completion(s), "
             "{} silently-wrong state(s), {}/{} corruption(s) "
             "detected".format(
-                args.seed, len(report["entries"]), report["faults_fired"],
+                args.seed, report["sync"],
+                len(report["entries"]), report["faults_fired"],
                 report["lost_acks"], report["duplicate_completions"],
                 report["silently_wrong"], report["corruptions_detected"],
                 report["corruptions_injected"],
@@ -399,6 +421,14 @@ def add_parsers(sub) -> None:
         help="mirror job lifecycle into a crash-safe persistent queue",
     )
     run.add_argument(
+        "--sync", choices=("eager", "group"), default="eager",
+        help="queue ack durability: per-ack fsync or group-commit",
+    )
+    run.add_argument(
+        "--batch", type=int, default=1,
+        help="jobs leased/shipped per worker round-trip",
+    )
+    run.add_argument(
         "--smoke", action="store_true",
         help="replay the regression corpus; gate on stream identity (CI)",
     )
@@ -426,6 +456,14 @@ def add_parsers(sub) -> None:
     )
     drain.add_argument("--queue", required=True)
     drain.add_argument("--workers", type=int, default=2)
+    drain.add_argument(
+        "--sync", choices=("eager", "group"), default="eager",
+        help="queue ack durability: per-ack fsync or group-commit",
+    )
+    drain.add_argument(
+        "--batch", type=int, default=1,
+        help="jobs leased/shipped per worker round-trip",
+    )
     drain.add_argument("--json", action="store_true")
 
     chaos = fleet_sub.add_parser(
@@ -435,6 +473,10 @@ def add_parsers(sub) -> None:
     chaos.add_argument("--seed", type=int, default=2026)
     chaos.add_argument("--rounds", type=int, default=2)
     chaos.add_argument("--jobs", type=int, default=6)
+    chaos.add_argument(
+        "--sync", choices=("eager", "group"), default="eager",
+        help="queue ack durability discipline under fault injection",
+    )
     chaos.add_argument(
         "--smoke", action="store_true",
         help="one small round of every scenario; gate on the result (CI)",

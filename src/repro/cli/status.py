@@ -142,9 +142,11 @@ def _cmd_status(args) -> int:
     )
     print(
         "cache    : {} plan / {} wrapper module(s), {} hit(s) / "
-        "{} miss(es)".format(
+        "{} miss(es); disk {}: {} hit(s) / {} miss(es), {} write(s)".format(
             cache["plan_modules"], cache["wrapper_modules"],
             cache["hits"], cache["misses"],
+            "on" if cache["disk_enabled"] else "off",
+            cache["disk_hits"], cache["disk_misses"], cache["disk_writes"],
         )
     )
     print(

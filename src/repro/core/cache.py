@@ -12,6 +12,14 @@ the builtin's generated wrappers.  :class:`WrapperCache` keys on
 :meth:`repro.fsm.registry.SpecRegistry.fingerprint` — a hash of every
 spec's transitions, mappings, and emit-plan identity — plus the function
 table and mode, so behaviourally different registries never collide.
+
+Fused-pipeline plans additionally warm-start across *processes*: when a
+:class:`repro.core.plancache.PlanDiskCache` is attached (the
+process-wide instance enables it from ``REPRO_PLAN_CACHE``), an
+in-memory plan miss first consults the on-disk cache and, on a hit,
+``exec``\\ s the cached compiled code object instead of re-running the
+synthesizer cross-product — turning a ~200ms cold synthesis into a
+~1ms warm bind for every fleet worker and repeat CLI invocation.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.dispatch import DispatchIndex
+from repro.core.plancache import PlanDiskCache, default_disk_cache, plan_digest
 from repro.fsm.registry import SpecRegistry
 
 #: Default entry cap per cache map.  Long-lived processes that sweep
@@ -42,10 +51,16 @@ class WrapperCache:
     insert past ``max_entries`` evicts the least recently used one.
     """
 
-    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        *,
+        disk: Optional[PlanDiskCache] = None,
+    ):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
+        self.disk = disk
         self._wrappers: "OrderedDict[tuple, Callable]" = OrderedDict()
         self._plans: "OrderedDict[tuple, Callable]" = OrderedDict()
         self._indexes: "OrderedDict[tuple, DispatchIndex]" = OrderedDict()
@@ -121,13 +136,32 @@ class WrapperCache:
         )
         built = self._get(self._plans, key)
         if built is None:
-            from repro.jinn.synthesizer import Synthesizer
-
-            synthesizer = Synthesizer(registry, function_table=function_table)
-            built = synthesizer.build_pipeline(
-                checking=checking, record=record, govern=govern,
-                telemetry=telemetry,
+            from repro.jinn.synthesizer import (
+                Synthesizer,
+                bind_pipeline,
+                compile_pipeline_source,
             )
+
+            flags = {
+                "checking": checking,
+                "record": record,
+                "govern": govern,
+                "telemetry": telemetry,
+            }
+            code = None
+            digest = None
+            if self.disk is not None:
+                digest = plan_digest(registry, function_table, flags)
+                code = self.disk.load(digest)
+            if code is None:
+                synthesizer = Synthesizer(
+                    registry, function_table=function_table
+                )
+                source = synthesizer.generate_pipeline_source(**flags)
+                code = compile_pipeline_source(source)
+                if self.disk is not None:
+                    self.disk.store(digest, source, code)
+            built = bind_pipeline(code)
             self._put(self._plans, key, built)
         return built
 
@@ -155,8 +189,11 @@ class WrapperCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        if self.disk is not None:
+            self.disk.reset_counters()
 
     def stats(self) -> Dict[str, int]:
+        disk = self.disk.stats() if self.disk is not None else {}
         return {
             "wrapper_modules": len(self._wrappers),
             "plan_modules": len(self._plans),
@@ -165,12 +202,21 @@ class WrapperCache:
             "hits": self._hits,
             "misses": self._misses,
             "evictions": self._evictions,
+            # The cross-process plan cache: numeric so every key can
+            # export as an ObsHub gauge.
+            "disk_enabled": 1 if self.disk is not None else 0,
+            "disk_hits": disk.get("hits", 0),
+            "disk_misses": disk.get("misses", 0),
+            "disk_writes": disk.get("writes", 0),
+            "disk_errors": disk.get("errors", 0),
         }
 
 
 #: The process-wide shared instance, used by the Jinn agent and the
-#: Python/C checker alike.
-WRAPPER_CACHE: WrapperCache = WrapperCache()
+#: Python/C checker alike.  The on-disk plan cache is enabled from the
+#: environment (``REPRO_PLAN_CACHE``), so fleet workers — which inherit
+#: the environment — warm-start from the same directory.
+WRAPPER_CACHE: WrapperCache = WrapperCache(disk=default_disk_cache())
 
 
 def wrappers_for(

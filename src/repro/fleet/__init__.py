@@ -35,6 +35,7 @@ from repro.fleet.merge import (
     violation_stream,
 )
 from repro.fleet.queue import (
+    SYNC_MODES,
     JobQueue,
     QueueCorruptionError,
     QueueFormatError,
@@ -54,6 +55,7 @@ __all__ = [
     "JobQueue",
     "QueueCorruptionError",
     "QueueFormatError",
+    "SYNC_MODES",
     "FleetReport",
     "FleetScheduler",
     "EXPIRED",

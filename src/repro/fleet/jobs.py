@@ -236,13 +236,21 @@ def corpus_jobs(
 
 
 def bench_trial_jobs(
-    seed: int, count: int, *, substrate: str = "pyc"
+    seed: int, count: int, *, substrate: str = "pyc", noop: bool = False
 ) -> List[Job]:
-    """Self-contained generated-workload trials (no file dependencies)."""
+    """Self-contained generated-workload trials (no file dependencies).
+
+    ``noop=True`` yields transport-cost probes: jobs whose execution is
+    a constant-time return, so a throughput benchmark measures the
+    scheduler/queue/IPC overhead per job rather than checker CPU.
+    """
+    params = {"substrate": substrate}
+    if noop:
+        params["noop"] = True
     return [
         Job(
             kind="bench-trial",
-            params={"substrate": substrate, "trial": index},
+            params=dict(params, trial=index),
             seed=seed,
         )
         for index in range(count)
@@ -356,6 +364,17 @@ def _execute_bench_trial(job: Job) -> dict:
 
     params = job.params
     substrate = str(params.get("substrate", "pyc"))
+    if params.get("noop"):
+        # Transport-cost probe: the throughput benchmark uses noop
+        # trials so jobs/sec measures IPC + journal overhead, not the
+        # fuzz workload itself.
+        return {
+            "kind": job.kind,
+            "trial": params.get("trial", 0),
+            "violations": [],
+            "events": 1,
+            "divergent": False,
+        }
     sequence = generate_sequence(
         task_rng(job.seed, "fleet-trial", substrate, params.get("trial", 0)),
         substrate,

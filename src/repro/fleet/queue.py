@@ -23,20 +23,43 @@ Lifecycle records after the header:
 
 - ``["q", <job json>]`` — enqueued (idempotent by job ID);
 - ``["l", <job id>, <worker>, <expiry>]`` — leased until ``expiry``;
-- ``["a", <job id>, <worker>]`` — acked (completed; fsynced eagerly);
+- ``["L", [<job id>...], <worker>, <expiry>]`` — a batched lease: K
+  targeted leases folded into one record (one journal append per
+  scheduler round-trip instead of K);
+- ``["a", <job id>, <worker>]`` — acked (completed);
 - ``["r", <job id>]`` — requeued (lease expired, worker died, or a
   dead-letter job deliberately resurrected);
 - ``["d", <job id>, <worker>, <reason>]`` — dead-lettered (poison:
-  failed ``max_attempts`` times; fsynced eagerly);
+  failed ``max_attempts`` times);
 - ``["s", <snapshot>]`` — a compaction snapshot folding the entire
   history before it into one record.
 
-Acks are the durability-critical record: they fsync immediately, so an
-acked job is never re-run after a crash ("exactly-once ack": zero
-acked jobs lost, zero duplicate results).  Enqueues of an already-known
-job ID are no-ops and duplicate acks are rejected and counted —
-both idempotency properties the at-least-once delivery of lease/requeue
-needs to compose into exactly-once results.
+Acks and dead-letters are the durability-critical records.  Two sync
+disciplines govern when they hit the platter:
+
+- ``sync="eager"`` (default): every final disposition fsyncs before
+  :meth:`ack`/:meth:`dead_letter` returns — one fsync per ack;
+- ``sync="group"``: dispositions are appended immediately but the
+  fsync is *group-committed*: buffered until ``group_max_batch``
+  records accumulate or ``group_max_delay_ms`` elapses (pumped via
+  :meth:`maybe_flush_acks`), or an explicit :meth:`flush_acks`
+  barrier.  An ack is only **reported durable** once its batch syncs
+  — :meth:`unflushed_ack_ids` names the acks still inside the open
+  durability window, and a crash inside that window simply re-runs
+  those jobs: zero *reported-durable* acks are ever lost and replays
+  of unreported work are absorbed by ack idempotency, so group mode
+  preserves the exactly-once contract while amortising the fsync.
+
+Enqueues of an already-known job ID are no-ops and duplicate acks are
+rejected and counted — both idempotency properties the at-least-once
+delivery of lease/requeue needs to compose into exactly-once results.
+
+The pending set is a deque of job IDs in ``(priority, enqueue
+ordinal)`` order with a **tombstone set** shadowing it: a targeted
+removal (:meth:`lease_job`, :meth:`lease_jobs`, an ack or dead-letter
+of a pending job) just marks the ID dead in O(1) and the head pop
+skips tombstones lazily, so the lease hot path never scans or shifts
+the backlog.
 
 :meth:`JobQueue.compact` bounds journal growth: it atomically rewrites
 the file as header + one snapshot record (write-temp, fsync, rename),
@@ -49,7 +72,8 @@ from __future__ import annotations
 
 import json
 import sys
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.clock import SYSTEM_CLOCK, Clock
 from repro.core.journal import encode_record, scan_journal
@@ -60,6 +84,9 @@ _HEADER = {"format": "fleet-queue", "version": 2}
 
 #: Reopens that scanned at least this many records compact themselves.
 _AUTO_COMPACT_THRESHOLD = 4096
+
+#: Legal values for ``JobQueue(sync=...)``.
+SYNC_MODES = ("eager", "group")
 
 
 class QueueFormatError(ValueError):
@@ -82,12 +109,22 @@ class JobQueue:
         path: str,
         *,
         sync_every: int = 8,
+        sync: str = "eager",
+        group_max_batch: int = 32,
+        group_max_delay_ms: float = 50.0,
         clock: Optional[Clock] = None,
         store: Optional[Store] = None,
         compact_threshold: Optional[int] = _AUTO_COMPACT_THRESHOLD,
     ):
+        if sync not in SYNC_MODES:
+            raise ValueError(
+                "sync must be one of {!r}, got {!r}".format(SYNC_MODES, sync)
+            )
         self.path = path
         self.sync_every = max(1, sync_every)
+        self.sync = sync
+        self.group_max_batch = max(1, int(group_max_batch))
+        self.group_max_delay_ms = float(group_max_delay_ms)
         self.clock = clock if clock is not None else SYSTEM_CLOCK
         self.store = store if store is not None else Store()
         self.compact_threshold = compact_threshold
@@ -95,7 +132,9 @@ class JobQueue:
         self._jobs: Dict[str, Job] = {}
         #: Enqueue ordinal per job ID — the priority tie-breaker.
         self._ordinal: Dict[str, int] = {}
-        self._pending: List[str] = []
+        self._pending: Deque[str] = deque()
+        self._pending_set: Set[str] = set()
+        self._tombstones: Set[str] = set()
         self._leases: Dict[str, Tuple[str, float]] = {}
         self._acked: Dict[str, str] = {}
         self._dead: Dict[str, Tuple[str, str]] = {}
@@ -104,7 +143,12 @@ class JobQueue:
         self.torn_bytes = 0
         self.compactions = 0
         self.records_scanned = 0
+        self.fsyncs = 0
+        self.ack_records = 0
+        self.ack_flushes = 0
         self._since_sync = 0
+        self._unflushed_acks: List[str] = []
+        self._oldest_unflushed: Optional[float] = None
         existing = self.store.exists(path) and self.store.size(path) > 0
         if existing:
             self._load()
@@ -141,9 +185,22 @@ class JobQueue:
         if self._since_sync >= self.sync_every:
             self._sync()
 
-    def _sync(self) -> None:
+    def _sync(self) -> List[str]:
+        """fsync the journal; returns acks that just became durable.
+
+        Buffered group-commit acks are only cleared *after* the fsync
+        succeeds — an injected fsync fault leaves them unreported, so a
+        caller never learns of durability that did not happen.
+        """
         self._f.fsync()
+        self.fsyncs += 1
         self._since_sync = 0
+        flushed = self._unflushed_acks
+        if flushed:
+            self._unflushed_acks = []
+            self._oldest_unflushed = None
+            self.ack_flushes += 1
+        return flushed
 
     def _load(self) -> None:
         data = self.store.read(self.path)
@@ -184,27 +241,29 @@ class JobQueue:
                 self._apply_enqueue(Job.from_json(record[1]))
             elif tag == "l":
                 job_id, worker, expiry = record[1], record[2], record[3]
-                if job_id in self._pending:
-                    self._pending.remove(job_id)
+                self._pending_remove(job_id)
                 self._leases[job_id] = (worker, expiry)
+            elif tag == "L":
+                job_ids, worker, expiry = record[1], record[2], record[3]
+                for job_id in job_ids:
+                    self._pending_remove(job_id)
+                    self._leases[job_id] = (worker, expiry)
             elif tag == "a":
                 job_id, worker = record[1], record[2]
                 self._leases.pop(job_id, None)
                 self._dead.pop(job_id, None)
-                if job_id in self._pending:
-                    self._pending.remove(job_id)
+                self._pending_remove(job_id)
                 self._acked[job_id] = worker
             elif tag == "r":
                 job_id = record[1]
                 self._leases.pop(job_id, None)
                 self._dead.pop(job_id, None)
-                if job_id not in self._acked and job_id not in self._pending:
-                    self._pending.append(job_id)
+                if job_id not in self._acked:
+                    self._pending_add(job_id)
             elif tag == "d":
                 job_id, worker, reason = record[1], record[2], record[3]
                 self._leases.pop(job_id, None)
-                if job_id in self._pending:
-                    self._pending.remove(job_id)
+                self._pending_remove(job_id)
                 if job_id not in self._acked:
                     self._dead[job_id] = (worker, reason)
             elif tag == "s":
@@ -216,6 +275,63 @@ class JobQueue:
         self.records_scanned = len(lines) - 1
         self._sort_pending()
 
+    # -- pending-set bookkeeping -----------------------------------------
+    #
+    # The deque carries (priority, ordinal) order; the tombstone set
+    # makes targeted removal O(1).  Invariant: an ID is in
+    # ``_tombstones`` iff it sits in the deque but is not live, and
+    # every live ID (``_pending_set``) appears in the deque exactly
+    # once.
+
+    def _pending_key(self, job_id: str) -> Tuple[int, int]:
+        return (self._jobs[job_id].priority, self._ordinal[job_id])
+
+    def _pending_add(self, job_id: str) -> None:
+        if job_id in self._pending_set:
+            return
+        self._pending_set.add(job_id)
+        if job_id in self._tombstones:
+            # The deque entry from before the removal still sits at the
+            # correct sorted slot — resurrect it in place.
+            self._tombstones.discard(job_id)
+            return
+        # Trim the dead tail so the order check compares live entries.
+        while self._pending and self._pending[-1] in self._tombstones:
+            self._tombstones.discard(self._pending.pop())
+        self._pending.append(job_id)
+        if (
+            len(self._pending_set) > 1
+            and len(self._pending) >= 2
+            and self._pending_key(self._pending[-2])
+            > self._pending_key(job_id)
+        ):
+            # Out-of-order insert (priority job, or a requeue whose
+            # tombstone was already reaped): rebuild sorted.
+            self._sort_pending()
+
+    def _pending_remove(self, job_id: str) -> bool:
+        if job_id not in self._pending_set:
+            return False
+        self._pending_set.discard(job_id)
+        self._tombstones.add(job_id)
+        return True
+
+    def _pending_pop_best(self) -> Optional[str]:
+        while self._pending:
+            job_id = self._pending.popleft()
+            if job_id in self._tombstones:
+                self._tombstones.discard(job_id)
+                continue
+            self._pending_set.discard(job_id)
+            return job_id
+        return None
+
+    def _sort_pending(self) -> None:
+        self._pending = deque(
+            sorted(self._pending_set, key=self._pending_key)
+        )
+        self._tombstones = set()
+
     # -- state helpers ---------------------------------------------------
 
     def _apply_enqueue(self, job: Job) -> bool:
@@ -225,16 +341,8 @@ class JobQueue:
         self._jobs[job_id] = job
         self._ordinal[job_id] = len(self._ordinal)
         if job_id not in self._acked:
-            self._pending.append(job_id)
+            self._pending_add(job_id)
         return True
-
-    def _sort_pending(self) -> None:
-        self._pending.sort(
-            key=lambda job_id: (
-                self._jobs[job_id].priority,
-                self._ordinal[job_id],
-            )
-        )
 
     # -- compaction ------------------------------------------------------
 
@@ -263,7 +371,9 @@ class JobQueue:
     def _apply_snapshot(self, snapshot: dict) -> None:
         self._jobs = {}
         self._ordinal = {}
-        self._pending = []
+        self._pending = deque()
+        self._pending_set = set()
+        self._tombstones = set()
         self._leases = {}
         self._acked = {}
         self._dead = {}
@@ -274,6 +384,7 @@ class JobQueue:
             self._ordinal[job_id] = len(self._ordinal)
             if status == "p":
                 self._pending.append(job_id)
+                self._pending_set.add(job_id)
             elif status[0] == "a":
                 self._acked[job_id] = status[1]
             elif status[0] == "d":
@@ -294,7 +405,8 @@ class JobQueue:
         Write-temp, fsync, rename: a crash at any point leaves either
         the old journal or the complete new one, never a mix.  State —
         pending order, leases with expiries, acked workers, dead-letter
-        reasons, counters — round-trips exactly.
+        reasons, counters — round-trips exactly.  Any open group-commit
+        durability window is flushed first.
         """
         bytes_before = self.store.size(self.path)
         records_before = self.records_scanned
@@ -330,7 +442,6 @@ class JobQueue:
         """Add a job; returns False (and writes nothing) if already known."""
         if not self._apply_enqueue(job):
             return False
-        self._sort_pending()
         self._write(["q", job.to_json()])
         return True
 
@@ -342,11 +453,11 @@ class JobQueue:
         now: Optional[float] = None,
     ) -> Optional[Job]:
         """Hand the best pending job to ``worker`` until ``now + ttl``."""
-        if not self._pending:
+        job_id = self._pending_pop_best()
+        if job_id is None:
             return None
         if now is None:
             now = self.clock.monotonic()
-        job_id = self._pending.pop(0)
         self._leases[job_id] = (worker, now + ttl)
         self._write(["l", job_id, worker, now + ttl])
         return self._jobs[job_id]
@@ -365,17 +476,69 @@ class JobQueue:
         this keeps the durable lease record in step with that choice
         instead of forcing queue-head order.
         """
-        if job_id not in self._pending:
+        if not self._pending_remove(job_id):
             return False
         if now is None:
             now = self.clock.monotonic()
-        self._pending.remove(job_id)
         self._leases[job_id] = (worker, now + ttl)
         self._write(["l", job_id, worker, now + ttl])
         return True
 
+    def lease_jobs(
+        self,
+        job_ids: Iterable[str],
+        worker: str,
+        *,
+        ttl: float = 60.0,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Batched targeted lease: K leases, one journal append.
+
+        Only IDs that are *still pending* are leased — an ID that an
+        expiry sweep, a competing lease, an ack, or a dead-letter beat
+        us to is silently skipped — and the leased subset is returned
+        in the order given, so the caller knows exactly which jobs it
+        owns.  A single-ID batch writes the classic ``"l"`` record;
+        larger batches write one ``"L"`` record.
+        """
+        if now is None:
+            now = self.clock.monotonic()
+        leased: List[str] = []
+        for job_id in job_ids:
+            if self._pending_remove(job_id):
+                self._leases[job_id] = (worker, now + ttl)
+                leased.append(job_id)
+        if not leased:
+            return []
+        if len(leased) == 1:
+            self._write(["l", leased[0], worker, now + ttl])
+        else:
+            self._write(["L", leased, worker, now + ttl])
+        return leased
+
+    def _record_disposition(self, record: List[object], job_id: str) -> None:
+        """Append a final-disposition record under the sync discipline."""
+        self._write(record)
+        self.ack_records += 1
+        if self.sync == "eager":
+            self._sync()
+        elif self._since_sync != 0:
+            # Not covered by a rolling sync_every fsync inside _write:
+            # the record sits in the open durability window until the
+            # batch/delay threshold, an explicit barrier, or close.
+            self._unflushed_acks.append(job_id)
+            if self._oldest_unflushed is None:
+                self._oldest_unflushed = self.clock.monotonic()
+            self._maybe_flush_group()
+
     def ack(self, job_id: str, worker: str) -> bool:
-        """Mark a job done; fsyncs eagerly.  Duplicate acks are rejected."""
+        """Mark a job done.  Duplicate acks are rejected.
+
+        Durability follows the queue's sync discipline: eager mode
+        fsyncs before returning; group mode defers to the durability
+        window and the ack is only *reported* durable once
+        :meth:`flush_acks` (or an automatic batch flush) covers it.
+        """
         if job_id not in self._jobs:
             raise KeyError("unknown job {!r}".format(job_id))
         if job_id in self._acked:
@@ -383,12 +546,54 @@ class JobQueue:
             return False
         self._leases.pop(job_id, None)
         self._dead.pop(job_id, None)
-        if job_id in self._pending:
-            self._pending.remove(job_id)
+        self._pending_remove(job_id)
         self._acked[job_id] = worker
-        self._write(["a", job_id, worker])
-        self._sync()
+        self._record_disposition(["a", job_id, worker], job_id)
         return True
+
+    # -- the group-commit durability window ------------------------------
+
+    def _maybe_flush_group(self, now: Optional[float] = None) -> List[str]:
+        if not self._unflushed_acks:
+            return []
+        if len(self._unflushed_acks) >= self.group_max_batch:
+            return self._sync()
+        if now is None:
+            now = self.clock.monotonic()
+        if (
+            self._oldest_unflushed is not None
+            and (now - self._oldest_unflushed) * 1000.0
+            >= self.group_max_delay_ms
+        ):
+            return self._sync()
+        return []
+
+    def maybe_flush_acks(self, now: Optional[float] = None) -> List[str]:
+        """Pump the durability window from a poll loop.
+
+        No-op in eager mode.  In group mode, flushes once the oldest
+        buffered disposition has waited ``group_max_delay_ms``; returns
+        the job IDs whose acks just became durable.
+        """
+        if self.sync != "group" or not self._unflushed_acks:
+            return []
+        return self._maybe_flush_group(now)
+
+    def flush_acks(self) -> List[str]:
+        """Explicit durability barrier: fsync any buffered dispositions.
+
+        Returns the job IDs whose acks/dead-letters became durable with
+        this flush.  Callers that report completion to the outside
+        world (scheduler reports, drain summaries) call this first so
+        they never claim durability ahead of the platter.
+        """
+        if not self._unflushed_acks:
+            return []
+        return self._sync()
+
+    def unflushed_ack_ids(self) -> List[str]:
+        """Acks written but not yet fsynced — the open durability window."""
+        return list(self._unflushed_acks)
 
     def requeue(self, job_id: str) -> bool:
         """Return a leased (or lost) job to pending.
@@ -404,10 +609,9 @@ class JobQueue:
         ):
             return False
         self._leases.pop(job_id, None)
-        if job_id in self._pending:
+        if job_id in self._pending_set:
             return False
-        self._pending.append(job_id)
-        self._sort_pending()
+        self._pending_add(job_id)
         self.requeues += 1
         self._write(["r", job_id])
         return True
@@ -436,22 +640,21 @@ class JobQueue:
     # -- the dead-letter section -----------------------------------------
 
     def dead_letter(self, job_id: str, worker: str, reason: str = "") -> bool:
-        """Move a poison job out of circulation; fsyncs eagerly.
+        """Move a poison job out of circulation.
 
         Like an ack, a dead-letter record is a final disposition: it
         must survive a crash so the job is not silently retried forever
-        on the next drain.
+        on the next drain.  It shares the ack durability discipline —
+        eager fsync, or the group-commit window.
         """
         if job_id not in self._jobs:
             raise KeyError("unknown job {!r}".format(job_id))
         if job_id in self._acked or job_id in self._dead:
             return False
         self._leases.pop(job_id, None)
-        if job_id in self._pending:
-            self._pending.remove(job_id)
+        self._pending_remove(job_id)
         self._dead[job_id] = (worker, reason)
-        self._write(["d", job_id, worker, reason])
-        self._sync()
+        self._record_disposition(["d", job_id, worker, reason], job_id)
         return True
 
     def requeue_dead(self, job_id: str) -> bool:
@@ -459,8 +662,7 @@ class JobQueue:
         if job_id not in self._dead:
             return False
         self._dead.pop(job_id)
-        self._pending.append(job_id)
-        self._sort_pending()
+        self._pending_add(job_id)
         self.requeues += 1
         self._write(["r", job_id])
         return True
@@ -473,7 +675,7 @@ class JobQueue:
 
     @property
     def depth(self) -> int:
-        return len(self._pending)
+        return len(self._pending_set)
 
     @property
     def leased(self) -> int:
@@ -491,7 +693,11 @@ class JobQueue:
         return sorted(self._acked, key=lambda job_id: self._ordinal[job_id])
 
     def pending_ids(self) -> List[str]:
-        return list(self._pending)
+        return [
+            job_id
+            for job_id in self._pending
+            if job_id not in self._tombstones
+        ]
 
     def leased_ids(self) -> List[str]:
         return sorted(self._leases, key=lambda job_id: self._ordinal[job_id])
@@ -510,6 +716,7 @@ class JobQueue:
             self._f.flush()
         return {
             "path": self.path,
+            "sync": self.sync,
             "jobs": len(self._jobs),
             "depth": self.depth,
             "leased": self.leased,
@@ -520,6 +727,10 @@ class JobQueue:
             "torn_bytes": self.torn_bytes,
             "compactions": self.compactions,
             "records_scanned": self.records_scanned,
+            "fsyncs": self.fsyncs,
+            "ack_records": self.ack_records,
+            "ack_flushes": self.ack_flushes,
+            "unflushed_acks": len(self._unflushed_acks),
             "journal_bytes": (
                 self.store.size(self.path)
                 if self.store.exists(self.path)
@@ -528,7 +739,11 @@ class JobQueue:
         }
 
     def close(self) -> None:
-        """Flush, fsync, release the handle.  Safe to call twice."""
+        """Flush, fsync, release the handle.  Safe to call twice.
+
+        The final fsync closes any open durability window, so a cleanly
+        closed group-mode queue has no unreported acks.
+        """
         f = self._f
         if f is None or f.closed:
             return

@@ -39,9 +39,13 @@ def _run(
     seed: int = 0,
     queue_path: Optional[str] = None,
     inline: bool = False,
+    sync: str = "eager",
     **kwargs,
 ) -> FleetReport:
-    queue = JobQueue(queue_path) if queue_path else None
+    # ``sync`` is queue policy, not scheduler policy (the scheduler's
+    # ``batch`` knob rides through **kwargs); without a queue path the
+    # run has no journal and the knob is inert.
+    queue = JobQueue(queue_path, sync=sync) if queue_path else None
     try:
         scheduler = FleetScheduler(
             jobs,
@@ -166,6 +170,7 @@ def fleet_smoke(
     workers: int = 2,
     corpus_dir: Optional[str] = None,
     queue_path: Optional[str] = None,
+    **kwargs,
 ) -> Dict[str, object]:
     """The CI smoke: replay the regression corpus on the fleet and
     verify the merged stream matches the single-process baseline.
@@ -190,7 +195,7 @@ def fleet_smoke(
         for entry in manifest["entries"]
     ]
     merged, report = fleet_replay(
-        paths, workers=workers, queue_path=queue_path
+        paths, workers=workers, queue_path=queue_path, **kwargs
     )
     baseline = replay_sharded(paths, shards=1)
     stream = violation_stream(report)

@@ -586,9 +586,7 @@ class Synthesizer:
             checking=checking, record=record, govern=govern,
             telemetry=telemetry,
         )
-        namespace: Dict[str, object] = {"__name__": "repro.pipeline._generated"}
-        exec(compile(source, "<jinn-pipeline>", "exec"), namespace)
-        return namespace["build_entries"]
+        return bind_pipeline(compile_pipeline_source(source))
 
     def write_source(self, path: str, *, checking: bool = True) -> int:
         """Write the generated module to ``path``; returns its line count."""
@@ -596,6 +594,28 @@ class Synthesizer:
         with open(path, "w") as f:
             f.write(source)
         return source.count("\n") + 1
+
+
+#: The co_filename every fused plan compiles under — cached and fresh
+#: plans must match so diagnostics and tracebacks are byte-identical.
+PIPELINE_FILENAME = "<jinn-pipeline>"
+
+
+def compile_pipeline_source(source: str):
+    """Compile generated pipeline source to a (marshalable) code object."""
+    return compile(source, PIPELINE_FILENAME, "exec")
+
+
+def bind_pipeline(code):
+    """Exec a compiled plan and return its ``build_entries``.
+
+    This is the warm-start half of :meth:`Synthesizer.build_pipeline`:
+    the disk cache hands back the code object and skips the generate +
+    compile cost entirely.
+    """
+    namespace: Dict[str, object] = {"__name__": "repro.pipeline._generated"}
+    exec(code, namespace)
+    return namespace["build_entries"]
 
 
 def count_noncomment_lines(source: str) -> int:

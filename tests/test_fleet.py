@@ -642,3 +642,88 @@ class TestObsIntegration:
         gauges = hub.metrics.snapshot()["gauges"]
         assert any(key.startswith("fleet_workers") for key in gauges)
         assert any(key.startswith("fleet_utilization") for key in gauges)
+
+
+# ----------------------------------------------------------------------
+# Batched lease/steal/result IPC
+# ----------------------------------------------------------------------
+
+
+class TestBatchedScheduler:
+    def test_batch_knob_is_normalized(self):
+        scheduler = FleetScheduler(bench_trial_jobs(5, 1), batch=0)
+        assert scheduler.batch == 1
+        scheduler = FleetScheduler(bench_trial_jobs(5, 1), batch=4)
+        assert scheduler.batch == 4
+
+    def test_inline_batched_report_identical_to_unbatched(self):
+        jobs = bench_trial_jobs(13, 6)
+        bodies = {}
+        for batch in (1, 3, 8):
+            executor, _ = _flaky_executor()
+            report = FleetScheduler(
+                jobs, workers=2, seed=13, clock=FakeClock(),
+                inline=True, executor=executor, batch=batch,
+            ).run()
+            bodies[batch] = json.dumps(report.to_json(), sort_keys=True)
+        assert len(set(bodies.values())) == 1
+
+    def test_inline_batched_retry_still_works(self):
+        jobs = bench_trial_jobs(17, 4)
+        executor, calls = _flaky_executor(fail_first={jobs[1].job_id})
+        report = FleetScheduler(
+            jobs, workers=2, seed=17, retries=1, backoff_base=0.01,
+            backoff_cap=0.05, clock=FakeClock(), inline=True,
+            executor=executor, batch=3,
+        ).run()
+        assert report.ok
+        assert calls[jobs[1].job_id] == 2
+        assert all(o.classification == CLEAN for o in report.outcomes)
+
+    def test_process_batched_stream_matches_baseline(self):
+        from repro.trace.replay import replay_sharded
+
+        paths = _corpus_paths()
+        baseline = replay_sharded(paths, shards=1)
+        merged, report = fleet_replay(paths, workers=2, batch=4)
+        assert violation_stream(report) == baseline.violations
+        assert merged.event_count == baseline.event_count
+        counts = report.counts
+        assert counts[CRASH] == 0
+        assert counts["hang"] == 0
+        assert counts[EXPIRED] == 0
+
+    def test_batched_group_commit_queue_drain(self, tmp_path):
+        jobs = bench_trial_jobs(11, 8)
+        queue = JobQueue(
+            str(tmp_path / "fleet.queue"), sync="group",
+            group_max_batch=16, group_max_delay_ms=1e12,
+        )
+        with queue:
+            report = FleetScheduler(
+                jobs, workers=2, seed=11, queue=queue, batch=4,
+            ).run()
+            assert report.ok
+            stats = queue.stats()
+            assert stats["acked"] == len(jobs)
+            assert stats["duplicate_acks"] == 0
+            # run() ends with the explicit durability barrier: nothing
+            # may remain in the window once completion is reported.
+            assert stats["unflushed_acks"] == 0
+            assert stats["ack_records"] == len(jobs)
+            # Group commit amortizes: strictly fewer fsyncs than final
+            # dispositions (eager mode pays one per disposition).
+            assert stats["fsyncs"] < stats["ack_records"]
+        with JobQueue(str(tmp_path / "fleet.queue")) as reopened:
+            assert reopened.acked == len(jobs)
+            assert reopened.depth == 0
+
+    def test_report_spawn_seconds_roundtrips(self):
+        executor, _ = _flaky_executor()
+        report = FleetScheduler(
+            bench_trial_jobs(5, 2), workers=1, clock=FakeClock(),
+            inline=True, executor=executor,
+        ).run()
+        body = report.load_json()
+        assert "spawn_seconds" in body
+        assert body["spawn_seconds"] == 0.0  # inline mode spawns nothing

@@ -704,3 +704,313 @@ class TestLifecycleEdges:
         assert back.max_attempts == 2
         with pytest.raises(ValueError):
             Job(kind="bench-trial", params={}, max_attempts=0)
+
+
+# ----------------------------------------------------------------------
+# Group-commit ack durability
+# ----------------------------------------------------------------------
+
+
+class TestGroupCommit:
+    def test_bad_sync_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            _fresh_queue(tmp_path, sync="lazy")
+
+    def test_eager_mode_fsyncs_every_disposition(self, tmp_path):
+        queue = _fresh_queue(tmp_path, sync_every=1000)
+        for job in _jobs(3):
+            queue.enqueue(job)
+        base = queue.fsyncs
+        for job in _jobs(3):
+            queue.lease_job(job.job_id, "w0", ttl=60.0, now=0.0)
+            queue.ack(job.job_id, "w0")
+            assert queue.unflushed_ack_ids() == []
+        assert queue.fsyncs - base == 3
+        assert queue.stats()["ack_records"] == 3
+        queue.close()
+
+    def test_group_mode_buffers_until_batch_threshold(self, tmp_path):
+        queue = _fresh_queue(
+            tmp_path, sync="group", sync_every=1000,
+            group_max_batch=3, group_max_delay_ms=1e12,
+        )
+        jobs = _jobs(3)
+        for job in jobs:
+            queue.enqueue(job)
+        base = queue.fsyncs
+        for job in jobs[:2]:
+            queue.lease_job(job.job_id, "w0", ttl=60.0, now=0.0)
+            queue.ack(job.job_id, "w0")
+        # Two acks sit in the open durability window, zero fsyncs paid.
+        assert queue.unflushed_ack_ids() == [j.job_id for j in jobs[:2]]
+        assert queue.fsyncs == base
+        queue.lease_job(jobs[2].job_id, "w0", ttl=60.0, now=0.0)
+        queue.ack(jobs[2].job_id, "w0")
+        # The third disposition hits group_max_batch: one fsync for all.
+        assert queue.unflushed_ack_ids() == []
+        assert queue.fsyncs == base + 1
+        assert queue.stats()["ack_flushes"] == 1
+        queue.close()
+
+    def test_group_mode_flushes_on_delay(self, tmp_path):
+        clock = FakeClock()
+        queue = _fresh_queue(
+            tmp_path, sync="group", sync_every=1000, clock=clock,
+            group_max_batch=1000, group_max_delay_ms=50.0,
+        )
+        job = _jobs(1)[0]
+        queue.enqueue(job)
+        queue.lease_job(job.job_id, "w0", ttl=60.0, now=0.0)
+        queue.ack(job.job_id, "w0")
+        assert queue.unflushed_ack_ids() == [job.job_id]
+        # Below the window: the pump is a no-op.
+        assert queue.maybe_flush_acks(now=clock.monotonic() + 0.04) == []
+        # Past group_max_delay_ms: the pump flushes and reports the id.
+        flushed = queue.maybe_flush_acks(now=clock.monotonic() + 0.06)
+        assert flushed == [job.job_id]
+        assert queue.unflushed_ack_ids() == []
+        queue.close()
+
+    def test_flush_acks_is_an_explicit_barrier(self, tmp_path):
+        queue = _fresh_queue(
+            tmp_path, sync="group", sync_every=1000,
+            group_max_batch=1000, group_max_delay_ms=1e12,
+        )
+        job = _jobs(1)[0]
+        queue.enqueue(job)
+        queue.lease_job(job.job_id, "w0", ttl=60.0, now=0.0)
+        queue.ack(job.job_id, "w0")
+        assert queue.flush_acks() == [job.job_id]
+        assert queue.flush_acks() == []  # nothing buffered: no-op
+        queue.close()
+
+    def test_close_flushes_the_open_window(self, tmp_path):
+        queue = _fresh_queue(
+            tmp_path, sync="group", sync_every=1000,
+            group_max_batch=1000, group_max_delay_ms=1e12,
+        )
+        job = _jobs(1)[0]
+        queue.enqueue(job)
+        queue.lease_job(job.job_id, "w0", ttl=60.0, now=0.0)
+        queue.ack(job.job_id, "w0")
+        queue.close()
+        with JobQueue(queue.path) as reopened:
+            assert reopened.acked_ids() == [job.job_id]
+
+    def test_rolling_sync_covers_in_window_acks(self, tmp_path):
+        # When the rolling sync_every fsync fires on the ack record
+        # itself, the ack is durable immediately and must not linger in
+        # the window (where a later flush would re-report it).
+        queue = _fresh_queue(
+            tmp_path, sync="group", sync_every=1,
+            group_max_batch=1000, group_max_delay_ms=1e12,
+        )
+        job = _jobs(1)[0]
+        queue.enqueue(job)
+        queue.lease_job(job.job_id, "w0", ttl=60.0, now=0.0)
+        queue.ack(job.job_id, "w0")
+        assert queue.unflushed_ack_ids() == []
+        assert queue.flush_acks() == []
+        queue.close()
+
+    def test_fsync_fault_leaves_acks_unreported(self, tmp_path):
+        # An injected fsync failure on the batch flush must NOT clear
+        # the window: the caller never hears of durability that did not
+        # happen (the conservative side of the group-commit contract).
+        path = str(tmp_path / "q.fleetq")
+        store = FaultyStore()
+        queue = JobQueue(
+            path, store=store, sync="group", sync_every=1000,
+            group_max_batch=2, group_max_delay_ms=1e12,
+        )
+        jobs = _jobs(2)
+        for job in jobs:
+            queue.enqueue(job)
+        queue.lease_job(jobs[0].job_id, "w0", ttl=60.0, now=0.0)
+        queue.ack(jobs[0].job_id, "w0")
+        store.faults.append(Fault("fsync", store.fsync_ops + 1, "error"))
+        queue.lease_job(jobs[1].job_id, "w0", ttl=60.0, now=0.0)
+        with pytest.raises(InjectedFault):
+            queue.ack(jobs[1].job_id, "w0")  # batch flush hits the fault
+        assert queue.unflushed_ack_ids() == [j.job_id for j in jobs]
+        assert queue.stats()["ack_flushes"] == 0
+
+    def test_crash_mid_batch_reruns_unreported_tail_exactly_once(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "q.fleetq")
+        store = FaultyStore()
+        queue = JobQueue(
+            path, store=store, sync="group", sync_every=1000,
+            group_max_batch=1000, group_max_delay_ms=1e12,
+        )
+        jobs = _jobs(4)
+        for job in jobs:
+            queue.enqueue(job)
+        # First two acks reach the platter via the explicit barrier.
+        queue.lease_jobs([j.job_id for j in jobs[:2]], "w0", ttl=60.0, now=0.0)
+        for job in jobs[:2]:
+            queue.ack(job.job_id, "w0")
+        reported = set(queue.flush_acks())
+        assert reported == {j.job_id for j in jobs[:2]}
+        # The next two sit in the open window when the process dies.
+        queue.lease_jobs([j.job_id for j in jobs[2:]], "w0", ttl=60.0, now=0.0)
+        for job in jobs[2:]:
+            queue.ack(job.job_id, "w0")
+        in_window = set(queue.unflushed_ack_ids())
+        assert in_window == {j.job_id for j in jobs[2:]}
+        store.crash()
+        # Reopen: every *reported* ack survived; the unreported tail is
+        # simply work again, and re-acking it is not a duplicate.
+        reopened = JobQueue(path)
+        assert reported <= set(reopened.acked_ids())
+        lost = sorted(in_window - set(reopened.acked_ids()))
+        reopened.recover_leases()
+        drained = []
+        while True:
+            job = reopened.lease("w1", ttl=60.0)
+            if job is None:
+                break
+            assert reopened.ack(job.job_id, "w1") is True
+            drained.append(job.job_id)
+        assert sorted(drained) == lost
+        assert set(reopened.acked_ids()) == {j.job_id for j in jobs}
+        assert reopened.stats()["duplicate_acks"] == 0
+        reopened.close()
+
+    def test_batched_lease_record_survives_reopen(self, tmp_path):
+        queue = _fresh_queue(tmp_path, sync_every=1)
+        jobs = _jobs(3)
+        for job in jobs:
+            queue.enqueue(job)
+        leased = queue.lease_jobs(
+            [j.job_id for j in jobs], "w0", ttl=60.0, now=0.0
+        )
+        assert leased == [j.job_id for j in jobs]
+        queue.close()
+        with JobQueue(queue.path) as reopened:
+            assert sorted(reopened.leased_ids()) == sorted(leased)
+            assert reopened.depth == 0
+
+
+# ----------------------------------------------------------------------
+# Pending-order bookkeeping and batched-lease races
+# ----------------------------------------------------------------------
+
+
+class TestPendingOrder:
+    def _job(self, trial, priority=0):
+        return Job(
+            kind="bench-trial",
+            params={"substrate": "pyc", "trial": trial},
+            seed=11,
+            priority=priority,
+        )
+
+    def test_targeted_lease_and_requeue_preserve_order(self, tmp_path):
+        # Leasing out of the middle tombstones the deque slot; a later
+        # requeue resurrects the job at its original (priority, enqueue
+        # ordinal) position, so drain order is unchanged.
+        queue = _fresh_queue(tmp_path)
+        a = self._job(0, priority=2)
+        b = self._job(1, priority=0)
+        c = self._job(2, priority=1)
+        d = self._job(3, priority=0)
+        e = self._job(4, priority=2)
+        for job in (a, b, c, d, e):
+            queue.enqueue(job)
+        assert queue.lease_job(c.job_id, "w0", ttl=60.0, now=0.0) is True
+        queue.requeue(c.job_id)
+        order = []
+        while True:
+            job = queue.lease("w1", ttl=60.0, now=0.0)
+            if job is None:
+                break
+            order.append(job.job_id)
+        expected = [b.job_id, d.job_id, c.job_id, a.job_id, e.job_id]
+        assert order == expected
+        queue.close()
+
+    def test_pending_ids_never_expose_tombstones(self, tmp_path):
+        queue = _fresh_queue(tmp_path)
+        jobs = _jobs(4)
+        for job in jobs:
+            queue.enqueue(job)
+        queue.lease_job(jobs[1].job_id, "w0", ttl=60.0, now=0.0)
+        queue.lease_job(jobs[2].job_id, "w0", ttl=60.0, now=0.0)
+        remaining = [jobs[0].job_id, jobs[3].job_id]
+        assert queue.pending_ids() == remaining
+        assert queue.depth == 2
+        queue.close()
+
+    def test_batch_lease_skips_contested_ids(self, tmp_path):
+        # The expiry sweep and a batched lease chase the same jobs: the
+        # batch leases only what is still pending and reports exactly
+        # which subset it owns.
+        clock = FakeClock()
+        queue = _fresh_queue(tmp_path, clock=clock)
+        jobs = _jobs(3)
+        for job in jobs:
+            queue.enqueue(job)
+        ids = [j.job_id for j in jobs]
+        assert queue.lease_jobs(ids[:2], "w0", ttl=5.0, now=0.0) == ids[:2]
+        # Both leases expire; the sweep wins them back.
+        assert sorted(queue.requeue_expired(now=10.0)) == sorted(ids[:2])
+        # A batch over all three now owns all three...
+        assert queue.lease_jobs(ids, "w1", ttl=5.0, now=10.0) == ids
+        # ...and a competing batch gets nothing, not a double lease.
+        assert queue.lease_jobs(ids, "w2", ttl=5.0, now=10.0) == []
+        assert queue.requeue_expired(now=10.0) == []
+        for job_id in ids:
+            assert queue._leases[job_id][0] == "w1"
+        queue.close()
+
+    def test_empty_batch_writes_no_record(self, tmp_path):
+        queue = _fresh_queue(tmp_path)
+        records = queue.records_scanned
+        assert queue.lease_jobs(["nope"], "w0", ttl=5.0, now=0.0) == []
+        assert queue.records_scanned == records
+        queue.close()
+
+
+# ----------------------------------------------------------------------
+# Storage chaos in group-commit mode
+# ----------------------------------------------------------------------
+
+
+class TestStorageChaosGroupMode:
+    def test_gate_passes_with_crash_points_inside_open_windows(self):
+        report = storage_chaos(7, rounds=1, jobs=4, sync="group")
+        gate = storage_chaos_gate(report)
+        assert all(gate.values()), gate
+        assert report["sync"] == "group"
+        assert report["lost_acks"] == 0
+        assert report["duplicate_completions"] == 0
+        assert report["corruptions_detected"] == report[
+            "corruptions_injected"
+        ]
+        # The schedules genuinely crash inside a half-written ack
+        # batch: at least one run dies with unreported dispositions in
+        # the durability window (re-run on drain, never lost or
+        # double-counted).
+        assert any(
+            entry.get("unreported_acks_at_crash", 0) > 0
+            for entry in report["entries"]
+        )
+
+    def test_group_report_is_deterministic(self):
+        a = storage_chaos(7, rounds=1, jobs=4, sync="group")
+        b = storage_chaos(7, rounds=1, jobs=4, sync="group")
+        assert json.dumps(a, sort_keys=True) == json.dumps(
+            b, sort_keys=True
+        )
+
+    def test_sync_modes_produce_distinct_schedule_outcomes(self):
+        eager = storage_chaos(7, rounds=1, jobs=4, sync="eager")
+        group = storage_chaos(7, rounds=1, jobs=4, sync="group")
+        assert eager["sync"] == "eager"
+        assert group["sync"] == "group"
+        # Same seed, same fault plan — only the durability discipline
+        # differs, and both uphold the exactly-once contract.
+        assert all(storage_chaos_gate(eager).values())
+        assert all(storage_chaos_gate(group).values())
